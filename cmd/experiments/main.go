@@ -1,0 +1,39 @@
+// Command experiments regenerates every table and figure in the
+// paper's evaluation (Tables I-VI, Figures 4-5, and the §IV-§VI
+// free-riding, IP-leak, defense, and eCDN results) and writes the
+// combined report to stdout. EXPERIMENTS.md's measured numbers come
+// from this command.
+//
+// Usage:
+//
+//	experiments [-seed N] [-timeout 15m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Int64("seed", 42, "experiment seed")
+	timeout := flag.Duration("timeout", 15*time.Minute, "overall timeout")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if err := pdnsec.Reproduce(ctx, os.Stdout, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+// Command pdnserve stands up a live PDN testbed — CDN, signaling
+// server, STUN, and a swarm of viewer peers — and streams swarm and
+// billing statistics while the peers watch. It is the quickest way to
+// watch a PDN offload CDN traffic onto viewers.
+//
+// Usage:
+//
+//	pdnserve [-provider peer5] [-peers 4] [-segments 8]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec"
+	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	providerName := flag.String("provider", "peer5", "provider profile to deploy")
+	peers := flag.Int("peers", 4, "number of viewer peers")
+	segments := flag.Int("segments", 8, "segments per viewer")
+	flag.Parse()
+
+	var prof pdnsec.Provider
+	found := false
+	for _, p := range pdnsec.AllProfiles() {
+		if p.Name == *providerName {
+			prof, found = p, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown provider %q\n", *providerName)
+		return 2
+	}
+
+	video := analyzer.SmallVideo("bbb", *segments, 256<<10)
+	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: prof, Video: video})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deploy: %v\n", err)
+		return 1
+	}
+	defer tb.Close()
+
+	fmt.Printf("deployed %s: signaling %v, stun %v, cdn %s\n",
+		prof.Name, tb.Dep.SignalAddr, tb.Dep.STUNAddr, tb.CDNBase)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	countries := []string{"US", "GB", "DE", "FR", "CA", "JP", "BR", "IN"}
+	var wg sync.WaitGroup
+	stats := make([]pdnclient.Stats, *peers)
+	for i := 0; i < *peers; i++ {
+		host, err := tb.NewViewerHost(countries[i%len(countries)])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "viewer host: %v\n", err)
+			return 1
+		}
+		cfg := tb.ViewerConfig(host, int64(i+1))
+		cfg.MaxSegments = *segments
+		cfg.Linger = 10 * time.Second
+		peer, err := pdnclient.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "viewer: %v\n", err)
+			return 1
+		}
+		wg.Add(1)
+		go func(i int, peer *pdnclient.Peer) {
+			defer wg.Done()
+			st, err := peer.Run(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "peer %d: %v\n", i, err)
+			}
+			stats[i] = st
+			peer.StopLinger()
+		}(i, peer)
+		// Stagger arrivals so later viewers find seeders.
+		time.Sleep(150 * time.Millisecond)
+	}
+	wg.Wait()
+
+	fmt.Printf("\n%-8s %-10s %-8s %-8s %-12s %-12s\n", "peer", "segments", "cdn", "p2p", "p2p-down-B", "p2p-up-B")
+	var cdnTotal, p2pTotal int
+	for i, st := range stats {
+		fmt.Printf("p%-7d %-10d %-8d %-8d %-12d %-12d\n", i+1, st.SegmentsPlayed, st.FromCDN, st.FromP2P, st.P2PDownBytes, st.P2PUpBytes)
+		cdnTotal += st.FromCDN
+		p2pTotal += st.FromP2P
+	}
+	total := cdnTotal + p2pTotal
+	if total > 0 {
+		fmt.Printf("\nP2P offload: %d/%d segments (%.0f%%)\n", p2pTotal, total, float64(p2pTotal)/float64(total)*100)
+	}
+	fmt.Printf("CDN served %d bytes over %d requests\n", tb.CDN.BytesServed(""), tb.CDN.Requests(""))
+	if tb.Dep.Keys != nil {
+		u := tb.Dep.Keys.Usage("customer.com")
+		fmt.Printf("customer metered: %d P2P bytes, %d CDN bytes, %d joins; bill $%.6f\n",
+			u.P2PBytes, u.CDNBytes, u.Joins, tb.Dep.Keys.Cost("customer.com"))
+	}
+	return 0
+}

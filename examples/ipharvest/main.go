@@ -1,0 +1,134 @@
+// IPHarvest: sit a controlled peer in a live channel the way §IV-D
+// did, harvest every viewer address the PDN exposes to it, geolocate
+// and classify them — then show the two mitigations: same-country
+// matching and a TURN relay that hides addresses entirely.
+//
+//	go run ./examples/ipharvest
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec"
+	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/population"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ipharvest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Part 1 — live two-peer leak: an attacker peer joins a swarm and
+	// reads the victim's public IP straight out of its own capture.
+	fmt.Println("--- live lab leak (controlled peer vs NATed victim) ---")
+	video := analyzer.SmallVideo("live-ch", 6, 32<<10)
+	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: pdnsec.Peer5(), Video: video})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	attackerHost, err := tb.NewViewerHost("US")
+	if err != nil {
+		return err
+	}
+	rec := analyzer.RecorderFor(attackerHost)
+	_, stop, err := tb.Seeder(tb.ViewerConfig(attackerHost, 1), video.Segments)
+	if err != nil {
+		return err
+	}
+	victimHost, nat, err := tb.NewNATViewerHost("CN", netsim.NATFullCone)
+	if err != nil {
+		return err
+	}
+	if _, err := tb.RunViewer(tb.ViewerConfig(victimHost, 2)); err != nil {
+		return err
+	}
+	stop()
+	_ = ctx
+
+	db := tb.GeoDB
+	for _, ip := range capture.HarvestPeerIPs(rec.Packets(), attackerHost.Addr()) {
+		recd := db.Lookup(ip)
+		fmt.Printf("harvested %-16v class=%-8s country=%-3s (victim NAT: %v)\n",
+			ip, recd.Class, recd.Country, ip == nat.ExternalAddr())
+	}
+
+	// Part 2 — in-the-wild harvest replay: the two channel populations
+	// the paper measured, run through the same classification pipeline.
+	fmt.Println("\n--- one-week in-the-wild harvest (replayed populations) ---")
+	controlled := netip.MustParseAddrPort("66.24.0.250:40000")
+	wdb := geoip.NewDB()
+	for i, model := range []population.ChannelModel{population.HuyaLike(), population.RTNewsLike()} {
+		viewers, err := model.Generate(wdb, int64(100+i))
+		if err != nil {
+			return err
+		}
+		pkts := population.HarvestPackets(viewers, controlled, int64(100+i))
+		addrs := capture.HarvestPeerIPs(pkts, controlled.Addr())
+		s := population.Summarize(model.Name, addrs, wdb)
+		fmt.Printf("%-14s harvested=%d public=%d bogons=%d top=%s(%.0f%%)\n",
+			s.Channel, s.Total, s.Public, s.Bogons, s.TopCountries[0].Country, s.TopCountries[0].Share*100)
+	}
+
+	// Part 3 — TURN mitigation: the same two-peer session through a
+	// relay leaks nothing.
+	fmt.Println("\n--- TURN relay mitigation ---")
+	relayHost, err := tb.Net.NewHost(analyzer.TURNIP())
+	if err != nil {
+		return err
+	}
+	relay := defense.NewTURNRelay()
+	if err := relay.Serve(relayHost, 3479); err != nil {
+		return err
+	}
+	defer relay.Close()
+	relayAddr := netip.AddrPortFrom(analyzer.TURNIP(), 3479)
+
+	atk2, err := tb.NewViewerHost("US")
+	if err != nil {
+		return err
+	}
+	rec2 := analyzer.RecorderFor(atk2)
+	cfgA := tb.ViewerConfig(atk2, 11)
+	cfgA.TURNAddr = relayAddr
+	_, stop2, err := tb.Seeder(cfgA, video.Segments)
+	if err != nil {
+		return err
+	}
+	vic2, _, err := tb.NewNATViewerHost("CN", netsim.NATFullCone)
+	if err != nil {
+		return err
+	}
+	cfgB := tb.ViewerConfig(vic2, 12)
+	cfgB.TURNAddr = relayAddr
+	stB, err := tb.RunViewer(cfgB)
+	if err != nil {
+		return err
+	}
+	stop2()
+
+	leaked := capture.HarvestPeerIPs(rec2.Packets(), atk2.Addr())
+	fmt.Printf("victim pulled %d segments over the relayed P2P path\n", stB.FromP2P)
+	fmt.Printf("addresses harvested by the controlled peer: %d (relay carried %d bytes)\n",
+		len(leaked), relay.RelayedBytes())
+	if len(leaked) == 0 {
+		fmt.Println("TURN eliminates the leak — at the cost of relaying every P2P byte")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/stealthy-peers/pdnsec
+
+go 1.22

@@ -1,0 +1,9 @@
+package pdnsec_test
+
+import "net/netip"
+
+// netipAddr aliases netip.Addr for bench readability.
+type netipAddr = netip.Addr
+
+func mustAddr(s string) netip.Addr   { return netip.MustParseAddr(s) }
+func mustAP(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }

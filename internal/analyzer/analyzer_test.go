@@ -1,0 +1,212 @@
+package analyzer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func findVerdict(t *testing.T, vs []Verdict, risk string) Verdict {
+	t.Helper()
+	for _, v := range vs {
+		if v.Risk == risk {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %s in %+v", risk, vs)
+	return Verdict{}
+}
+
+func TestCrossDomainVerdicts(t *testing.T) {
+	ctx := testCtx(t)
+	cases := []struct {
+		prof provider.Profile
+		want bool
+	}{
+		{provider.Peer5(), true},
+		{provider.Streamroot(), true},
+		{provider.Viblast(), false}, // default allowlist blocks it
+		{provider.MangoPrivate(), true},
+		{provider.TencentPrivate(), true}, // token not video-bound
+		{provider.StrictPrivate(), false},
+		{provider.ECDN(), false},
+	}
+	for _, tc := range cases {
+		v, err := CrossDomainTest(ctx, tc.prof)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prof.Name, err)
+		}
+		if v.Vulnerable != tc.want {
+			t.Errorf("%s cross-domain vulnerable=%v, want %v (%s)", tc.prof.Name, v.Vulnerable, tc.want, v.Detail)
+		}
+	}
+}
+
+func TestDomainSpoofVerdicts(t *testing.T) {
+	ctx := testCtx(t)
+	// All three public providers fall to domain spoofing even with the
+	// allowlist enforced — the paper's headline auth finding.
+	for _, prof := range provider.PublicProfiles() {
+		v, err := DomainSpoofTest(ctx, prof)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if !v.Applicable || !v.Vulnerable {
+			t.Errorf("%s spoof: applicable=%v vulnerable=%v (%s)", prof.Name, v.Applicable, v.Vulnerable, v.Detail)
+		}
+	}
+	// eCDN is not applicable: no stealable key.
+	v, err := DomainSpoofTest(ctx, provider.ECDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Applicable {
+		t.Error("eCDN spoof test should be inapplicable")
+	}
+}
+
+func TestPollutionVerdictsPeer5(t *testing.T) {
+	ctx := testCtx(t)
+	direct, err := PollutionTest(ctx, provider.Peer5(), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Vulnerable {
+		t.Errorf("direct pollution should fail: %s", direct.Detail)
+	}
+	seg, err := PollutionTest(ctx, provider.Peer5(), true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Vulnerable {
+		t.Errorf("segment pollution should succeed: %s", seg.Detail)
+	}
+}
+
+func TestSegmentPollutionBlockedByIMDefense(t *testing.T) {
+	ctx := testCtx(t)
+	v, err := PollutionTest(ctx, provider.Peer5(), true, DefaultPolicyWithIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Vulnerable {
+		t.Errorf("IM checking should stop segment pollution: %s", v.Detail)
+	}
+}
+
+func TestIPLeakVerdict(t *testing.T) {
+	ctx := testCtx(t)
+	v, err := IPLeakTest(ctx, provider.Peer5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Vulnerable {
+		t.Errorf("IP leak should be present: %s", v.Detail)
+	}
+}
+
+func TestResourceSquattingVerdict(t *testing.T) {
+	ctx := testCtx(t)
+	v, err := ResourceSquattingTest(ctx, provider.Peer5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Vulnerable {
+		t.Errorf("resource squatting should be present: %s", v.Detail)
+	}
+}
+
+func TestRunAllProducesFullColumn(t *testing.T) {
+	ctx := testCtx(t)
+	vs, err := RunAll(ctx, provider.Peer5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != len(AllRisks()) {
+		t.Fatalf("got %d verdicts", len(vs))
+	}
+	// Spot-check the Table V shape for Peer5: everything vulnerable
+	// except direct pollution.
+	if findVerdict(t, vs, RiskDirectPollution).Vulnerable {
+		t.Error("direct pollution should not be vulnerable")
+	}
+	for _, risk := range []string{RiskCrossDomain, RiskDomainSpoofing, RiskSegmentPollution, RiskIPLeak, RiskResourceSquatting} {
+		if !findVerdict(t, vs, risk).Vulnerable {
+			t.Errorf("%s should be vulnerable for peer5", risk)
+		}
+	}
+}
+
+func TestRunRiskUnknown(t *testing.T) {
+	if _, err := RunRisk(context.Background(), provider.Peer5(), "nope"); err == nil {
+		t.Fatal("unknown risk should error")
+	}
+}
+
+func TestTestbedViewerHelpers(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Profile: provider.Peer5()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	h, err := tb.NewViewerHost("DE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.GeoDB.Lookup(h.Addr()).Country != "DE" {
+		t.Fatalf("viewer host not in DE: %v", h.Addr())
+	}
+	nh, nat, err := tb.NewNATViewerHost("JP", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.GeoDB.Lookup(nat.ExternalAddr()).Country != "JP" {
+		t.Fatal("NAT external addr not in JP")
+	}
+	if nh.VisibleAddr() != nat.ExternalAddr() {
+		t.Fatal("NATed viewer should be visible via the NAT")
+	}
+}
+
+func TestHardenedProfileResistsCrossDomain(t *testing.T) {
+	ctx := testCtx(t)
+	v, err := CrossDomainTest(ctx, provider.Hardened())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Vulnerable {
+		t.Fatalf("hardened profile should resist stolen-JWT reuse: %s", v.Detail)
+	}
+}
+
+func TestHardenedViewerStreamsNormally(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{Profile: provider.Hardened()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	host, err := tb.NewViewerHost("US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tb.ViewerConfig(host, 1)
+	if cfg.Token == "" {
+		t.Fatal("hardened viewer config should carry a JWT")
+	}
+	st, err := tb.RunViewer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsPlayed == 0 {
+		t.Fatalf("hardened viewer played nothing: %+v", st)
+	}
+}

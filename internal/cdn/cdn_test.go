@@ -1,0 +1,224 @@
+package cdn
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/hls"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+)
+
+// fixture starts a CDN on a simulated network and returns an HTTP
+// client dialing from a viewer host.
+type fixture struct {
+	srv    *Server
+	base   string
+	client *http.Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	cdnHost := n.MustHost(netip.MustParseAddr("93.184.216.34"))
+	viewer := n.MustHost(netip.MustParseAddr("66.24.0.5"))
+
+	s := New()
+	if err := s.Serve(cdnHost, 80); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return &fixture{
+		srv:  s,
+		base: "http://93.184.216.34:80",
+		client: &http.Client{
+			Transport: &http.Transport{DialContext: viewer.Dialer()},
+			Timeout:   5 * time.Second,
+		},
+	}
+}
+
+func (f *fixture) get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := f.client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func smallVOD(id string, segments int) *media.Video {
+	return &media.Video{
+		ID:              id,
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: 800_000, SegmentBytes: 4096}},
+		Segments:        segments,
+		SegmentDuration: 10,
+	}
+}
+
+func TestMasterPlaylist(t *testing.T) {
+	f := newFixture(t)
+	f.srv.Register(media.NewVOD("bbb", 4))
+	code, body := f.get(t, MasterURL(f.base, "bbb"))
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	mp, err := hls.ParseMasterPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Variants) != 3 {
+		t.Fatalf("variants %+v", mp.Variants)
+	}
+}
+
+func TestVODPlaylistAndSegments(t *testing.T) {
+	f := newFixture(t)
+	v := smallVOD("bbb", 3)
+	f.srv.Register(v)
+	code, body := f.get(t, PlaylistURL(f.base, "bbb", "360p"))
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	pl, err := hls.ParseMediaPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Segments) != 3 || pl.Live {
+		t.Fatalf("playlist %+v", pl)
+	}
+	for i := 0; i < 3; i++ {
+		code, seg := f.get(t, SegmentURL(f.base, "bbb", "360p", i))
+		if code != 200 {
+			t.Fatalf("segment %d status %d", i, code)
+		}
+		if !v.Verify("360p", i, seg) {
+			t.Fatalf("segment %d failed verification", i)
+		}
+	}
+}
+
+func TestNotFoundCases(t *testing.T) {
+	f := newFixture(t)
+	f.srv.Register(smallVOD("bbb", 2))
+	cases := []string{
+		f.base + "/nope",
+		MasterURL(f.base, "missing"),
+		PlaylistURL(f.base, "bbb", "999p"),
+		PlaylistURL(f.base, "missing", "360p"),
+		SegmentURL(f.base, "bbb", "360p", 99),
+		SegmentURL(f.base, "missing", "360p", 0),
+		f.base + "/v/bbb/360p/garbage.ts",
+		f.base + "/v/playlist.m3u8",
+		f.base + "/v/x.ts",
+	}
+	for _, url := range cases {
+		if code, _ := f.get(t, url); code != 404 {
+			t.Errorf("GET %s = %d, want 404", url, code)
+		}
+	}
+}
+
+func TestLivePlaylistSlides(t *testing.T) {
+	f := newFixture(t)
+	now := time.Unix(10_000, 0)
+	f.srv.SetClock(func() time.Time { return now })
+	v := media.NewLive("ch1", 100)
+	v.Renditions = []media.Rendition{{Name: "360p", Bandwidth: 800_000, SegmentBytes: 2048}}
+	f.srv.Register(v)
+
+	// At t=0 the edge is segment 0.
+	_, body := f.get(t, PlaylistURL(f.base, "ch1", "360p"))
+	pl, err := hls.ParseMediaPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Live || pl.MediaSequence != 0 || len(pl.Segments) != 1 {
+		t.Fatalf("initial live playlist %+v", pl)
+	}
+
+	// After 75s (7.5 segments at 10s), the edge is 7, window [2..7].
+	now = now.Add(75 * time.Second)
+	_, body = f.get(t, PlaylistURL(f.base, "ch1", "360p"))
+	pl, err = hls.ParseMediaPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MediaSequence != 2 || len(pl.Segments) != LiveWindow {
+		t.Fatalf("slid playlist seq=%d n=%d", pl.MediaSequence, len(pl.Segments))
+	}
+	if pl.Segments[len(pl.Segments)-1].URI != hls.SegmentURI(7) {
+		t.Fatalf("edge segment %q", pl.Segments[len(pl.Segments)-1].URI)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	f := newFixture(t)
+	v := smallVOD("bbb", 2)
+	f.srv.Register(v)
+	if f.srv.BytesServed("bbb") != 0 {
+		t.Fatal("fresh video should have zero bytes")
+	}
+	_, seg := f.get(t, SegmentURL(f.base, "bbb", "360p", 0))
+	if got := f.srv.BytesServed("bbb"); got != int64(len(seg)) {
+		t.Fatalf("BytesServed = %d, want %d", got, len(seg))
+	}
+	if f.srv.Requests("bbb") != 1 {
+		t.Fatalf("Requests = %d", f.srv.Requests("bbb"))
+	}
+	// Totals roll up.
+	if f.srv.BytesServed("") != int64(len(seg)) || f.srv.Requests("") != 1 {
+		t.Fatal("rollup mismatch")
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	f := newFixture(t)
+	v := smallVOD("bbb", 8)
+	f.srv.Register(v)
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			resp, err := f.client.Get(SegmentURL(f.base, "bbb", "360p", i))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err == nil && !v.Verify("360p", i, body) {
+				err = fmt.Errorf("segment %d corrupt", i)
+			}
+			errc <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.srv.Requests("bbb") != 8 {
+		t.Fatalf("requests %d", f.srv.Requests("bbb"))
+	}
+}
+
+func TestURLHelpers(t *testing.T) {
+	if got := MasterURL("http://h:1", "a/b"); got != "http://h:1/v/a/b/master.m3u8" {
+		t.Fatalf("MasterURL %q", got)
+	}
+	if got := PlaylistURL("http://h:1", "a", "720p"); got != "http://h:1/v/a/720p/playlist.m3u8" {
+		t.Fatalf("PlaylistURL %q", got)
+	}
+	if got := SegmentURL("http://h:1", "a", "720p", 3); got != "http://h:1/v/a/720p/seg00003.ts" {
+		t.Fatalf("SegmentURL %q", got)
+	}
+}

@@ -1,0 +1,587 @@
+// Package corpus generates the synthetic website and Android-app corpus
+// the detector experiments scan — the reproduction's stand-in for
+// Tranco's top domains (categorized via VirusTotal), NerdyData/
+// PublicWWW source search, and AndroZoo's APK repository.
+//
+// Ground truth is planted to mirror the paper's measured landscape
+// (§III-C/D): per-provider counts of signature-bearing "potential"
+// customers, the subset whose PDN traffic actually triggers under
+// dynamic analysis, the gates that prevented triggering for the rest
+// (geo restrictions, subscriptions, deep pages), extractable vs
+// obfuscated API keys with the paper's validity/allowlist split, and
+// the private-PDN/adult-TURN/WebRTC-tracking population among generic
+// WebRTC matches. The detector never reads the Truth fields — it sees
+// only pages, APK metadata, and dynamic captures, and must rediscover
+// the planted landscape.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"github.com/stealthy-peers/pdnsec/internal/dtls"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/stun"
+)
+
+// Gate explains why a potential customer's PDN traffic may not trigger
+// during dynamic analysis (§III-C lists these failure modes).
+type Gate int
+
+// Gate values.
+const (
+	GateNone         Gate = iota // traffic triggers
+	GateGeo                      // video source restricted by geolocation
+	GateSubscription             // video requires a paid account
+	GateDeepPage                 // PDN only on subpages the crawler missed
+	GateDisabled                 // SDK present but service turned off
+)
+
+// String names the gate.
+func (g Gate) String() string {
+	switch g {
+	case GateNone:
+		return "none"
+	case GateGeo:
+		return "geo"
+	case GateSubscription:
+		return "subscription"
+	case GateDeepPage:
+		return "deep-page"
+	case GateDisabled:
+		return "disabled"
+	default:
+		return fmt.Sprintf("Gate(%d)", int(g))
+	}
+}
+
+// WebRTCKind classifies generic-WebRTC sites (§III-D).
+type WebRTCKind int
+
+// WebRTC site kinds among generic matches.
+const (
+	WebRTCNone WebRTCKind = iota
+	WebRTCPrivatePDN
+	WebRTCAdultTURN
+	WebRTCTracking
+	WebRTCUntriggered
+)
+
+// Page is one crawlable page of a site.
+type Page struct {
+	HasVideoTag bool
+	HTML        string
+	Scripts     []string
+	Links       []string // same-site paths
+}
+
+// SiteTruth is the planted ground truth (hidden from the detector).
+type SiteTruth struct {
+	Provider       string // "peer5", "streamroot", "viblast", "" for none
+	Active         bool
+	Gate           Gate
+	APIKey         string
+	KeyExtractable bool
+	KeyValid       bool
+	KeyAllowlisted bool
+	WebRTC         WebRTCKind
+	PrivateServer  string // signaling domain for private PDNs
+	SigDepth       int    // page depth at which the signature lives
+}
+
+// Site is one website in the corpus.
+type Site struct {
+	Domain        string
+	Rank          int
+	Category      string
+	MonthlyVisits int64
+	Pages         map[string]*Page
+	Truth         SiteTruth
+}
+
+// APK is one app version.
+type APK struct {
+	Version    int
+	Namespaces []string
+	Manifest   map[string]string
+}
+
+// AppTruth is the planted app ground truth.
+type AppTruth struct {
+	Provider       string
+	Active         bool
+	Gate           Gate
+	CellularUpload bool
+	SignedVersions int // versions carrying the SDK signature
+}
+
+// App is one Android application with its version history.
+type App struct {
+	Package   string
+	Downloads int64
+	Versions  []APK
+	Truth     AppTruth
+}
+
+// Corpus is the generated landscape.
+type Corpus struct {
+	Sites []*Site
+	Apps  []*App
+}
+
+// Params sizes the corpus. Zero values take the paper-scale defaults.
+type Params struct {
+	Seed int64
+	// FillerSites is the number of video-related sites with no PDN at
+	// all (the bulk of the 68,757 scanned domains). Default 1500 keeps
+	// tests fast; cmd/experiments can raise it.
+	FillerSites int
+	// FillerApps is the number of non-PDN apps sampled. Default 800.
+	FillerApps int
+}
+
+// Paper-scale constants (§III-C, Table I): potential = signature found,
+// active = dynamic analysis triggers PDN traffic.
+const (
+	peer5Sites, peer5ActiveSites           = 60, 16
+	streamrootSites, streamrootActiveSites = 53, 1
+	viblastSites, viblastActiveSites       = 21, 0
+
+	peer5Apps, peer5ActiveApps           = 31, 15
+	streamrootApps, streamrootActiveApps = 6, 3
+	viblastApps, viblastActiveApps       = 1, 0
+
+	peer5APKs, peer5ActiveAPKs           = 548, 199
+	streamrootAPKs, streamrootActiveAPKs = 68, 53
+	viblastAPKs, viblastActiveAPKs       = 11, 0
+
+	genericWebRTCSites = 385
+	topWebRTCSites     = 57 // rank within top 10K → dynamically analyzed
+	privatePDNSites    = 10
+	adultTURNSites     = 2
+	trackingSites      = 3
+
+	// Key extraction (§IV-B): 44 extractable, 40 valid (36 peer5 of
+	// which 11 without allowlist, 1 streamroot, 3 viblast), 4 expired.
+	peer5ExtractableValid      = 36
+	peer5NoAllowlist           = 11
+	streamrootExtractableValid = 1
+	viblastExtractableValid    = 3
+	expiredExtractable         = 4
+)
+
+// Signature snippets planted into customer pages; these match the
+// provider.Signatures URL patterns the detector scans for.
+var sdkSnippets = map[string]func(key string) string{
+	"peer5": func(key string) string {
+		return `<script src="https://api.peer5.com/peer5.js?id=` + key + `"></script>`
+	},
+	"streamroot": func(key string) string {
+		return `<script src="https://cdn.streamroot.io/dna-bundle.js"></script><script>window.streamrootKey="` + key + `";</script>`
+	},
+	"viblast": func(key string) string {
+		return `<script src="https://viblast.com/player/viblast.js"></script><script>viblast({key:"` + key + `"});</script>`
+	},
+}
+
+// obfuscatedSnippet hides the key the way the paper observed
+// (_0x101f38[_0x2c4aeb(0x234)]-style packing).
+func obfuscatedSnippet(providerName string) string {
+	switch providerName {
+	case "peer5":
+		return `<script src="https://api.peer5.com/peer5.js?id="+_0x101f38[_0x2c4aeb(0x234)]></script>`
+	case "streamroot":
+		return `<script src="https://cdn.streamroot.io/dna-bundle.js"></script><script>window.streamrootKey=_0x4fe1[_0xd2(0x11)];</script>`
+	default:
+		return `<script src="https://viblast.com/player/viblast.js"></script><script>viblast({key:_0xab[_0xcd(0x9)]});</script>`
+	}
+}
+
+var privateServers = []string{
+	"hw-v2-web-player-tracker.biliapi-sim.test",
+	"vm.mycdn-sim.test",
+	"wsproxy.douyu-sim.test",
+	"webrtcpunch.video.qq-sim.test",
+	"broker-qx-ws2.iqiyi-sim.test",
+	"wsapi.huya-sim.test",
+	"ws.mmstat-sim.test",
+	"ws2.mmstat-sim.test",
+	"signal.api.mgtv-sim.test",
+	"signaling.younow-sim.test",
+}
+
+// Generate builds a deterministic corpus.
+func Generate(p Params) *Corpus {
+	if p.FillerSites <= 0 {
+		p.FillerSites = 1500
+	}
+	if p.FillerApps <= 0 {
+		p.FillerApps = 800
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := &Corpus{}
+	g := &generator{rng: rng, corpus: c}
+
+	g.publicProviderSites("peer5", peer5Sites, peer5ActiveSites)
+	g.publicProviderSites("streamroot", streamrootSites, streamrootActiveSites)
+	g.publicProviderSites("viblast", viblastSites, viblastActiveSites)
+	g.assignKeys()
+	g.webrtcSites()
+	g.fillerSites(p.FillerSites)
+
+	g.providerApps("peer5", peer5Apps, peer5ActiveApps, peer5APKs, peer5ActiveAPKs)
+	g.providerApps("streamroot", streamrootApps, streamrootActiveApps, streamrootAPKs, streamrootActiveAPKs)
+	g.providerApps("viblast", viblastApps, viblastActiveApps, viblastAPKs, viblastActiveAPKs)
+	g.fillerApps(p.FillerApps)
+
+	g.assignRanks()
+	return c
+}
+
+type generator struct {
+	rng    *rand.Rand
+	corpus *Corpus
+	siteN  int
+	appN   int
+}
+
+func (g *generator) domain(prefix string) string {
+	g.siteN++
+	return fmt.Sprintf("%s%04d.example", prefix, g.siteN)
+}
+
+// publicProviderSites plants a provider's potential customers.
+func (g *generator) publicProviderSites(prov string, total, active int) {
+	for i := 0; i < total; i++ {
+		s := &Site{
+			Domain:        g.domain(prov + "-cust"),
+			Category:      "tv",
+			MonthlyVisits: int64(g.rng.Intn(100_000_000)),
+			Pages:         map[string]*Page{},
+			Truth: SiteTruth{
+				Provider: prov,
+				Active:   i < active,
+			},
+		}
+		if !s.Truth.Active {
+			gates := []Gate{GateGeo, GateSubscription, GateDeepPage, GateDisabled}
+			s.Truth.Gate = gates[g.rng.Intn(len(gates))]
+		}
+		// Signature placed at depth 0-2 (the paper crawls to depth 3).
+		s.Truth.SigDepth = g.rng.Intn(3)
+		g.corpus.Sites = append(g.corpus.Sites, s)
+	}
+}
+
+// assignKeys distributes extractable/obfuscated keys matching §IV-B.
+func (g *generator) assignKeys() {
+	perProvider := map[string][]*Site{}
+	for _, s := range g.corpus.Sites {
+		if s.Truth.Provider != "" {
+			perProvider[s.Truth.Provider] = append(perProvider[s.Truth.Provider], s)
+		}
+	}
+	plant := func(prov string, validExtractable, noAllowlist, expired int) {
+		sites := perProvider[prov]
+		k := 0
+		for _, s := range sites {
+			key := fmt.Sprintf("%s-key-%04d", prov, k)
+			s.Truth.APIKey = key
+			switch {
+			case k < validExtractable:
+				s.Truth.KeyExtractable = true
+				s.Truth.KeyValid = true
+				s.Truth.KeyAllowlisted = k >= noAllowlist
+			case k < validExtractable+expired:
+				s.Truth.KeyExtractable = true
+				s.Truth.KeyValid = false
+			default:
+				s.Truth.KeyExtractable = false // obfuscated
+				s.Truth.KeyValid = true
+				s.Truth.KeyAllowlisted = true
+			}
+			k++
+		}
+	}
+	// The 4 expired keys are spread over peer5 customers for
+	// simplicity; the paper does not break them down by provider.
+	plant("peer5", peer5ExtractableValid, peer5NoAllowlist, expiredExtractable)
+	plant("streamroot", streamrootExtractableValid, 0, 0)
+	plant("viblast", viblastExtractableValid, 0, 0)
+	for _, sites := range perProvider {
+		for _, s := range sites {
+			g.buildCustomerPages(s)
+		}
+	}
+}
+
+// buildCustomerPages lays the SDK snippet at the planted depth.
+func (g *generator) buildCustomerPages(s *Site) {
+	var snippet string
+	if s.Truth.KeyExtractable {
+		snippet = sdkSnippets[s.Truth.Provider](s.Truth.APIKey)
+	} else {
+		snippet = obfuscatedSnippet(s.Truth.Provider)
+	}
+	home := &Page{HasVideoTag: true, HTML: `<html><video src="live.m3u8"></video>`, Links: []string{"/watch", "/about"}}
+	watch := &Page{HasVideoTag: true, HTML: `<html><video></video>`, Links: []string{"/watch/ch1"}}
+	ch1 := &Page{HasVideoTag: true, HTML: `<html><video></video>`}
+	s.Pages["/"] = home
+	s.Pages["/watch"] = watch
+	s.Pages["/watch/ch1"] = ch1
+	s.Pages["/about"] = &Page{HTML: "<html>about us"}
+	switch s.Truth.SigDepth {
+	case 0:
+		home.HTML += snippet
+	case 1:
+		watch.HTML += snippet
+	default:
+		ch1.HTML += snippet
+	}
+}
+
+// webrtcSites plants the 385 generic WebRTC matches with the §III-D
+// breakdown among the top-ranked 57.
+func (g *generator) webrtcSites() {
+	kindFor := func(i int) (WebRTCKind, string) {
+		switch {
+		case i < privatePDNSites:
+			return WebRTCPrivatePDN, privateServers[i%len(privateServers)]
+		case i < privatePDNSites+adultTURNSites:
+			return WebRTCAdultTURN, ""
+		case i < privatePDNSites+adultTURNSites+trackingSites:
+			return WebRTCTracking, ""
+		default:
+			return WebRTCUntriggered, ""
+		}
+	}
+	for i := 0; i < genericWebRTCSites; i++ {
+		kind, server := WebRTCUntriggered, ""
+		top := i < topWebRTCSites
+		if top {
+			kind, server = kindFor(i)
+		}
+		s := &Site{
+			Domain:        g.domain("webrtc"),
+			Category:      "media",
+			MonthlyVisits: int64(g.rng.Intn(900_000_000)),
+			Pages:         map[string]*Page{},
+			Truth: SiteTruth{
+				WebRTC:        kind,
+				PrivateServer: server,
+				Active:        kind == WebRTCPrivatePDN,
+			},
+		}
+		html := `<html><video></video><script>const pc=new RTCPeerConnection({iceServers:[{urls:"stun:stun.` + s.Domain + `:3478"}]});</script>`
+		if server != "" {
+			html += `<script>const ws=new WebSocket("wss://` + server + `/signal");</script>`
+		}
+		s.Pages["/"] = &Page{HasVideoTag: true, HTML: html}
+		g.corpus.Sites = append(g.corpus.Sites, s)
+	}
+}
+
+// fillerSites plants video sites without any PDN.
+func (g *generator) fillerSites(n int) {
+	for i := 0; i < n; i++ {
+		s := &Site{
+			Domain:        g.domain("plain"),
+			Category:      pick(g.rng, "tv", "media", "news", "streaming"),
+			MonthlyVisits: int64(g.rng.Intn(10_000_000)),
+			Pages: map[string]*Page{
+				"/":  {HasVideoTag: g.rng.Intn(4) != 0, HTML: "<html><video></video><script>player.load()</script>", Links: []string{"/a"}},
+				"/a": {HTML: "<html>plain page"},
+			},
+		}
+		g.corpus.Sites = append(g.corpus.Sites, s)
+	}
+}
+
+// providerApps plants a provider's app population with APK histories.
+func (g *generator) providerApps(prov string, apps, activeApps, apks, activeAPKs int) {
+	ns := map[string]string{
+		"peer5":      "com.peer5.sdk",
+		"streamroot": "io.streamroot.dna",
+		"viblast":    "com.viblast.android",
+	}[prov]
+	mkey := map[string]string{
+		"peer5":      "com.peer5.ApiKey",
+		"streamroot": "io.streamroot.dna.StreamrootKey",
+		"viblast":    "com.viblast.LicenseKey",
+	}[prov]
+
+	// Signed (signature-bearing) APK versions are split so that active
+	// apps hold exactly activeAPKs of them — Table I's "confirmed APKs"
+	// are the signed versions of apps whose traffic triggered.
+	remainingActive := activeAPKs
+	remainingInactive := apks - activeAPKs
+	for i := 0; i < apps; i++ {
+		g.appN++
+		active := i < activeApps
+		app := &App{
+			Package:   fmt.Sprintf("com.%s.app%03d", prov, g.appN),
+			Downloads: int64(g.rng.Intn(50_000_000)),
+			Truth: AppTruth{
+				Provider:       prov,
+				Active:         active,
+				CellularUpload: prov == "peer5" && i < 3, // the 3 cellular-upload apps (§IV-D)
+			},
+		}
+		if !active {
+			app.Truth.Gate = GateGeo
+		}
+		var signed int
+		if active {
+			left := activeApps - i
+			signed = remainingActive / left
+			remainingActive -= signed
+		} else {
+			left := apps - i // all remaining apps are inactive
+			signed = remainingInactive / left
+			remainingInactive -= signed
+		}
+		total := signed + 1 + g.rng.Intn(3) // some unsigned (pre-SDK) versions
+		for ver := 0; ver < total; ver++ {
+			apk := APK{Version: ver + 1, Manifest: map[string]string{"package": app.Package}}
+			if ver >= total-signed {
+				apk.Namespaces = []string{ns, "androidx.media3"}
+				apk.Manifest[mkey] = fmt.Sprintf("%s-app-key-%03d", prov, g.appN)
+				if prov == "peer5" {
+					// The unprotected configuration variable the paper
+					// read to find cellular-upload customers (§IV-D).
+					cfg := `{"cellularDownload":true,"cellularUpload":false}`
+					if app.Truth.CellularUpload {
+						cfg = `{"cellularDownload":true,"cellularUpload":true}`
+					}
+					apk.Manifest["com.peer5.Config"] = cfg
+				}
+			} else {
+				apk.Namespaces = []string{"androidx.media3"}
+			}
+			app.Versions = append(app.Versions, apk)
+		}
+		app.Truth.SignedVersions = signed
+		g.corpus.Apps = append(g.corpus.Apps, app)
+	}
+}
+
+// fillerApps plants non-PDN apps.
+func (g *generator) fillerApps(n int) {
+	for i := 0; i < n; i++ {
+		g.appN++
+		app := &App{
+			Package:   fmt.Sprintf("com.filler.app%04d", g.appN),
+			Downloads: int64(g.rng.Intn(1_000_000)),
+		}
+		for v := 0; v < 1+g.rng.Intn(4); v++ {
+			app.Versions = append(app.Versions, APK{
+				Version:    v + 1,
+				Namespaces: []string{"androidx.core", "com.example.ads"},
+				Manifest:   map[string]string{"package": app.Package},
+			})
+		}
+		g.corpus.Apps = append(g.corpus.Apps, app)
+	}
+}
+
+// assignRanks shuffles sites into a Tranco-like ranking, keeping the
+// WebRTC platform sites disproportionately high-ranked (they are the
+// Bilibili/Tencent/Youku tier) so "top 57 of the 385" is meaningful.
+func (g *generator) assignRanks() {
+	sites := g.corpus.Sites
+	g.rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+	// First pass: give triggered private-PDN sites ranks within top 10K.
+	rank := 1
+	for _, s := range sites {
+		if s.Truth.WebRTC == WebRTCPrivatePDN || s.Truth.WebRTC == WebRTCAdultTURN || s.Truth.WebRTC == WebRTCTracking {
+			s.Rank = rank
+			rank++
+		}
+	}
+	// Remaining generic WebRTC: the first topWebRTCSites ranks are taken;
+	// spread untriggered ones across the rest.
+	for _, s := range sites {
+		if s.Rank == 0 && s.Truth.WebRTC == WebRTCUntriggered {
+			if rank <= topWebRTCSites {
+				s.Rank = rank
+			} else {
+				s.Rank = 10_000 + rank
+			}
+			rank++
+		}
+	}
+	for _, s := range sites {
+		if s.Rank == 0 {
+			s.Rank = 20_000 + rank
+			rank++
+		}
+	}
+}
+
+func pick(rng *rand.Rand, options ...string) string {
+	return options[rng.Intn(len(options))]
+}
+
+// DynamicCapture synthesizes the packet capture a 15-minute dynamic
+// analysis session of this site would record (§III-C): active PDN
+// customers produce plaintext STUN binding exchanges followed by DTLS
+// handshakes between candidate peers; TURN-relayed adult sites produce
+// DTLS to a relay without peer-pair STUN; tracking sites produce STUN
+// without DTLS; everything else produces plain traffic only.
+func (s *Site) DynamicCapture(seed int64) []netsim.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	self := netip.AddrPortFrom(randAddr(rng), 40000)
+	peer := netip.AddrPortFrom(randAddr(rng), 41000)
+	server := netip.AddrPortFrom(randAddr(rng), 3478)
+
+	var pkts []netsim.Packet
+	udp := func(src, dst netip.AddrPort, payload []byte) {
+		pkts = append(pkts, netsim.Packet{Proto: netsim.ProtoUDP, Dir: netsim.DirIn, Src: src, Dst: dst, Payload: payload})
+	}
+	tcp := func(src, dst netip.AddrPort, payload []byte) {
+		pkts = append(pkts, netsim.Packet{Proto: netsim.ProtoTCP, Dir: netsim.DirOut, Src: src, Dst: dst, Payload: payload})
+	}
+	// All sessions carry some plain HTTPS-ish traffic.
+	tcp(self, server, []byte("\x17\x03\x03 plain tls to web server"))
+
+	pdnActive := (s.Truth.Provider != "" && s.Truth.Active && s.Truth.Gate == GateNone) ||
+		s.Truth.WebRTC == WebRTCPrivatePDN
+	switch {
+	case pdnActive:
+		req := stun.BindingRequest("corpus:peer", 1).Encode()
+		resp := stun.BindingSuccess(stun.NewTxID(), peer).Encode()
+		udp(peer, self, req)
+		udp(self, peer, resp)
+		pkts = append(pkts, dtlsHandshakePkt(self, peer))
+	case s.Truth.WebRTC == WebRTCAdultTURN:
+		// Relay-only: DTLS to the TURN server, no peer-pair STUN.
+		pkts = append(pkts, dtlsHandshakePkt(self, server))
+	case s.Truth.WebRTC == WebRTCTracking:
+		// WebRTC used to discover the visitor's IP: STUN only.
+		udp(self, server, stun.BindingRequest("", 0).Encode())
+		udp(server, self, stun.BindingSuccess(stun.NewTxID(), self).Encode())
+	}
+	return pkts
+}
+
+// DynamicCapture synthesizes an app session's capture.
+func (a *App) DynamicCapture(seed int64) []netsim.Packet {
+	if !a.Truth.Active || a.Truth.Gate != GateNone {
+		s := &Site{Truth: SiteTruth{}}
+		return s.DynamicCapture(seed)
+	}
+	s := &Site{Truth: SiteTruth{Provider: a.Truth.Provider, Active: true}}
+	return s.DynamicCapture(seed)
+}
+
+func dtlsHandshakePkt(src, dst netip.AddrPort) netsim.Packet {
+	payload := make([]byte, 16)
+	payload[0] = dtls.ContentHandshake
+	payload[1], payload[2] = 0xfe, 0xfd
+	return netsim.Packet{Proto: netsim.ProtoTCP, Dir: netsim.DirOut, Src: src, Dst: dst, Payload: payload}
+}
+
+func randAddr(rng *rand.Rand) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(20 + rng.Intn(80)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(250))})
+}

@@ -1,0 +1,227 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+)
+
+func gen(t *testing.T, seed int64) *Corpus {
+	t.Helper()
+	return Generate(Params{Seed: seed, FillerSites: 100, FillerApps: 50})
+}
+
+func TestGroundTruthCounts(t *testing.T) {
+	c := gen(t, 1)
+
+	type counts struct{ sites, active, apps, activeApps, apks, activeAPKs int }
+	got := map[string]*counts{}
+	for _, s := range c.Sites {
+		if s.Truth.Provider == "" {
+			continue
+		}
+		cc, ok := got[s.Truth.Provider]
+		if !ok {
+			cc = &counts{}
+			got[s.Truth.Provider] = cc
+		}
+		cc.sites++
+		if s.Truth.Active && s.Truth.Gate == GateNone {
+			cc.active++
+		}
+	}
+	for _, a := range c.Apps {
+		if a.Truth.Provider == "" {
+			continue
+		}
+		cc := got[a.Truth.Provider]
+		cc.apps++
+		signed := 0
+		for _, apk := range a.Versions {
+			for _, ns := range apk.Namespaces {
+				if strings.HasPrefix(ns, "com.peer5") || strings.HasPrefix(ns, "io.streamroot") || strings.HasPrefix(ns, "com.viblast") {
+					signed++
+					break
+				}
+			}
+		}
+		cc.apks += signed
+		if a.Truth.Active {
+			cc.activeApps++
+			cc.activeAPKs += signed
+		}
+		if signed != a.Truth.SignedVersions {
+			t.Errorf("%s: signed versions %d != truth %d", a.Package, signed, a.Truth.SignedVersions)
+		}
+	}
+
+	want := map[string]counts{
+		"peer5":      {60, 16, 31, 15, 548, 199},
+		"streamroot": {53, 1, 6, 3, 68, 53},
+		"viblast":    {21, 0, 1, 0, 11, 0},
+	}
+	for prov, w := range want {
+		g := got[prov]
+		if g == nil {
+			t.Fatalf("no %s entries", prov)
+		}
+		if g.sites != w.sites || g.active != w.active || g.apps != w.apps ||
+			g.activeApps != w.activeApps || g.apks != w.apks || g.activeAPKs != w.activeAPKs {
+			t.Errorf("%s counts %+v, want %+v", prov, *g, w)
+		}
+	}
+}
+
+func TestKeyGroundTruth(t *testing.T) {
+	c := gen(t, 2)
+	extractable, valid, noAllow, expired := 0, 0, 0, 0
+	for _, s := range c.Sites {
+		if s.Truth.APIKey == "" {
+			continue
+		}
+		if s.Truth.KeyExtractable {
+			extractable++
+			if s.Truth.KeyValid {
+				valid++
+				if !s.Truth.KeyAllowlisted {
+					noAllow++
+				}
+			} else {
+				expired++
+			}
+		}
+	}
+	if extractable != 44 || valid != 40 || expired != 4 {
+		t.Fatalf("extractable/valid/expired = %d/%d/%d, want 44/40/4", extractable, valid, expired)
+	}
+	if noAllow != 11 {
+		t.Fatalf("keys without allowlist = %d, want 11", noAllow)
+	}
+}
+
+func TestWebRTCLandscape(t *testing.T) {
+	c := gen(t, 3)
+	kinds := map[WebRTCKind]int{}
+	topRanked := 0
+	for _, s := range c.Sites {
+		if s.Truth.WebRTC == WebRTCNone {
+			continue
+		}
+		kinds[s.Truth.WebRTC]++
+		if s.Rank <= 10_000 {
+			topRanked++
+		}
+	}
+	total := kinds[WebRTCPrivatePDN] + kinds[WebRTCAdultTURN] + kinds[WebRTCTracking] + kinds[WebRTCUntriggered]
+	if total != 385 {
+		t.Fatalf("generic WebRTC sites %d, want 385", total)
+	}
+	if kinds[WebRTCPrivatePDN] != 10 || kinds[WebRTCAdultTURN] != 2 || kinds[WebRTCTracking] != 3 {
+		t.Fatalf("kind split %+v", kinds)
+	}
+	if topRanked != 57 {
+		t.Fatalf("top-10K WebRTC sites %d, want 57", topRanked)
+	}
+}
+
+func TestDynamicCaptureClassification(t *testing.T) {
+	c := gen(t, 4)
+	for _, s := range c.Sites {
+		pkts := s.DynamicCapture(4)
+		isPDN := capture.ConfirmPDN(pkts)
+		wantPDN := (s.Truth.Provider != "" && s.Truth.Active && s.Truth.Gate == GateNone) ||
+			s.Truth.WebRTC == WebRTCPrivatePDN
+		if isPDN != wantPDN {
+			t.Fatalf("%s: ConfirmPDN=%v, truth active=%v (%+v)", s.Domain, isPDN, wantPDN, s.Truth)
+		}
+	}
+}
+
+func TestGatesPreventTriggering(t *testing.T) {
+	c := gen(t, 5)
+	for _, s := range c.Sites {
+		if s.Truth.Provider != "" && !s.Truth.Active {
+			if s.Truth.Gate == GateNone {
+				t.Fatalf("%s inactive but ungated", s.Domain)
+			}
+			if capture.ConfirmPDN(s.DynamicCapture(5)) {
+				t.Fatalf("%s gated by %v but traffic triggered", s.Domain, s.Truth.Gate)
+			}
+		}
+	}
+}
+
+func TestCellularUploadApps(t *testing.T) {
+	c := gen(t, 6)
+	n := 0
+	for _, a := range c.Apps {
+		if a.Truth.CellularUpload {
+			n++
+			if a.Truth.Provider != "peer5" {
+				t.Errorf("cellular-upload app %s on %s; the paper found them on Peer5", a.Package, a.Truth.Provider)
+			}
+		}
+	}
+	if n != 3 {
+		t.Fatalf("cellular-upload apps = %d, want 3 (§IV-D)", n)
+	}
+}
+
+func TestDomainsUnique(t *testing.T) {
+	c := gen(t, 7)
+	seen := map[string]bool{}
+	for _, s := range c.Sites {
+		if seen[s.Domain] {
+			t.Fatalf("duplicate domain %s", s.Domain)
+		}
+		seen[s.Domain] = true
+	}
+	seenApp := map[string]bool{}
+	for _, a := range c.Apps {
+		if seenApp[a.Package] {
+			t.Fatalf("duplicate package %s", a.Package)
+		}
+		seenApp[a.Package] = true
+	}
+}
+
+func TestRanksAssignedAndUnique(t *testing.T) {
+	c := gen(t, 8)
+	seen := map[int]bool{}
+	for _, s := range c.Sites {
+		if s.Rank <= 0 {
+			t.Fatalf("%s has no rank", s.Domain)
+		}
+		if seen[s.Rank] {
+			t.Fatalf("duplicate rank %d", s.Rank)
+		}
+		seen[s.Rank] = true
+	}
+}
+
+func TestGateString(t *testing.T) {
+	for g, want := range map[Gate]string{
+		GateNone: "none", GateGeo: "geo", GateSubscription: "subscription",
+		GateDeepPage: "deep-page", GateDisabled: "disabled",
+	} {
+		if g.String() != want {
+			t.Errorf("Gate(%d) = %q, want %q", g, g.String(), want)
+		}
+	}
+	if Gate(99).String() == "" {
+		t.Error("unknown gate should render")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := gen(t, 9), gen(t, 9)
+	if len(a.Sites) != len(b.Sites) || len(a.Apps) != len(b.Apps) {
+		t.Fatal("sizes differ across equal seeds")
+	}
+	for i := range a.Sites {
+		if a.Sites[i].Domain != b.Sites[i].Domain || a.Sites[i].Rank != b.Sites[i].Rank {
+			t.Fatalf("site %d differs", i)
+		}
+	}
+}

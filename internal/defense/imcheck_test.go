@@ -1,0 +1,179 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+)
+
+func testKey(i int) media.SegmentKey {
+	return media.SegmentKey{Video: "bbb", Rendition: "360p", Index: i}
+}
+
+// newChecker returns a checker whose CDN fetch serves the given video.
+func newChecker(t *testing.T, v *media.Video, k int) *IMChecker {
+	t.Helper()
+	c, err := NewIMChecker(IMConfig{
+		Reporters: k,
+		FetchCDN: func(key media.SegmentKey) ([]byte, error) {
+			return v.SegmentData(key.Rendition, key.Index)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func vid() *media.Video {
+	return &media.Video{
+		ID:              "bbb",
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: 800, SegmentBytes: 1024}},
+		Segments:        8,
+		SegmentDuration: 10,
+	}
+}
+
+func TestAgreementEstablishesSIM(t *testing.T) {
+	v := vid()
+	c := newChecker(t, v, 3)
+	key := testKey(0)
+	data, _ := v.SegmentData("360p", 0)
+	h := media.IMHash(key, data)
+
+	if _, _, ok := c.SIM(key); ok {
+		t.Fatal("SIM should not exist before reports")
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Report(fmt.Sprintf("p%d", i), key, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hash, sig, ok := c.SIM(key)
+	if !ok || hash != h {
+		t.Fatalf("SIM = %q %v", hash, ok)
+	}
+	if !VerifySIM(c.PublicKey(), key, hash, sig) {
+		t.Fatal("SIM signature invalid")
+	}
+	if VerifySIM(c.PublicKey(), testKey(1), hash, sig) {
+		t.Fatal("SIM signature must bind the segment key (replay defense)")
+	}
+	conflicts, fetches, banned := c.Stats()
+	if conflicts != 0 || fetches != 0 || banned != 0 {
+		t.Fatalf("stats %d %d %d", conflicts, fetches, banned)
+	}
+}
+
+func TestConflictArbitrationBlacklistsLiar(t *testing.T) {
+	v := vid()
+	c := newChecker(t, v, 3)
+	key := testKey(2)
+	data, _ := v.SegmentData("360p", 2)
+	authentic := media.IMHash(key, data)
+
+	if err := c.Report("honest1", key, authentic); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report("honest2", key, authentic); err != nil {
+		t.Fatal(err)
+	}
+	// The liar completes the panel with a fake IM → conflict → CDN
+	// arbitration → liar banned.
+	err := c.Report("liar", key, "deadbeef")
+	if !errors.Is(err, ErrPeerBlacklisted) {
+		t.Fatalf("liar's report: err = %v", err)
+	}
+	hash, _, ok := c.SIM(key)
+	if !ok || hash != authentic {
+		t.Fatal("arbitration should establish the authentic IM")
+	}
+	if !c.Blacklisted("liar") || c.Blacklisted("honest1") || c.Blacklisted("honest2") {
+		t.Fatal("exactly the liar should be banned")
+	}
+	conflicts, fetches, banned := c.Stats()
+	if conflicts != 1 || fetches != 1 || banned != 1 {
+		t.Fatalf("stats %d %d %d", conflicts, fetches, banned)
+	}
+}
+
+func TestAllMaliciousPanelWins(t *testing.T) {
+	// The paper is explicit: the attack succeeds only when all randomly
+	// selected peers are malicious — unanimous lies establish a fake SIM.
+	v := vid()
+	c := newChecker(t, v, 3)
+	key := testKey(3)
+	fake := "0000deadbeef"
+	for i := 0; i < 3; i++ {
+		if err := c.Report(fmt.Sprintf("evil%d", i), key, fake); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hash, _, ok := c.SIM(key)
+	if !ok || hash != fake {
+		t.Fatal("unanimous malicious panel should win (the defense's stated limit)")
+	}
+}
+
+func TestLateContradictionBanned(t *testing.T) {
+	v := vid()
+	c := newChecker(t, v, 2)
+	key := testKey(4)
+	data, _ := v.SegmentData("360p", 4)
+	authentic := media.IMHash(key, data)
+	c.Report("a", key, authentic)
+	c.Report("b", key, authentic)
+	// Established; a later contradicting report is an immediate ban.
+	if err := c.Report("late-liar", key, "bogus"); !errors.Is(err, ErrPeerBlacklisted) {
+		t.Fatalf("err = %v", err)
+	}
+	// A later agreeing report is fine.
+	if err := c.Report("late-honest", key, authentic); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlacklistedPeerRejected(t *testing.T) {
+	v := vid()
+	c := newChecker(t, v, 2)
+	key := testKey(5)
+	data, _ := v.SegmentData("360p", 5)
+	authentic := media.IMHash(key, data)
+	c.Report("honest", key, authentic)
+	if err := c.Report("liar", key, "bogus"); !errors.Is(err, ErrPeerBlacklisted) {
+		t.Fatalf("err = %v", err)
+	}
+	// The banned peer can no longer report anything.
+	if err := c.Report("liar", testKey(6), authentic); !errors.Is(err, ErrPeerBlacklisted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateReporterDoesNotFillPanel(t *testing.T) {
+	v := vid()
+	c := newChecker(t, v, 3)
+	key := testKey(7)
+	data, _ := v.SegmentData("360p", 7)
+	h := media.IMHash(key, data)
+	for i := 0; i < 5; i++ {
+		c.Report("same-peer", key, h)
+	}
+	if _, _, ok := c.SIM(key); ok {
+		t.Fatal("one peer reporting repeatedly must not establish a SIM")
+	}
+}
+
+func TestIMConfigValidation(t *testing.T) {
+	if _, err := NewIMChecker(IMConfig{}); err == nil {
+		t.Fatal("missing FetchCDN should fail")
+	}
+	c, err := NewIMChecker(IMConfig{FetchCDN: func(media.SegmentKey) ([]byte, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Reporters != 3 {
+		t.Fatalf("default reporters = %d", c.cfg.Reporters)
+	}
+}

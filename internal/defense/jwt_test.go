@@ -1,0 +1,134 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testSecret = []byte("pdnsec-test-secret")
+
+func TestJWTRoundTrip(t *testing.T) {
+	tok := ExampleToken()
+	jwt, err := SignJWT(tok, testSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PDNToken
+	if err := VerifyJWT(jwt, testSecret, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CustomerID != tok.CustomerID || len(got.VideoIDs) != 2 || got.TTL != 60 {
+		t.Fatalf("claims %+v", got)
+	}
+}
+
+func TestJWTExampleTokenSize(t *testing.T) {
+	// §V-A: "the example token along with its HMAC-SHA256 signature will
+	// result in an encoded JWT of 283 bytes."
+	jwt, err := SignJWT(ExampleToken(), testSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jwt) != 283 {
+		t.Fatalf("encoded JWT is %d bytes, paper reports 283", len(jwt))
+	}
+}
+
+func TestJWTTamperDetected(t *testing.T) {
+	jwt, _ := SignJWT(ExampleToken(), testSecret)
+	parts := strings.Split(jwt, ".")
+	tampered := parts[0] + "." + parts[1] + "x." + parts[2]
+	if err := VerifyJWT(tampered, testSecret, nil); err == nil {
+		t.Fatal("tampered payload should fail verification")
+	}
+	wrongKey := append([]byte(nil), testSecret...)
+	wrongKey[0] ^= 0xff
+	if err := VerifyJWT(jwt, wrongKey, nil); err != ErrJWTSignature {
+		t.Fatalf("wrong key: err = %v", err)
+	}
+	if err := VerifyJWT("garbage", testSecret, nil); err != ErrJWTFormat {
+		t.Fatalf("garbage: err = %v", err)
+	}
+	if err := VerifyJWT("a.b", testSecret, nil); err != ErrJWTFormat {
+		t.Fatalf("two parts: err = %v", err)
+	}
+}
+
+func TestTokenAuthorityVideoBinding(t *testing.T) {
+	a := NewTokenAuthority(testSecret)
+	jwt, err := a.Issue(PDNToken{
+		CustomerID: "victim.com",
+		PDNPeerID:  "p1",
+		VideoIDs:   []string{"https://cdn/legit.m3u8"},
+		TTL:        60,
+		UsageLimit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(jwt, "https://cdn/legit.m3u8"); err != nil {
+		t.Fatal(err)
+	}
+	// The stolen token is useless for the attacker's own stream — this
+	// is the economic kill-switch for free riding.
+	if err := a.Validate(jwt, "https://attacker/own.m3u8"); err != ErrTokenVideo {
+		t.Fatalf("err = %v, want ErrTokenVideo", err)
+	}
+}
+
+func TestTokenAuthorityUsageLimit(t *testing.T) {
+	a := NewTokenAuthority(testSecret)
+	jwt, _ := a.Issue(PDNToken{VideoIDs: []string{"v"}, TTL: 60, UsageLimit: 1})
+	if err := a.Validate(jwt, "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Replay: second use is rejected.
+	if err := a.Validate(jwt, "v"); err != ErrTokenConsumed {
+		t.Fatalf("err = %v, want ErrTokenConsumed", err)
+	}
+}
+
+func TestTokenAuthorityTTL(t *testing.T) {
+	a := NewTokenAuthority(testSecret)
+	now := time.Unix(1_700_000_000, 0)
+	a.SetClock(func() time.Time { return now })
+	jwt, _ := a.Issue(PDNToken{VideoIDs: []string{"v"}, TTL: 60, UsageLimit: 0})
+	if err := a.Validate(jwt, "v"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := a.Validate(jwt, "v"); err != ErrTokenExpired {
+		t.Fatalf("err = %v, want ErrTokenExpired", err)
+	}
+}
+
+func TestUnlimitedUsage(t *testing.T) {
+	a := NewTokenAuthority(testSecret)
+	jwt, _ := a.Issue(PDNToken{VideoIDs: []string{"v"}, TTL: 60, UsageLimit: 0})
+	for i := 0; i < 5; i++ {
+		if err := a.Validate(jwt, "v"); err != nil {
+			t.Fatalf("use %d: %v", i, err)
+		}
+	}
+}
+
+// Property: signing/verifying round-trips arbitrary token contents.
+func TestQuickJWTRoundTrip(t *testing.T) {
+	f := func(customer, peer string, ttl uint16) bool {
+		tok := PDNToken{CustomerID: customer, PDNPeerID: peer, TTL: int64(ttl), Timestamp: 1}
+		jwt, err := SignJWT(tok, testSecret)
+		if err != nil {
+			return false
+		}
+		var got PDNToken
+		if err := VerifyJWT(jwt, testSecret, &got); err != nil {
+			return false
+		}
+		return got.CustomerID == customer && got.PDNPeerID == peer && got.TTL == int64(ttl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

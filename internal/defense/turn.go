@@ -1,0 +1,222 @@
+package defense
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+)
+
+// TURNRelay is the §V-C mitigation for the IP-leak risk: peers connect
+// to the relay instead of to each other, so neither ever learns the
+// other's address — at the cost of relaying every P2P byte, which is
+// why the paper judges TURN infeasible at PDN scale. RelayedBytes makes
+// that cost measurable (BenchmarkAblationTURN).
+type TURNRelay struct {
+	listener *netsim.Listener
+
+	mu      sync.Mutex
+	waiting map[string]net.Conn // room -> first arrival
+
+	relayed atomic.Int64
+	wg      sync.WaitGroup
+	done    chan struct{}
+}
+
+// NewTURNRelay constructs an idle relay.
+func NewTURNRelay() *TURNRelay {
+	return &TURNRelay{
+		waiting: make(map[string]net.Conn),
+		done:    make(chan struct{}),
+	}
+}
+
+// Serve starts the relay on a simulated host/port.
+func (r *TURNRelay) Serve(host *netsim.Host, port uint16) error {
+	l, err := host.Listen(port)
+	if err != nil {
+		return fmt.Errorf("defense: turn listen: %w", err)
+	}
+	r.listener = l
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				r.handle(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// RelayedBytes reports the total bytes forwarded between peers.
+func (r *TURNRelay) RelayedBytes() int64 { return r.relayed.Load() }
+
+// Close stops the relay.
+func (r *TURNRelay) Close() error {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	if r.listener != nil {
+		r.listener.Close()
+	}
+	r.mu.Lock()
+	for _, c := range r.waiting {
+		c.Close()
+	}
+	r.waiting = make(map[string]net.Conn)
+	r.mu.Unlock()
+	r.wg.Wait()
+	return nil
+}
+
+// turnHello is the allocation request a client sends on connect.
+type turnHello struct {
+	Room string `json:"room"`
+}
+
+// The relay uses unbuffered frames (length-prefixed JSON read directly
+// from the conn) for its two-message rendezvous so that no bytes of the
+// subsequently bridged raw stream can be swallowed by a buffer.
+
+func writeFrame(conn net.Conn, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	hdr := []byte{byte(len(body) >> 24), byte(len(body) >> 16), byte(len(body) >> 8), byte(len(body))}
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err = conn.Write(body)
+	return err
+}
+
+func readFrame(conn net.Conn, out any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n < 0 || n > 1<<16 {
+		return fmt.Errorf("defense: relay frame of %d bytes", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (r *TURNRelay) handle(conn net.Conn) {
+	var hello turnHello
+	if err := readFrame(conn, &hello); err != nil || hello.Room == "" {
+		conn.Close()
+		return
+	}
+
+	r.mu.Lock()
+	other, ok := r.waiting[hello.Room]
+	if ok {
+		delete(r.waiting, hello.Room)
+	} else {
+		r.waiting[hello.Room] = conn
+	}
+	r.mu.Unlock()
+
+	if !ok {
+		return // first arrival waits; its goroutine ends here
+	}
+
+	// Second arrival: acknowledge both and bridge.
+	ackBoth := func(c net.Conn) bool {
+		return writeFrame(c, map[string]string{"status": "bound"}) == nil
+	}
+	if !ackBoth(conn) || !ackBoth(other) {
+		conn.Close()
+		other.Close()
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.bridge(conn, other)
+	}()
+}
+
+// bridge pipes bytes both ways, counting them.
+func (r *TURNRelay) bridge(a, b net.Conn) {
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	copyCount := func(dst, src net.Conn) {
+		defer wg.Done()
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				r.relayed.Add(int64(n))
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					return
+				}
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go copyCount(a, b)
+	copyCount(b, a)
+	wg.Wait()
+}
+
+// DialRelay connects a peer to the relay and waits until the room's
+// other peer arrives. The returned connection carries raw bytes between
+// the two peers; neither ever sees the other's address.
+func DialRelay(ctx context.Context, host *netsim.Host, relay netip.AddrPort, room string) (net.Conn, error) {
+	conn, err := host.Dial(ctx, relay)
+	if err != nil {
+		return nil, fmt.Errorf("defense: dial relay: %w", err)
+	}
+	if err := writeFrame(conn, turnHello{Room: room}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Wait for pairing.
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetReadDeadline(d)
+	} else {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	}
+	var ack map[string]string
+	if err := readFrame(conn, &ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("defense: relay pairing: %w", err)
+	}
+	if ack["status"] != "bound" {
+		conn.Close()
+		return nil, fmt.Errorf("defense: unexpected relay response %q", ack["status"])
+	}
+	conn.SetReadDeadline(time.Time{})
+	return conn, nil
+}

@@ -1,0 +1,198 @@
+package defense
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+)
+
+func TestTURNRelayBridges(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	relayHost := n.MustHost(netip.MustParseAddr("50.50.50.50"))
+	a := n.MustHost(netip.MustParseAddr("66.24.0.1"))
+	b := n.MustHost(netip.MustParseAddr("36.96.0.1"))
+
+	relay := NewTURNRelay()
+	if err := relay.Serve(relayHost, 3479); err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	addr := netip.MustParseAddrPort("50.50.50.50:3479")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var gotB []byte
+	go func() {
+		defer wg.Done()
+		cb, err := DialRelay(ctx, b, addr, "room1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer cb.Close()
+		buf := make([]byte, 64)
+		cb.SetReadDeadline(time.Now().Add(3 * time.Second))
+		n, err := cb.Read(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		gotB = append(gotB, buf[:n]...)
+		cb.Write([]byte("pong"))
+	}()
+
+	ca, err := DialRelay(ctx, a, addr, "room1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	if _, err := ca.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	ca.SetReadDeadline(time.Now().Add(3 * time.Second))
+	nn, err := ca.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if string(gotB) != "ping" || string(buf[:nn]) != "pong" {
+		t.Fatalf("bridge payloads %q %q", gotB, buf[:nn])
+	}
+	if relay.RelayedBytes() != 8 {
+		t.Fatalf("relayed bytes = %d, want 8", relay.RelayedBytes())
+	}
+}
+
+func TestTURNHidesPeerAddresses(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	relayHost := n.MustHost(netip.MustParseAddr("50.50.50.50"))
+	a := n.MustHost(netip.MustParseAddr("66.24.0.1"))
+	b := n.MustHost(netip.MustParseAddr("36.96.0.1"))
+
+	// Capture everything peer A sees.
+	rec := capture.NewRecorder(0)
+	a.AddTap(rec.Tap)
+
+	relay := NewTURNRelay()
+	if err := relay.Serve(relayHost, 3479); err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	addr := netip.MustParseAddrPort("50.50.50.50:3479")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cb, err := DialRelay(ctx, b, addr, "r")
+		if err != nil {
+			return
+		}
+		defer cb.Close()
+		cb.Write([]byte("data-from-b"))
+	}()
+	ca, err := DialRelay(ctx, a, addr, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	buf := make([]byte, 64)
+	ca.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := ca.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// Every address in A's capture is either A itself or the relay —
+	// B's address never appears.
+	for _, p := range rec.Packets() {
+		for _, ap := range []netip.Addr{p.Src.Addr(), p.Dst.Addr()} {
+			if ap != a.Addr() && ap != relayHost.Addr() {
+				t.Fatalf("peer A observed foreign address %v (leak)", ap)
+			}
+		}
+	}
+}
+
+func TestRelayDistinctRooms(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	relayHost := n.MustHost(netip.MustParseAddr("50.50.50.50"))
+	relay := NewTURNRelay()
+	if err := relay.Serve(relayHost, 3479); err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	addr := netip.MustParseAddrPort("50.50.50.50:3479")
+
+	hosts := make([]*netsim.Host, 4)
+	for i := range hosts {
+		hosts[i] = n.MustHost(netip.AddrFrom4([4]byte{66, 24, 1, byte(i + 1)}))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make([]string, 2)
+	for i, room := range []string{"roomA", "roomB"} {
+		wg.Add(1)
+		go func(i int, room string) {
+			defer wg.Done()
+			c, err := DialRelay(ctx, hosts[2*i], addr, room)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			c.Write([]byte(room))
+		}(i, room)
+		wg.Add(1)
+		go func(i int, room string) {
+			defer wg.Done()
+			c, err := DialRelay(ctx, hosts[2*i+1], addr, room)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, 32)
+			c.SetReadDeadline(time.Now().Add(3 * time.Second))
+			n, err := c.Read(buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = string(buf[:n])
+		}(i, room)
+	}
+	wg.Wait()
+	if results[0] != "roomA" || results[1] != "roomB" {
+		t.Fatalf("room isolation broken: %v", results)
+	}
+}
+
+func TestDialRelayTimeoutWhenAlone(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	relayHost := n.MustHost(netip.MustParseAddr("50.50.50.50"))
+	a := n.MustHost(netip.MustParseAddr("66.24.0.1"))
+	relay := NewTURNRelay()
+	if err := relay.Serve(relayHost, 3479); err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := DialRelay(ctx, a, netip.MustParseAddrPort("50.50.50.50:3479"), "lonely"); err == nil {
+		t.Fatal("pairing should time out with no partner")
+	}
+}

@@ -1,0 +1,197 @@
+package detector
+
+import (
+	"testing"
+
+	"github.com/stealthy-peers/pdnsec/internal/corpus"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+)
+
+func profiles() []provider.Profile { return provider.PublicProfiles() }
+
+func TestPipelineReproducesTableI(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 1, FillerSites: 200, FillerApps: 100})
+	rep := Pipeline(c, profiles(), 1)
+
+	// Table I: potential / confirmed per provider.
+	want := []struct {
+		prov                string
+		potSites, confSites int
+		potApps, confApps   int
+		potAPKs, confAPKs   int
+	}{
+		{"peer5", 60, 16, 31, 15, 548, 199},
+		{"streamroot", 53, 1, 6, 3, 68, 53},
+		{"viblast", 21, 0, 1, 0, 11, 0},
+	}
+	for _, w := range want {
+		if got := rep.PotentialSites[w.prov]; got != w.potSites {
+			t.Errorf("%s potential sites = %d, want %d", w.prov, got, w.potSites)
+		}
+		if got := rep.ConfirmedSites[w.prov]; got != w.confSites {
+			t.Errorf("%s confirmed sites = %d, want %d", w.prov, got, w.confSites)
+		}
+		if got := rep.PotentialApps[w.prov]; got != w.potApps {
+			t.Errorf("%s potential apps = %d, want %d", w.prov, got, w.potApps)
+		}
+		if got := rep.ConfirmedApps[w.prov]; got != w.confApps {
+			t.Errorf("%s confirmed apps = %d, want %d", w.prov, got, w.confApps)
+		}
+		if got := rep.PotentialAPKs[w.prov]; got != w.potAPKs {
+			t.Errorf("%s potential APKs = %d, want %d", w.prov, got, w.potAPKs)
+		}
+		if got := rep.ConfirmedAPKs[w.prov]; got != w.confAPKs {
+			t.Errorf("%s confirmed APKs = %d, want %d", w.prov, got, w.confAPKs)
+		}
+	}
+}
+
+func TestPipelineReproducesPrivateLandscape(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 2, FillerSites: 200, FillerApps: 50})
+	rep := Pipeline(c, profiles(), 2)
+
+	if rep.GenericWebRTCSites != 385 {
+		t.Errorf("generic WebRTC sites = %d, want 385", rep.GenericWebRTCSites)
+	}
+	if rep.TopDynamicSites != 57 {
+		t.Errorf("top dynamic sites = %d, want 57", rep.TopDynamicSites)
+	}
+	if rep.ConfirmedPrivate != 10 {
+		t.Errorf("confirmed private = %d, want 10", rep.ConfirmedPrivate)
+	}
+	if rep.AdultTURN != 2 {
+		t.Errorf("adult TURN = %d, want 2", rep.AdultTURN)
+	}
+	if rep.TrackingOnly != 3 {
+		t.Errorf("tracking-only = %d, want 3", rep.TrackingOnly)
+	}
+	if rep.Untriggered != 42 {
+		t.Errorf("untriggered = %d, want 42", rep.Untriggered)
+	}
+	if len(rep.ConfirmedPrivateList) != 10 {
+		t.Fatalf("private list %d", len(rep.ConfirmedPrivateList))
+	}
+	for _, p := range rep.ConfirmedPrivateList {
+		if p.Server == "" {
+			t.Errorf("private site %s missing signaling server", p.Domain)
+		}
+	}
+}
+
+func TestKeyExtractionMatchesPaper(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 3, FillerSites: 50, FillerApps: 10})
+	rep := Pipeline(c, profiles(), 3)
+	// §IV-B: 44 keys extractable by regex (40 valid + 4 expired);
+	// obfuscated keys are not recoverable.
+	if len(rep.ExtractedKeys) != 44 {
+		t.Fatalf("extracted %d keys, want 44", len(rep.ExtractedKeys))
+	}
+	perProv := map[string]int{}
+	for _, k := range rep.ExtractedKeys {
+		perProv[k.Provider]++
+	}
+	if perProv["peer5"] != 40 || perProv["streamroot"] != 1 || perProv["viblast"] != 3 {
+		t.Fatalf("per-provider extraction %v", perProv)
+	}
+}
+
+func TestScanSiteRespectsDepthAndVideoTag(t *testing.T) {
+	s := NewWebScanner(profiles())
+
+	// No video tag on the landing page: not crawled.
+	noVideo := &corpus.Site{Domain: "x", Pages: map[string]*corpus.Page{
+		"/": {HasVideoTag: false, HTML: `<script src="https://api.peer5.com/peer5.js?id=k"></script>`},
+	}}
+	if s.ScanSite(noVideo).Potential() {
+		t.Fatal("sites without a video tag must be skipped")
+	}
+
+	// Signature at depth 4: beyond the crawl budget.
+	deep := &corpus.Site{Domain: "y", Pages: map[string]*corpus.Page{
+		"/":  {HasVideoTag: true, HTML: "<video>", Links: []string{"/a"}},
+		"/a": {HTML: "x", Links: []string{"/b"}},
+		"/b": {HTML: "x", Links: []string{"/c"}},
+		"/c": {HTML: "x", Links: []string{"/d"}},
+		"/d": {HTML: `<script src="https://api.peer5.com/peer5.js?id=k"></script>`},
+	}}
+	if res := s.ScanSite(deep); res.Provider != "" {
+		t.Fatalf("depth-4 signature should be missed, got %+v", res)
+	}
+
+	// Signature at depth 3: found.
+	found := &corpus.Site{Domain: "z", Pages: map[string]*corpus.Page{
+		"/":  {HasVideoTag: true, HTML: "<video>", Links: []string{"/a"}},
+		"/a": {HTML: "x", Links: []string{"/b"}},
+		"/b": {HTML: "x", Links: []string{"/c"}},
+		"/c": {HTML: `<script src="https://api.peer5.com/peer5.js?id=k"></script>`},
+	}}
+	if res := s.ScanSite(found); res.Provider != "peer5" || res.MatchedPath != "/c" {
+		t.Fatalf("depth-3 signature should be found, got %+v", res)
+	}
+}
+
+func TestExtractKeysSkipsObfuscated(t *testing.T) {
+	site := &corpus.Site{Domain: "ob", Pages: map[string]*corpus.Page{
+		"/": {HasVideoTag: true, HTML: `<script src="https://api.peer5.com/peer5.js?id="+_0x101f38[_0x2c4aeb(0x234)]></script>`},
+	}}
+	if keys := ExtractKeys(site); len(keys) != 0 {
+		t.Fatalf("obfuscated key extracted: %+v", keys)
+	}
+	site2 := &corpus.Site{Domain: "ok", Pages: map[string]*corpus.Page{
+		"/": {HasVideoTag: true, HTML: `<script src="https://api.peer5.com/peer5.js?id=abc123"></script>`},
+	}}
+	keys := ExtractKeys(site2)
+	if len(keys) != 1 || keys[0].Key != "abc123" {
+		t.Fatalf("extraction failed: %+v", keys)
+	}
+}
+
+func TestScanAPK(t *testing.T) {
+	apk := corpus.APK{Namespaces: []string{"io.streamroot.dna.core"}}
+	prov, ok := ScanAPK(apk, profiles())
+	if !ok || prov != "streamroot" {
+		t.Fatalf("namespace scan: %q %v", prov, ok)
+	}
+	apk2 := corpus.APK{Manifest: map[string]string{"com.peer5.ApiKey": "k"}}
+	prov, ok = ScanAPK(apk2, profiles())
+	if !ok || prov != "peer5" {
+		t.Fatalf("manifest scan: %q %v", prov, ok)
+	}
+	apk3 := corpus.APK{Namespaces: []string{"androidx.core"}}
+	if _, ok := ScanAPK(apk3, profiles()); ok {
+		t.Fatal("plain APK flagged")
+	}
+}
+
+func TestDeterministicPipeline(t *testing.T) {
+	a := Pipeline(corpus.Generate(corpus.Params{Seed: 9, FillerSites: 50, FillerApps: 20}), profiles(), 9)
+	b := Pipeline(corpus.Generate(corpus.Params{Seed: 9, FillerSites: 50, FillerApps: 20}), profiles(), 9)
+	if a.SitesScanned != b.SitesScanned || a.PotentialSites["peer5"] != b.PotentialSites["peer5"] ||
+		len(a.ExtractedKeys) != len(b.ExtractedKeys) {
+		t.Fatal("pipeline not deterministic for equal seeds")
+	}
+}
+
+func TestCellularConfigExtraction(t *testing.T) {
+	c := corpus.Generate(corpus.Params{Seed: 11, FillerSites: 50, FillerApps: 20})
+	rep := Pipeline(c, profiles(), 11)
+	// §IV-D: 3 popular apps allow cellular upload; the rest of the
+	// Peer5 customers are in leech mode.
+	if len(rep.CellularUploadApps) != 3 {
+		t.Fatalf("cellular-upload apps = %v, want 3", rep.CellularUploadApps)
+	}
+	if len(rep.LeechModeApps) != 28 { // 31 peer5 apps - 3 cellular-upload
+		t.Fatalf("leech-mode apps = %d, want 28", len(rep.LeechModeApps))
+	}
+}
+
+func TestExtractAppConfigMissing(t *testing.T) {
+	app := &corpus.App{Versions: []corpus.APK{{Manifest: map[string]string{"x": "y"}}}}
+	if _, ok := ExtractAppConfig(app); ok {
+		t.Fatal("config extracted from app without the variable")
+	}
+	bad := &corpus.App{Versions: []corpus.APK{{Manifest: map[string]string{"com.peer5.Config": "not-json"}}}}
+	if _, ok := ExtractAppConfig(bad); ok {
+		t.Fatal("malformed config should not parse")
+	}
+}

@@ -1,0 +1,302 @@
+package dtls
+
+import (
+	"bytes"
+	"net"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// pipePair returns an in-memory full-duplex conn pair.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func mustIdentity(t *testing.T) *Identity {
+	t.Helper()
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// connect runs a full handshake over a pipe and returns both conns.
+func connect(t *testing.T, ccfg, scfg Config) (*Conn, *Conn) {
+	t.Helper()
+	a, b := pipePair()
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, scfg)
+		ch <- res{c, err}
+	}()
+	client, err := Client(a, ccfg)
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("server handshake: %v", r.err)
+	}
+	return client, r.c
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	client, server := connect(t,
+		Config{Identity: ci, ExpectedPeerFingerprint: si.Fingerprint()},
+		Config{Identity: si, ExpectedPeerFingerprint: ci.Fingerprint()},
+	)
+	go func() {
+		msg, err := server.Recv()
+		if err == nil {
+			server.Send(append([]byte("ack:"), msg...))
+		}
+	}()
+	if err := client.Send([]byte("segment-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ack:segment-bytes" {
+		t.Fatalf("got %q", got)
+	}
+	if client.PeerFingerprint() != si.Fingerprint() {
+		t.Fatal("client's view of server fingerprint wrong")
+	}
+	if server.PeerFingerprint() != ci.Fingerprint() {
+		t.Fatal("server's view of client fingerprint wrong")
+	}
+}
+
+func TestFingerprintMismatchRejected(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	evil := mustIdentity(t)
+	a, b := pipePair()
+	go Server(b, Config{Identity: si})
+	_, err := Client(a, Config{Identity: ci, ExpectedPeerFingerprint: evil.Fingerprint()})
+	if err != ErrFingerprintMismatch {
+		t.Fatalf("err = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+func TestNoFingerprintCheckAllowsAnyPeer(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	client, server := connect(t, Config{Identity: ci}, Config{Identity: si})
+	defer client.Close()
+	defer server.Close()
+}
+
+func TestLargeMessageFragmentation(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	client, server := connect(t, Config{Identity: ci}, Config{Identity: si})
+	// 3MB segment: the paper's Table VI uses 3MB segments.
+	big := bytes.Repeat([]byte{0xab}, 3*1024*1024)
+	go client.Send(big)
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("large message corrupted: len %d vs %d", len(got), len(big))
+	}
+}
+
+func TestCryptoHookCountsBytes(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	var clientBytes, serverBytes atomic.Int64
+	client, server := connect(t,
+		Config{Identity: ci, OnCrypto: func(n int) { clientBytes.Add(int64(n)) }},
+		Config{Identity: si, OnCrypto: func(n int) { serverBytes.Add(int64(n)) }},
+	)
+	msg := make([]byte, 10_000)
+	go client.Send(msg)
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if clientBytes.Load() != 10_000 {
+		t.Fatalf("client crypto bytes = %d", clientBytes.Load())
+	}
+	if serverBytes.Load() != 10_000 {
+		t.Fatalf("server crypto bytes = %d", serverBytes.Load())
+	}
+}
+
+func TestTamperedRecordRejected(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	a, b := pipePair()
+	// Interpose a tampering relay on the client side.
+	ta, tb := pipePair()
+	go func() {
+		// Pass handshake record through untouched, then flip a byte in
+		// everything after.
+		var hdr [recordHeaderLen]byte
+		h, payload, err := readRecord(ta)
+		if err != nil {
+			return
+		}
+		hdr = h
+		writeRecordSeq(a, hdr[0], hdr[11], 0, payload)
+		for {
+			h, payload, err := readRecord(ta)
+			if err != nil {
+				return
+			}
+			if len(payload) > 0 {
+				payload[0] ^= 0xff
+			}
+			seq := uint64(0)
+			writeRecordSeq(a, h[0], h[11], seq, payload)
+		}
+	}()
+	go func() { // relay server->client honestly
+		for {
+			h, payload, err := readRecord(a)
+			if err != nil {
+				return
+			}
+			writeRecordSeq(ta, h[0], h[11], 0, payload)
+		}
+	}()
+
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, Config{Identity: si})
+		ch <- res{c, err}
+	}()
+	client, err := Client(tb, Config{Identity: ci})
+	if err != nil {
+		t.Fatalf("client handshake through relay: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("server handshake: %v", r.err)
+	}
+	go client.Send([]byte("hello"))
+	if _, err := r.c.Recv(); err != ErrDecrypt {
+		t.Fatalf("tampered record: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestHelloParseErrors(t *testing.T) {
+	if _, _, _, err := parseHello(nil); err == nil {
+		t.Fatal("nil hello should fail")
+	}
+	id := mustIdentity(t)
+	var random [32]byte
+	msg := buildHello(random, make([]byte, 32), id)
+	msg[0] ^= 0x01 // break the signature
+	if _, _, _, err := parseHello(msg); err != ErrBadSignature {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestConfigRequiresIdentity(t *testing.T) {
+	a, _ := pipePair()
+	if _, err := Client(a, Config{}); err == nil {
+		t.Fatal("missing identity should fail")
+	}
+}
+
+func TestDirectionKeysDiffer(t *testing.T) {
+	shared := []byte("shared-secret-bytes")
+	cr, sr := []byte("client-random"), []byte("server-random")
+	if bytes.Equal(deriveKey(shared, cr, sr, "c2s"), deriveKey(shared, cr, sr, "s2c")) {
+		t.Fatal("directional keys must differ")
+	}
+}
+
+// Property: any payload round-trips the record layer byte-exactly.
+func TestQuickSendRecv(t *testing.T) {
+	ci, si := mustIdentity(t), mustIdentity(t)
+	client, server := connect(t, Config{Identity: ci}, Config{Identity: si})
+	f := func(msg []byte) bool {
+		errc := make(chan error, 1)
+		go func() { errc <- client.Send(msg) }()
+		got, err := server.Recv()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayedRecordRejected(t *testing.T) {
+	// A replayed (duplicated) record must fail the strict sequence
+	// check — the record layer's replay protection.
+	ci, si := mustIdentity(t), mustIdentity(t)
+	a, b := pipePair()
+	// Relay that duplicates the first appdata record.
+	ra, rb := pipePair()
+	go func() {
+		h, payload, err := readRecord(ra)
+		if err != nil {
+			return
+		}
+		writeRecordSeq(a, h[0], h[11], 0, payload) // handshake passthrough
+		h2, payload2, err := readRecord(ra)
+		if err != nil {
+			return
+		}
+		writeRecordSeq(a, h2[0], h2[11], 0, payload2) // original
+		writeRecordSeq(a, h2[0], h2[11], 0, payload2) // replay
+	}()
+	go func() { // server->client passthrough
+		for {
+			h, payload, err := readRecord(a)
+			if err != nil {
+				return
+			}
+			writeRecordSeq(ra, h[0], h[11], 0, payload)
+		}
+	}()
+	type res struct {
+		c   *Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, Config{Identity: si})
+		ch <- res{c, err}
+	}()
+	client, err := Client(rb, Config{Identity: ci})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	go client.Send([]byte("once"))
+	if _, err := r.c.Recv(); err != nil {
+		t.Fatalf("original record should decrypt: %v", err)
+	}
+	if _, err := r.c.Recv(); err == nil {
+		t.Fatal("replayed record must be rejected")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	a, b := pipePair()
+	go func() {
+		hdr := make([]byte, recordHeaderLen)
+		hdr[0] = ContentAppData
+		hdr[12], hdr[13], hdr[14], hdr[15] = 0xff, 0xff, 0xff, 0xff
+		a.Write(hdr)
+	}()
+	if _, _, err := readRecord(b); err != ErrRecordTooLarge {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/dtls"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/monitor"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+)
+
+// TableVIRow is one control group of the IM-checking evaluation.
+type TableVIRow struct {
+	PDN        bool          `json:"pdn"`
+	IMChecking bool          `json:"im_checking"`
+	CPURatio   float64       `json:"cpu_ratio"` // vs the no-PDN group
+	MemRatio   float64       `json:"mem_ratio"`
+	Latency    time.Duration `json:"latency"` // per-segment delivery latency
+}
+
+// TableVIResult backs Table VI: the overhead of peer-assisted
+// integrity checking.
+type TableVIResult struct {
+	Rows        []TableVIRow `json:"rows"`
+	SegmentSize int          `json:"segment_size"`
+}
+
+// RunTableVI reproduces the paper's three control groups: plain
+// playback, PDN delivery, and PDN delivery with IM calculation and
+// verification. Resource ratios come from the cost model under each
+// group's workload; latency is measured live on a shaped link as
+// T_recv − T_send for one segment (§V-B measures 3MB segments; the
+// default here uses the same size).
+func RunTableVI(ctx context.Context, segmentSize int) (*TableVIResult, error) {
+	if segmentSize <= 0 {
+		segmentSize = 3 << 20
+	}
+	res := &TableVIResult{SegmentSize: segmentSize}
+
+	// Resource groups, paper workload shape: each receiver plays X
+	// bytes; PDN groups move half of it over P2P; the IM group
+	// additionally hashes every P2P segment on both ends and the
+	// CDN-fetching senders hash for reporting.
+	model := monitor.DefaultCostModel()
+	x := int64(10 * segmentSize)
+	group := func(pdn, im bool) *monitor.Meter {
+		m := monitor.NewMeter(model, nil)
+		m.OnPlayback(int(x))
+		if !pdn {
+			m.OnHTTP(int(x))
+			return m
+		}
+		m.SetPDNLoaded(true)
+		m.SetNeighbors(3)
+		m.SetCacheBytes(int64(5 * segmentSize)) // SDK cache window
+		m.OnHTTP(int(x / 2))
+		m.OnDecrypt(int(x / 2))
+		m.OnEncrypt(int(x / 2))
+		if im {
+			// Hash P2P-received segments for verification plus
+			// CDN-received segments for reporting.
+			m.OnHash(int(x))
+		}
+		return m
+	}
+	base := group(false, false).Snapshot()
+	noIM := group(true, false).Snapshot()
+	withIM := group(true, true).Snapshot()
+
+	// Latency groups, measured live over a DTLS transport on a shaped
+	// link (the paper's testbed spans real containers; we give each
+	// host a 15ms access latency so the numbers land in the same tens-
+	// of-milliseconds regime).
+	latNoIM, latIM, err := measureIMLatency(ctx, segmentSize, 10*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+
+	res.Rows = []TableVIRow{
+		{PDN: false, IMChecking: false, CPURatio: 1, MemRatio: 1},
+		{PDN: true, IMChecking: false,
+			CPURatio: noIM.CPUUnits / base.CPUUnits,
+			MemRatio: float64(noIM.MemBytes) / float64(base.MemBytes),
+			Latency:  latNoIM},
+		{PDN: true, IMChecking: true,
+			CPURatio: withIM.CPUUnits / base.CPUUnits,
+			MemRatio: float64(withIM.MemBytes) / float64(base.MemBytes),
+			Latency:  latIM},
+	}
+	return res, nil
+}
+
+// measureIMLatency times one segment's P2P delivery (T_recv − T_send)
+// without and with IM checking. With IM, the sender computes the IM
+// before sending and the receiver fetches the SIM from the PDN server
+// (one shaped round trip) and verifies the hash after receiving.
+func measureIMLatency(ctx context.Context, segmentSize int, hostLatency time.Duration) (noIM, withIM time.Duration, err error) {
+	n := netsim.New(netsim.Config{})
+	mk := func(ip string) *netsim.Host {
+		h := n.MustHost(mustAddr(ip))
+		h.SetLatency(hostLatency)
+		return h
+	}
+	sender := mk("66.24.0.1")
+	receiver := mk("36.96.0.1")
+	server := mk("44.1.1.1")
+
+	// A trivial SIM endpoint on the PDN server: one request frame in,
+	// one response frame out (content is irrelevant to timing).
+	l, err := server.Listen(443)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					if _, err := c.Write([]byte("sim-response")); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	idS, err := dtls.NewIdentity()
+	if err != nil {
+		return 0, 0, err
+	}
+	idR, err := dtls.NewIdentity()
+	if err != nil {
+		return 0, 0, err
+	}
+	rawS, rawR := netsim.Pair(sender, receiver,
+		mustAP("66.24.0.1:40000"), mustAP("36.96.0.1:40000"))
+	var wg sync.WaitGroup
+	var connR *dtls.Conn
+	var errR error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		connR, errR = dtls.Server(rawR, dtls.Config{Identity: idR})
+	}()
+	connS, err := dtls.Client(rawS, dtls.Config{Identity: idS})
+	if err != nil {
+		return 0, 0, err
+	}
+	wg.Wait()
+	if errR != nil {
+		return 0, 0, errR
+	}
+	defer connS.Close()
+
+	simConn, err := receiver.Dial(ctx, mustAP("44.1.1.1:443"))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer simConn.Close()
+
+	video := analyzer.SmallVideo("lat", 2, segmentSize)
+	segment, err := video.SegmentData("360p", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	key := media.SegmentKey{Video: "lat", Rendition: "360p", Index: 0}
+
+	transfer := func(im bool) (time.Duration, error) {
+		recvDone := make(chan error, 1)
+		var elapsed time.Duration
+		start := time.Now()
+		go func() {
+			data, err := connR.Recv()
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			if im {
+				// Fetch the SIM from the server, then verify the hash.
+				if _, err := simConn.Write([]byte("get-sim")); err != nil {
+					recvDone <- err
+					return
+				}
+				buf := make([]byte, 256)
+				if _, err := simConn.Read(buf); err != nil {
+					recvDone <- err
+					return
+				}
+				_ = media.IMHash(key, data)
+			}
+			elapsed = time.Since(start)
+			recvDone <- nil
+		}()
+		if im {
+			_ = media.IMHash(key, segment) // sender-side IM calculation
+		}
+		if err := connS.Send(segment); err != nil {
+			return 0, err
+		}
+		if err := <-recvDone; err != nil {
+			return 0, err
+		}
+		return elapsed, nil
+	}
+
+	if noIM, err = transfer(false); err != nil {
+		return 0, 0, err
+	}
+	if withIM, err = transfer(true); err != nil {
+		return 0, 0, err
+	}
+	return noIM, withIM, nil
+}
+
+// Render prints Table VI's rows.
+func (r *TableVIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI: Evaluation for IM checking (%s segments)\n", humanCount(int64(r.SegmentSize)))
+	fmt.Fprintf(&b, "%-6s %-12s %8s %8s %10s\n", "PDN", "IM checking", "CPU", "Memory", "Latency")
+	for _, row := range r.Rows {
+		lat := "-"
+		if row.Latency > 0 {
+			lat = row.Latency.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-6s %-12s %8.2f %8.2f %10s\n", yn(row.PDN), yn(row.IMChecking), row.CPURatio, row.MemRatio, lat)
+	}
+	return b.String()
+}
+
+func yn(v bool) string {
+	if v {
+		return "Yes"
+	}
+	return "No"
+}
+
+// TokenSizeResult backs the §V-A token-size claim.
+type TokenSizeResult struct {
+	JWT   string `json:"jwt"`
+	Bytes int    `json:"bytes"`
+}
+
+// RunTokenSize signs the paper's Listing 1 token and reports its
+// encoded size (the paper reports 283 bytes).
+func RunTokenSize() (*TokenSizeResult, error) {
+	jwt, err := defense.SignJWT(defense.ExampleToken(), []byte("pdn-provider-secret"))
+	if err != nil {
+		return nil, err
+	}
+	return &TokenSizeResult{JWT: jwt, Bytes: len(jwt)}, nil
+}
+
+// Render prints the token-size result.
+func (r *TokenSizeResult) Render() string {
+	return fmt.Sprintf("§V-A disposable video-binding token: encoded JWT is %d bytes (paper: 283)\n", r.Bytes)
+}
+
+// IMDefenseResult backs the §V-B end-to-end defense check.
+type IMDefenseResult struct {
+	PollutedWithoutDefense int `json:"polluted_without_defense"`
+	PollutedWithDefense    int `json:"polluted_with_defense"`
+	RejectedByIM           int `json:"rejected_by_im"`
+}
+
+// RunIMDefense runs the segment pollution attack against an undefended
+// and a defended deployment.
+func RunIMDefense(ctx context.Context) (*IMDefenseResult, error) {
+	res := &IMDefenseResult{}
+	undefended, err := analyzer.PollutionTest(ctx, provider.Peer5(), true, nil)
+	if err != nil {
+		return nil, err
+	}
+	defended, err := analyzer.PollutionTest(ctx, provider.Peer5(), true, analyzer.DefaultPolicyWithIM())
+	if err != nil {
+		return nil, err
+	}
+	if undefended.Vulnerable {
+		res.PollutedWithoutDefense = 1
+	}
+	if defended.Vulnerable {
+		res.PollutedWithDefense = 1
+	}
+	return res, nil
+}
+
+// Render prints the defense outcome.
+func (r *IMDefenseResult) Render() string {
+	return fmt.Sprintf("§V-B peer-assisted IM checking: pollution without defense = %v, with defense = %v\n",
+		r.PollutedWithoutDefense == 1, r.PollutedWithDefense == 1)
+}

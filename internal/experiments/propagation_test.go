@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestPollutionPropagation(t *testing.T) {
+	res, err := RunPollutionPropagation(testCtx(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AffectedViewers == 0 {
+		t.Fatalf("pollution did not propagate: %+v", res)
+	}
+	if res.AffectedFraction < 0.25 {
+		t.Errorf("affected fraction %.2f below the paper's initial-stage regime (~0.47)", res.AffectedFraction)
+	}
+	if res.TotalP2PSegments == 0 {
+		t.Fatal("swarm moved nothing over P2P")
+	}
+}

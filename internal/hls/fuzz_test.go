@@ -1,0 +1,42 @@
+package hls
+
+import "testing"
+
+// FuzzParseMediaPlaylist hardens the playlist parser against arbitrary
+// CDN responses (the fake-CDN attack path feeds peers bytes an attacker
+// chose).
+func FuzzParseMediaPlaylist(f *testing.F) {
+	f.Add([]byte("#EXTM3U\n#EXT-X-VERSION:3\n#EXT-X-TARGETDURATION:10\n#EXTINF:10,\nseg00000.ts\n#EXT-X-ENDLIST\n"))
+	f.Add([]byte("#EXTM3U\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseMediaPlaylist(data)
+		if err != nil {
+			return
+		}
+		// Valid parses re-encode into something that parses again with
+		// the same segment list.
+		q, err := ParseMediaPlaylist(p.Encode())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(q.Segments) != len(p.Segments) || q.MediaSequence != p.MediaSequence {
+			t.Fatalf("round trip mismatch: %+v vs %+v", p, q)
+		}
+	})
+}
+
+// FuzzParseMasterPlaylist does the same for the variant parser.
+func FuzzParseMasterPlaylist(f *testing.F) {
+	f.Add([]byte("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=100,NAME=\"x\"\nv.m3u8\n"))
+	f.Add([]byte("#EXTM3U\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseMasterPlaylist(data)
+		if err != nil {
+			return
+		}
+		if _, err := ParseMasterPlaylist(p.Encode()); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

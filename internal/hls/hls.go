@@ -1,0 +1,274 @@
+// Package hls implements the subset of HTTP Live Streaming playlists the
+// pdnsec testbed serves: master playlists with variant streams and media
+// playlists with segment entries, including live-window (sliding
+// media-sequence) playlists.
+//
+// Both the CDN and the PDN SDK consume manifests through this package,
+// as do the attacks — the paper's fake-CDN pollution attack rewrites the
+// segments a manifest references, and its direct-pollution variant is
+// detected precisely because the first segments of a playlist are always
+// fetched from the CDN ("slow start").
+package hls
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+)
+
+// Segment is one entry in a media playlist.
+type Segment struct {
+	// URI is the segment location, relative to the playlist.
+	URI string `json:"uri"`
+	// Duration is the playback duration in seconds.
+	Duration float64 `json:"duration"`
+}
+
+// MediaPlaylist is a variant playlist listing media segments.
+type MediaPlaylist struct {
+	Version        int       `json:"version"`
+	TargetDuration int       `json:"target_duration"`
+	MediaSequence  int       `json:"media_sequence"`
+	Live           bool      `json:"live"` // live playlists omit EXT-X-ENDLIST
+	Segments       []Segment `json:"segments"`
+}
+
+// Encode renders the playlist as an .m3u8 document.
+func (p *MediaPlaylist) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString("#EXTM3U\n")
+	fmt.Fprintf(&b, "#EXT-X-VERSION:%d\n", max(p.Version, 3))
+	fmt.Fprintf(&b, "#EXT-X-TARGETDURATION:%d\n", p.TargetDuration)
+	fmt.Fprintf(&b, "#EXT-X-MEDIA-SEQUENCE:%d\n", p.MediaSequence)
+	for _, s := range p.Segments {
+		fmt.Fprintf(&b, "#EXTINF:%.3f,\n%s\n", s.Duration, s.URI)
+	}
+	if !p.Live {
+		b.WriteString("#EXT-X-ENDLIST\n")
+	}
+	return b.Bytes()
+}
+
+// ParseMediaPlaylist decodes an .m3u8 media playlist.
+func ParseMediaPlaylist(data []byte) (*MediaPlaylist, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "#EXTM3U" {
+		return nil, fmt.Errorf("hls: missing #EXTM3U header")
+	}
+	p := &MediaPlaylist{Live: true}
+	var pendingDur float64
+	var havePending bool
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#EXT-X-VERSION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-VERSION:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: bad version: %w", err)
+			}
+			p.Version = v
+		case strings.HasPrefix(line, "#EXT-X-TARGETDURATION:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-TARGETDURATION:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: bad target duration: %w", err)
+			}
+			p.TargetDuration = v
+		case strings.HasPrefix(line, "#EXT-X-MEDIA-SEQUENCE:"):
+			v, err := strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-MEDIA-SEQUENCE:"))
+			if err != nil {
+				return nil, fmt.Errorf("hls: bad media sequence: %w", err)
+			}
+			p.MediaSequence = v
+		case strings.HasPrefix(line, "#EXTINF:"):
+			spec := strings.TrimPrefix(line, "#EXTINF:")
+			spec = strings.SplitN(spec, ",", 2)[0]
+			d, err := strconv.ParseFloat(spec, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hls: bad EXTINF: %w", err)
+			}
+			pendingDur, havePending = d, true
+		case line == "#EXT-X-ENDLIST":
+			p.Live = false
+		case strings.HasPrefix(line, "#"):
+			// Unknown tag: ignore, as real players do.
+		default:
+			if !havePending {
+				return nil, fmt.Errorf("hls: segment %q without EXTINF", line)
+			}
+			p.Segments = append(p.Segments, Segment{URI: line, Duration: pendingDur})
+			havePending = false
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hls: scan: %w", err)
+	}
+	return p, nil
+}
+
+// Variant is one entry of a master playlist.
+type Variant struct {
+	URI       string `json:"uri"`
+	Bandwidth int    `json:"bandwidth"`
+	Name      string `json:"name"`
+}
+
+// MasterPlaylist lists the variant streams of an asset.
+type MasterPlaylist struct {
+	Variants []Variant `json:"variants"`
+}
+
+// Encode renders the master playlist as an .m3u8 document.
+func (p *MasterPlaylist) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString("#EXTM3U\n")
+	for _, v := range p.Variants {
+		fmt.Fprintf(&b, "#EXT-X-STREAM-INF:BANDWIDTH=%d,NAME=%q\n%s\n", v.Bandwidth, v.Name, v.URI)
+	}
+	return b.Bytes()
+}
+
+// ParseMasterPlaylist decodes an .m3u8 master playlist.
+func ParseMasterPlaylist(data []byte) (*MasterPlaylist, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "#EXTM3U" {
+		return nil, fmt.Errorf("hls: missing #EXTM3U header")
+	}
+	p := &MasterPlaylist{}
+	var pending Variant
+	var havePending bool
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#EXT-X-STREAM-INF:"):
+			pending = Variant{}
+			for _, attr := range splitAttrs(strings.TrimPrefix(line, "#EXT-X-STREAM-INF:")) {
+				k, v, _ := strings.Cut(attr, "=")
+				switch k {
+				case "BANDWIDTH":
+					bw, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("hls: bad BANDWIDTH: %w", err)
+					}
+					pending.Bandwidth = bw
+				case "NAME":
+					pending.Name = strings.Trim(v, `"`)
+				}
+			}
+			havePending = true
+		case strings.HasPrefix(line, "#"):
+			// ignore
+		default:
+			if !havePending {
+				return nil, fmt.Errorf("hls: variant URI %q without STREAM-INF", line)
+			}
+			pending.URI = line
+			p.Variants = append(p.Variants, pending)
+			havePending = false
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hls: scan: %w", err)
+	}
+	return p, nil
+}
+
+// splitAttrs splits an attribute list on commas outside quotes.
+func splitAttrs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// SegmentURI formats the canonical segment filename used by the testbed
+// CDN layout: seg<index>.ts, zero-padded to five digits.
+func SegmentURI(index int) string {
+	return fmt.Sprintf("seg%05d.ts", index)
+}
+
+// ParseSegmentURI inverts SegmentURI, accepting any digit run.
+func ParseSegmentURI(uri string) (int, bool) {
+	base := uri
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !strings.HasPrefix(base, "seg") || !strings.HasSuffix(base, ".ts") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "seg"), ".ts"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// ForVideo builds the master playlist for a media.Video, with variant
+// playlists at "<rendition>/playlist.m3u8".
+func ForVideo(v *media.Video) *MasterPlaylist {
+	mp := &MasterPlaylist{Variants: make([]Variant, 0, len(v.Renditions))}
+	for _, r := range v.Renditions {
+		mp.Variants = append(mp.Variants, Variant{
+			URI:       r.Name + "/playlist.m3u8",
+			Bandwidth: r.Bandwidth,
+			Name:      r.Name,
+		})
+	}
+	return mp
+}
+
+// Window builds the media playlist for a rendition of v covering segment
+// indices [from, from+count). VOD assets clamp to the asset length and
+// include ENDLIST; live assets slide and stay open.
+func Window(v *media.Video, from, count int) *MediaPlaylist {
+	if from < 0 {
+		from = 0
+	}
+	if !v.Live {
+		if from > v.Segments {
+			from = v.Segments
+		}
+		if from+count > v.Segments {
+			count = v.Segments - from
+		}
+	}
+	p := &MediaPlaylist{
+		Version:        3,
+		TargetDuration: int(v.SegmentDuration + 0.999),
+		MediaSequence:  from,
+		Live:           v.Live,
+	}
+	p.Segments = make([]Segment, 0, count)
+	for i := 0; i < count; i++ {
+		p.Segments = append(p.Segments, Segment{
+			URI:      SegmentURI(from + i),
+			Duration: v.SegmentDuration,
+		})
+	}
+	return p
+}

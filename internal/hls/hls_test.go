@@ -1,0 +1,183 @@
+package hls
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+)
+
+func TestMediaPlaylistRoundTrip(t *testing.T) {
+	p := &MediaPlaylist{
+		Version:        3,
+		TargetDuration: 10,
+		MediaSequence:  42,
+		Live:           false,
+		Segments: []Segment{
+			{URI: "seg00042.ts", Duration: 10},
+			{URI: "seg00043.ts", Duration: 9.5},
+		},
+	}
+	got, err := ParseMediaPlaylist(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p, got)
+	}
+}
+
+func TestLivePlaylistHasNoEndlist(t *testing.T) {
+	p := &MediaPlaylist{Version: 3, TargetDuration: 10, Live: true,
+		Segments: []Segment{{URI: "seg00001.ts", Duration: 10}}}
+	text := string(p.Encode())
+	if strings.Contains(text, "ENDLIST") {
+		t.Fatal("live playlist must not contain ENDLIST")
+	}
+	got, err := ParseMediaPlaylist([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Live {
+		t.Fatal("parsed playlist should be live")
+	}
+}
+
+func TestParseMediaPlaylistErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a playlist",
+		"#EXTM3U\n#EXT-X-VERSION:x\n",
+		"#EXTM3U\n#EXT-X-TARGETDURATION:x\n",
+		"#EXTM3U\n#EXT-X-MEDIA-SEQUENCE:x\n",
+		"#EXTM3U\n#EXTINF:abc,\nseg.ts\n",
+		"#EXTM3U\nseg-without-extinf.ts\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseMediaPlaylist([]byte(c)); err == nil {
+			t.Errorf("ParseMediaPlaylist(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseIgnoresUnknownTags(t *testing.T) {
+	doc := "#EXTM3U\n#EXT-X-VERSION:3\n#EXT-X-FOO:bar\n#EXT-X-TARGETDURATION:10\n#EXTINF:10,\nseg00000.ts\n#EXT-X-ENDLIST\n"
+	p, err := ParseMediaPlaylist([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 1 {
+		t.Fatalf("segments: %+v", p.Segments)
+	}
+}
+
+func TestMasterPlaylistRoundTrip(t *testing.T) {
+	p := &MasterPlaylist{Variants: []Variant{
+		{URI: "360p/playlist.m3u8", Bandwidth: 800_000, Name: "360p"},
+		{URI: "720p/playlist.m3u8", Bandwidth: 2_400_000, Name: "720p"},
+	}}
+	got, err := ParseMasterPlaylist(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p, got)
+	}
+}
+
+func TestMasterPlaylistQuotedName(t *testing.T) {
+	// NAME with a comma inside quotes must not split attributes.
+	doc := "#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=100,NAME=\"hi, there\"\nv.m3u8\n"
+	p, err := ParseMasterPlaylist([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variants[0].Name != "hi, there" {
+		t.Fatalf("name %q", p.Variants[0].Name)
+	}
+}
+
+func TestParseMasterPlaylistErrors(t *testing.T) {
+	for _, c := range []string{"", "#EXTM3U\nuri-without-inf\n", "#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=abc\nv\n"} {
+		if _, err := ParseMasterPlaylist([]byte(c)); err == nil {
+			t.Errorf("ParseMasterPlaylist(%q) should fail", c)
+		}
+	}
+}
+
+func TestSegmentURIRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 99999, 123456} {
+		idx, ok := ParseSegmentURI(SegmentURI(n))
+		if !ok || idx != n {
+			t.Fatalf("round trip %d -> %q -> %d %v", n, SegmentURI(n), idx, ok)
+		}
+	}
+	idx, ok := ParseSegmentURI("720p/seg00007.ts")
+	if !ok || idx != 7 {
+		t.Fatalf("path-qualified parse: %d %v", idx, ok)
+	}
+	for _, bad := range []string{"", "seg.ts", "segXX.ts", "foo00001.ts", "seg00001.mp4", "seg-1.ts"} {
+		if _, ok := ParseSegmentURI(bad); ok {
+			t.Errorf("ParseSegmentURI(%q) accepted", bad)
+		}
+	}
+}
+
+func TestForVideo(t *testing.T) {
+	v := media.NewVOD("bbb", 10)
+	mp := ForVideo(v)
+	if len(mp.Variants) != len(v.Renditions) {
+		t.Fatalf("variants %d", len(mp.Variants))
+	}
+	if mp.Variants[1].URI != "720p/playlist.m3u8" {
+		t.Fatalf("uri %q", mp.Variants[1].URI)
+	}
+}
+
+func TestWindowVOD(t *testing.T) {
+	v := media.NewVOD("bbb", 5)
+	p := Window(v, 0, 100)
+	if len(p.Segments) != 5 || p.Live {
+		t.Fatalf("VOD window clamps to asset: %d live=%v", len(p.Segments), p.Live)
+	}
+	p = Window(v, 3, 100)
+	if len(p.Segments) != 2 || p.MediaSequence != 3 {
+		t.Fatalf("offset window: %d seq %d", len(p.Segments), p.MediaSequence)
+	}
+	p = Window(v, 99, 10)
+	if len(p.Segments) != 0 {
+		t.Fatal("window past end should be empty")
+	}
+	p = Window(v, -5, 2)
+	if p.MediaSequence != 0 {
+		t.Fatal("negative from should clamp to 0")
+	}
+}
+
+func TestWindowLiveSlides(t *testing.T) {
+	v := media.NewLive("ch", 6)
+	p := Window(v, 100, 6)
+	if len(p.Segments) != 6 || !p.Live || p.MediaSequence != 100 {
+		t.Fatalf("live window: %d live=%v seq=%d", len(p.Segments), p.Live, p.MediaSequence)
+	}
+	if p.Segments[0].URI != SegmentURI(100) {
+		t.Fatalf("first URI %q", p.Segments[0].URI)
+	}
+}
+
+// Property: Encode/Parse round-trips arbitrary well-formed playlists.
+func TestQuickMediaRoundTrip(t *testing.T) {
+	f := func(seq uint16, n uint8, live bool) bool {
+		p := &MediaPlaylist{Version: 3, TargetDuration: 10, MediaSequence: int(seq), Live: live}
+		for i := 0; i < int(n%20); i++ {
+			p.Segments = append(p.Segments, Segment{URI: SegmentURI(int(seq) + i), Duration: 10})
+		}
+		got, err := ParseMediaPlaylist(p.Encode())
+		return err == nil && reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

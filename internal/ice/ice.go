@@ -1,0 +1,342 @@
+// Package ice implements Interactive Connectivity Establishment for the
+// pdnsec testbed: candidate gathering (host and server-reflexive via
+// STUN), connectivity checks over the simulated network's real NAT
+// behaviour, and nomination of a working candidate pair.
+//
+// This layer is where the paper's IP-leak risk materializes: to connect
+// two viewers, each one's addresses — including the public address
+// discovered via STUN — are shared with the other through the PDN
+// server, and connectivity-check datagrams carrying those addresses
+// cross the network in plaintext. A malicious peer needs nothing more
+// than its own capture to harvest every candidate it is offered
+// (§IV-D). The bogon addresses the paper observed (private, shared-NAT,
+// reserved) arise here too: host candidates of NATed viewers are private
+// addresses, and they are advertised regardless of whether traversal
+// will succeed.
+package ice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/stun"
+)
+
+// Candidate types.
+const (
+	TypeHost  = "host"
+	TypeSrflx = "srflx"
+)
+
+// Type preferences per RFC 8445 §5.1.2.2.
+const (
+	prefHost  = 126
+	prefSrflx = 100
+)
+
+// Candidate is one transport address a peer advertises.
+type Candidate struct {
+	Type     string         `json:"type"`
+	Addr     netip.AddrPort `json:"addr"`
+	Priority uint32         `json:"priority"`
+}
+
+// Errors returned by the agent.
+var (
+	ErrNoCandidates = errors.New("ice: no remote candidates")
+	ErrCheckFailed  = errors.New("ice: all connectivity checks failed")
+)
+
+// Agent runs ICE for one peer over a single UDP socket.
+type Agent struct {
+	host *netsim.Host
+	pc   *netsim.PacketConn
+
+	ufrag string
+
+	mu        sync.Mutex
+	locals    []Candidate
+	pending   map[stun.TxID]netip.AddrPort // in-flight checks by tx
+	succeeded map[netip.AddrPort]bool      // remote candidates that answered
+
+	waiters  waiterMap // srflx queries awaiting a mapped address
+	loopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewAgent binds an ICE socket on the host.
+func NewAgent(host *netsim.Host, ufrag string) (*Agent, error) {
+	pc, err := host.ListenPacket(0)
+	if err != nil {
+		return nil, fmt.Errorf("ice: bind: %w", err)
+	}
+	return &Agent{
+		host:      host,
+		pc:        pc,
+		ufrag:     ufrag,
+		pending:   make(map[stun.TxID]netip.AddrPort),
+		succeeded: make(map[netip.AddrPort]bool),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Close releases the agent's socket and stops its read loop.
+func (a *Agent) Close() error {
+	select {
+	case <-a.done:
+	default:
+		close(a.done)
+	}
+	return a.pc.Close()
+}
+
+// Gather collects this agent's candidates: the host candidate (the
+// socket's own, possibly private, address) and — when a STUN server is
+// provided — the server-reflexive candidate carrying the peer's public
+// (post-NAT) address.
+func (a *Agent) Gather(ctx context.Context, stunServer netip.AddrPort) ([]Candidate, error) {
+	a.startLoop()
+	cands := []Candidate{{
+		Type:     TypeHost,
+		Addr:     a.pc.LocalAddrPort(),
+		Priority: priority(prefHost, 1),
+	}}
+	if stunServer.IsValid() {
+		mapped, err := a.querySTUN(ctx, stunServer)
+		if err != nil {
+			return nil, fmt.Errorf("ice: srflx discovery: %w", err)
+		}
+		if mapped != cands[0].Addr {
+			cands = append(cands, Candidate{
+				Type:     TypeSrflx,
+				Addr:     mapped,
+				Priority: priority(prefSrflx, 1),
+			})
+		}
+	}
+	a.mu.Lock()
+	a.locals = append([]Candidate(nil), cands...)
+	a.mu.Unlock()
+	return cands, nil
+}
+
+// querySTUN asks the STUN server for this socket's reflexive address.
+func (a *Agent) querySTUN(ctx context.Context, server netip.AddrPort) (netip.AddrPort, error) {
+	req := stun.BindingRequest("", 0)
+	respCh := make(chan netip.AddrPort, 1)
+	a.mu.Lock()
+	a.pending[req.Tx] = server
+	a.mu.Unlock()
+	a.registerWaiter(req.Tx, respCh)
+	defer a.unregisterWaiter(req.Tx)
+
+	deadline := time.Now().Add(5 * time.Second)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := a.pc.WriteToAddrPort(req.Encode(), server); err != nil {
+			return netip.AddrPort{}, err
+		}
+		select {
+		case ap := <-respCh:
+			return ap, nil
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return netip.AddrPort{}, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	return netip.AddrPort{}, errors.New("ice: STUN server timeout")
+}
+
+// waiterMap maps transaction IDs to response channels for srflx queries.
+type waiterMap struct {
+	mu sync.Mutex
+	m  map[stun.TxID]chan netip.AddrPort
+}
+
+func (a *Agent) registerWaiter(tx stun.TxID, ch chan netip.AddrPort) {
+	a.waiters.mu.Lock()
+	defer a.waiters.mu.Unlock()
+	if a.waiters.m == nil {
+		a.waiters.m = make(map[stun.TxID]chan netip.AddrPort)
+	}
+	a.waiters.m[tx] = ch
+}
+
+func (a *Agent) unregisterWaiter(tx stun.TxID) {
+	a.waiters.mu.Lock()
+	defer a.waiters.mu.Unlock()
+	delete(a.waiters.m, tx)
+}
+
+func (a *Agent) waiterFor(tx stun.TxID) (chan netip.AddrPort, bool) {
+	a.waiters.mu.Lock()
+	defer a.waiters.mu.Unlock()
+	ch, ok := a.waiters.m[tx]
+	return ch, ok
+}
+
+// startLoop launches the agent's receive loop once.
+func (a *Agent) startLoop() {
+	a.loopOnce.Do(func() {
+		go a.readLoop()
+	})
+}
+
+// readLoop answers inbound binding requests (reflecting the sender's
+// visible address — the leak) and dispatches binding responses.
+func (a *Agent) readLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		select {
+		case <-a.done:
+			return
+		default:
+		}
+		a.pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := a.pc.ReadFromAddrPort(buf)
+		if err != nil {
+			if errors.Is(err, netsim.ErrClosed) {
+				return
+			}
+			continue // deadline tick
+		}
+		msg, err := stun.Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch msg.Type {
+		case stun.TypeBindingRequest:
+			resp := stun.BindingSuccess(msg.Tx, from)
+			a.pc.WriteToAddrPort(resp.Encode(), from)
+		case stun.TypeBindingSuccess:
+			if ch, ok := a.waiterFor(msg.Tx); ok {
+				select {
+				case ch <- msg.XORMappedAddress:
+				default:
+				}
+				continue
+			}
+			a.mu.Lock()
+			if remote, ok := a.pending[msg.Tx]; ok {
+				delete(a.pending, msg.Tx)
+				a.succeeded[remote] = true
+			}
+			a.mu.Unlock()
+		}
+	}
+}
+
+// Check runs connectivity checks against the remote candidates and
+// returns the highest-priority remote candidate that answered. Both
+// peers must run Check concurrently (as real agents do) so that their
+// outbound packets open the NAT mappings the other side's checks need.
+func (a *Agent) Check(ctx context.Context, remotes []Candidate) (Candidate, error) {
+	if len(remotes) == 0 {
+		return Candidate{}, ErrNoCandidates
+	}
+	a.startLoop()
+
+	ordered := append([]Candidate(nil), remotes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Priority > ordered[j].Priority })
+
+	deadline := time.Now().Add(3 * time.Second)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for time.Now().Before(deadline) {
+		for _, rc := range ordered {
+			req := stun.BindingRequest(a.ufrag, rc.Priority)
+			a.mu.Lock()
+			a.pending[req.Tx] = rc.Addr
+			a.mu.Unlock()
+			a.pc.WriteToAddrPort(req.Encode(), rc.Addr)
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return Candidate{}, ctx.Err()
+		}
+		a.mu.Lock()
+		var best *Candidate
+		for i := range ordered {
+			if a.succeeded[ordered[i].Addr] {
+				best = &ordered[i]
+				break
+			}
+		}
+		a.mu.Unlock()
+		if best != nil {
+			return *best, nil
+		}
+	}
+	return Candidate{}, ErrCheckFailed
+}
+
+// LocalAddr returns the agent's bound socket address.
+func (a *Agent) LocalAddr() netip.AddrPort { return a.pc.LocalAddrPort() }
+
+// LocalCandidateFor returns this agent's own candidate whose address the
+// remote peer would have reached when answering checks: the srflx
+// candidate if one was gathered, else the host candidate.
+func (a *Agent) LocalCandidateFor() Candidate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var host, srflx *Candidate
+	for i := range a.locals {
+		switch a.locals[i].Type {
+		case TypeHost:
+			host = &a.locals[i]
+		case TypeSrflx:
+			srflx = &a.locals[i]
+		}
+	}
+	if srflx != nil {
+		return *srflx
+	}
+	if host != nil {
+		return *host
+	}
+	return Candidate{Type: TypeHost, Addr: a.pc.LocalAddrPort(), Priority: priority(prefHost, 1)}
+}
+
+// priority computes the RFC 8445 candidate priority.
+func priority(typePref, componentID uint32) uint32 {
+	return typePref<<24 | 0xffff<<8 | (256 - componentID)
+}
+
+// ServeSTUN runs a minimal STUN binding server on pc until the context
+// is cancelled; it reflects each request's observed source address.
+func ServeSTUN(ctx context.Context, pc *netsim.PacketConn) {
+	buf := make([]byte, 64<<10)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := pc.ReadFromAddrPort(buf)
+		if err != nil {
+			if errors.Is(err, netsim.ErrClosed) {
+				return
+			}
+			continue
+		}
+		msg, err := stun.Decode(buf[:n])
+		if err != nil || msg.Type != stun.TypeBindingRequest {
+			continue
+		}
+		pc.WriteToAddrPort(stun.BindingSuccess(msg.Tx, from).Encode(), from)
+	}
+}

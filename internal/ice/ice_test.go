@@ -1,0 +1,357 @@
+package ice
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+)
+
+// testbed wires a network with one public STUN server.
+type testbed struct {
+	net        *netsim.Network
+	stunServer netip.AddrPort
+	cancel     context.CancelFunc
+}
+
+func newTestbed(t *testing.T) *testbed {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	srv := n.MustHost(netip.MustParseAddr("8.8.8.8"))
+	pc, err := srv.ListenPacket(3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go ServeSTUN(ctx, pc)
+	t.Cleanup(cancel)
+	return &testbed{net: n, stunServer: netip.MustParseAddrPort("8.8.8.8:3478"), cancel: cancel}
+}
+
+func TestGatherPublicHost(t *testing.T) {
+	tb := newTestbed(t)
+	h := tb.net.MustHost(netip.MustParseAddr("20.0.0.1"))
+	a, err := NewAgent(h, "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cands, err := a.Gather(context.Background(), tb.stunServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Public host: reflexive address equals host address, so only the
+	// host candidate is reported.
+	if len(cands) != 1 || cands[0].Type != TypeHost {
+		t.Fatalf("candidates %+v", cands)
+	}
+	if cands[0].Addr.Addr() != netip.MustParseAddr("20.0.0.1") {
+		t.Fatalf("host candidate %v", cands[0].Addr)
+	}
+}
+
+func TestGatherBehindNATYieldsSrflx(t *testing.T) {
+	tb := newTestbed(t)
+	nat := tb.net.MustNAT(netip.MustParseAddr("6.6.6.6"), netsim.NATFullCone)
+	h := nat.MustHost(netip.MustParseAddr("192.168.0.5"))
+	a, err := NewAgent(h, "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cands, err := a.Gather(context.Background(), tb.stunServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("want host+srflx, got %+v", cands)
+	}
+	var host, srflx *Candidate
+	for i := range cands {
+		switch cands[i].Type {
+		case TypeHost:
+			host = &cands[i]
+		case TypeSrflx:
+			srflx = &cands[i]
+		}
+	}
+	if host == nil || srflx == nil {
+		t.Fatalf("missing candidate type: %+v", cands)
+	}
+	if geoip.Classify(host.Addr.Addr()) != geoip.ClassPrivate {
+		t.Fatalf("host candidate should be private, got %v", host.Addr)
+	}
+	if srflx.Addr.Addr() != netip.MustParseAddr("6.6.6.6") {
+		t.Fatalf("srflx should be the NAT external address, got %v", srflx.Addr)
+	}
+	if host.Priority <= srflx.Priority {
+		t.Fatal("host candidates must outrank srflx")
+	}
+}
+
+func TestGatherNoSTUNServer(t *testing.T) {
+	tb := newTestbed(t)
+	h := tb.net.MustHost(netip.MustParseAddr("20.0.0.2"))
+	a, _ := NewAgent(h, "u")
+	defer a.Close()
+	cands, err := a.Gather(context.Background(), netip.AddrPort{})
+	if err != nil || len(cands) != 1 {
+		t.Fatalf("gather without STUN: %v %+v", err, cands)
+	}
+}
+
+// connectPair runs gather+check on both agents concurrently and returns
+// the nominated remote candidate on each side.
+func connectPair(t *testing.T, tb *testbed, a, b *Agent) (Candidate, Candidate) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ca, err := a.Gather(ctx, tb.stunServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Gather(ctx, tb.stunServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var nomA, nomB Candidate
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); nomA, errA = a.Check(ctx, cb) }()
+	go func() { defer wg.Done(); nomB, errB = b.Check(ctx, ca) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("checks failed: %v / %v", errA, errB)
+	}
+	return nomA, nomB
+}
+
+func TestCheckPublicToPublic(t *testing.T) {
+	tb := newTestbed(t)
+	ha := tb.net.MustHost(netip.MustParseAddr("20.0.0.1"))
+	hb := tb.net.MustHost(netip.MustParseAddr("20.0.0.2"))
+	a, _ := NewAgent(ha, "a")
+	b, _ := NewAgent(hb, "b")
+	defer a.Close()
+	defer b.Close()
+	nomA, nomB := connectPair(t, tb, a, b)
+	if nomA.Addr.Addr() != hb.Addr() || nomB.Addr.Addr() != ha.Addr() {
+		t.Fatalf("nominations %v / %v", nomA, nomB)
+	}
+}
+
+func TestCheckThroughFullConeNATs(t *testing.T) {
+	tb := newTestbed(t)
+	natA := tb.net.MustNAT(netip.MustParseAddr("6.6.6.6"), netsim.NATFullCone)
+	natB := tb.net.MustNAT(netip.MustParseAddr("7.7.7.7"), netsim.NATFullCone)
+	ha := natA.MustHost(netip.MustParseAddr("192.168.0.5"))
+	hb := natB.MustHost(netip.MustParseAddr("192.168.7.5"))
+	a, _ := NewAgent(ha, "a")
+	b, _ := NewAgent(hb, "b")
+	defer a.Close()
+	defer b.Close()
+	nomA, nomB := connectPair(t, tb, a, b)
+	// Host candidates (private) are unreachable across NATs; the
+	// nominated pair must be the srflx candidates.
+	if nomA.Addr.Addr() != netip.MustParseAddr("7.7.7.7") {
+		t.Fatalf("A nominated %v, want B's NAT", nomA)
+	}
+	if nomB.Addr.Addr() != netip.MustParseAddr("6.6.6.6") {
+		t.Fatalf("B nominated %v, want A's NAT", nomB)
+	}
+}
+
+func TestCheckThroughAddressRestrictedNATs(t *testing.T) {
+	tb := newTestbed(t)
+	natA := tb.net.MustNAT(netip.MustParseAddr("6.6.6.6"), netsim.NATAddressRestricted)
+	natB := tb.net.MustNAT(netip.MustParseAddr("7.7.7.7"), netsim.NATAddressRestricted)
+	ha := natA.MustHost(netip.MustParseAddr("192.168.0.5"))
+	hb := natB.MustHost(netip.MustParseAddr("192.168.1.5"))
+	a, _ := NewAgent(ha, "a")
+	b, _ := NewAgent(hb, "b")
+	defer a.Close()
+	defer b.Close()
+	nomA, nomB := connectPair(t, tb, a, b)
+	if nomA.Type != TypeSrflx || nomB.Type != TypeSrflx {
+		t.Fatalf("expected srflx nominations, got %+v / %+v", nomA, nomB)
+	}
+}
+
+func TestCheckFailsBetweenSymmetricNATs(t *testing.T) {
+	tb := newTestbed(t)
+	natA := tb.net.MustNAT(netip.MustParseAddr("6.6.6.6"), netsim.NATSymmetric)
+	natB := tb.net.MustNAT(netip.MustParseAddr("7.7.7.7"), netsim.NATSymmetric)
+	ha := natA.MustHost(netip.MustParseAddr("192.168.0.5"))
+	hb := natB.MustHost(netip.MustParseAddr("192.168.1.5"))
+	a, _ := NewAgent(ha, "a")
+	b, _ := NewAgent(hb, "b")
+	defer a.Close()
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ca, err := a.Gather(ctx, tb.stunServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Gather(ctx, tb.stunServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errA = a.Check(ctx, cb) }()
+	go func() { defer wg.Done(); _, errB = b.Check(ctx, ca) }()
+	wg.Wait()
+	if errA == nil || errB == nil {
+		t.Fatalf("symmetric<->symmetric should fail, got %v / %v", errA, errB)
+	}
+}
+
+func TestCheckNoCandidates(t *testing.T) {
+	tb := newTestbed(t)
+	h := tb.net.MustHost(netip.MustParseAddr("20.0.0.9"))
+	a, _ := NewAgent(h, "a")
+	defer a.Close()
+	if _, err := a.Check(context.Background(), nil); err != ErrNoCandidates {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPunchAfterNomination(t *testing.T) {
+	tb := newTestbed(t)
+	natA := tb.net.MustNAT(netip.MustParseAddr("6.6.6.6"), netsim.NATFullCone)
+	ha := natA.MustHost(netip.MustParseAddr("192.168.0.5"))
+	hb := tb.net.MustHost(netip.MustParseAddr("20.0.0.2"))
+	a, _ := NewAgent(ha, "a")
+	b, _ := NewAgent(hb, "b")
+	defer a.Close()
+	defer b.Close()
+	nomA, nomB := connectPair(t, tb, a, b)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	type res struct {
+		c   *netsim.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := tb.net.Punch(ctx, hb, b.LocalCandidateFor().Addr, nomB.Addr)
+		ch <- res{c, err}
+	}()
+	ca, err := tb.net.Punch(ctx, ha, a.LocalCandidateFor().Addr, nomA.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	// Data flows.
+	go ca.Write([]byte("via punched flow"))
+	buf := make([]byte, 64)
+	r.c.SetReadDeadline(time.Now().Add(time.Second))
+	n, err := r.c.Read(buf)
+	if err != nil || string(buf[:n]) != "via punched flow" {
+		t.Fatalf("punched read: %v %q", err, buf[:n])
+	}
+	// The remote address B observes is A's srflx (NAT) address.
+	if got := r.c.RemoteAddr().String(); got != nomB.Addr.String() {
+		t.Fatalf("B sees %v, want %v", got, nomB.Addr)
+	}
+}
+
+func TestIPLeakObservableInCapture(t *testing.T) {
+	tb := newTestbed(t)
+	// Attacker peer on a public host records its own traffic.
+	attacker := tb.net.MustHost(netip.MustParseAddr("66.24.0.10"))
+	rec := capture.NewRecorder(0)
+	attacker.AddTap(rec.Tap)
+
+	nat := tb.net.MustNAT(netip.MustParseAddr("36.96.0.99"), netsim.NATFullCone)
+	victim := nat.MustHost(netip.MustParseAddr("10.0.0.7"))
+
+	a, _ := NewAgent(attacker, "atk")
+	v, _ := NewAgent(victim, "vic")
+	defer a.Close()
+	defer v.Close()
+	connectPair(t, tb, a, v)
+
+	ips := capture.HarvestPeerIPs(rec.Packets(), attacker.Addr())
+	found := false
+	for _, ip := range ips {
+		if ip == netip.MustParseAddr("36.96.0.99") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim's public IP not harvested; got %v", ips)
+	}
+}
+
+func TestAgentCloseStopsCheck(t *testing.T) {
+	tb := newTestbed(t)
+	h := tb.net.MustHost(netip.MustParseAddr("20.0.0.11"))
+	a, _ := NewAgent(h, "a")
+	remote := []Candidate{{Type: TypeHost, Addr: netip.MustParseAddrPort("20.9.9.9:1"), Priority: 1}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Check(context.Background(), remote)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("check against dead candidate should fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Check did not terminate after Close")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	if priority(prefHost, 1) <= priority(prefSrflx, 1) {
+		t.Fatal("host priority must exceed srflx")
+	}
+}
+
+func TestLocalCandidateForDefaults(t *testing.T) {
+	tb := newTestbed(t)
+	h := tb.net.MustHost(netip.MustParseAddr("20.0.0.12"))
+	a, _ := NewAgent(h, "a")
+	defer a.Close()
+	// Before any gather: falls back to the socket's host candidate.
+	c := a.LocalCandidateFor()
+	if c.Type != TypeHost || c.Addr != a.LocalAddr() {
+		t.Fatalf("default candidate %+v", c)
+	}
+	// After gathering with STUN behind no NAT: host candidate.
+	if _, err := a.Gather(context.Background(), tb.stunServer); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LocalCandidateFor(); got.Type != TypeHost {
+		t.Fatalf("public host should prefer host candidate, got %+v", got)
+	}
+}
+
+func TestGatherSTUNServerUnreachable(t *testing.T) {
+	tb := newTestbed(t)
+	h := tb.net.MustHost(netip.MustParseAddr("20.0.0.13"))
+	a, _ := NewAgent(h, "a")
+	defer a.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := a.Gather(ctx, netip.MustParseAddrPort("9.9.9.9:3478")); err == nil {
+		t.Fatal("gather against dead STUN server should fail")
+	}
+}

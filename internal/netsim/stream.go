@@ -1,0 +1,338 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+)
+
+// Listener accepts simulated TCP connections on a host port. It
+// implements net.Listener, so net/http servers run on it unmodified.
+type Listener struct {
+	host   *Host
+	port   uint16
+	accept chan *Conn
+	done   chan struct{}
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Listen opens a TCP-like listener on the given port (0 picks an
+// ephemeral port).
+func (h *Host) Listen(port uint16) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if port == 0 {
+		p, err := h.allocPortLocked(ProtoTCP)
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	} else if _, used := h.listeners[port]; used {
+		return nil, fmt.Errorf("netsim: listen %v:%d: %w", h.ip, port, ErrPortInUse)
+	}
+	l := &Listener{
+		host:   h,
+		port:   port,
+		accept: make(chan *Conn),
+		done:   make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the listener. In-flight connections are unaffected.
+func (l *Listener) Close() error {
+	l.host.mu.Lock()
+	if l.host.listeners[l.port] == l {
+		delete(l.host.listeners, l.port)
+	}
+	l.host.mu.Unlock()
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	return nil
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() net.Addr {
+	return &net.TCPAddr{IP: l.host.ip.AsSlice(), Port: int(l.port)}
+}
+
+// AddrPort returns the listening address as a netip.AddrPort on the
+// host's visible (post-NAT) address, which is what remote peers dial.
+func (l *Listener) AddrPort() netip.AddrPort {
+	return netip.AddrPortFrom(l.host.VisibleAddr(), l.port)
+}
+
+// Dial opens a simulated TCP connection from this host to dst. The
+// context bounds connection establishment only.
+func (h *Host) Dial(ctx context.Context, dst netip.AddrPort) (*Conn, error) {
+	dstHost, dstPort, ok := h.net.lookupTCP(h, dst)
+	if !ok {
+		return nil, fmt.Errorf("netsim: dial %v: %w", dst, ErrUnreachable)
+	}
+	dstHost.mu.Lock()
+	l := dstHost.listeners[dstPort]
+	dstHost.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("netsim: dial %v: %w", dst, ErrRefused)
+	}
+
+	h.mu.Lock()
+	srcPort, err := h.allocPortLocked(ProtoTCP)
+	if err != nil {
+		h.mu.Unlock()
+		return nil, err
+	}
+	// Reserve the port by installing a placeholder listener entry.
+	h.listeners[srcPort] = nil
+	h.mu.Unlock()
+
+	visibleSrc := netip.AddrPortFrom(h.VisibleAddr(), srcPort)
+	if h.nat != nil {
+		visibleSrc = h.nat.mapOutbound(netip.AddrPortFrom(h.ip, srcPort), dst, ProtoTCP)
+	}
+
+	local := &Conn{
+		host:       h,
+		peerHost:   dstHost,
+		localAddr:  netip.AddrPortFrom(h.ip, srcPort),
+		remoteAddr: dst,
+		inbox:      make(chan []byte, 64),
+		closed:     make(chan struct{}),
+		readDL:     makeDeadline(),
+		writeDL:    makeDeadline(),
+	}
+	remote := &Conn{
+		host:       dstHost,
+		peerHost:   h,
+		localAddr:  netip.AddrPortFrom(dstHost.ip, dstPort),
+		remoteAddr: visibleSrc,
+		inbox:      make(chan []byte, 64),
+		closed:     make(chan struct{}),
+		readDL:     makeDeadline(),
+		writeDL:    makeDeadline(),
+	}
+	local.peer = remote
+	remote.peer = local
+
+	// Simulate connection setup latency (one RTT-ish).
+	if lat := h.pathLatency(dstHost); lat > 0 {
+		t := time.NewTimer(2 * lat)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+
+	select {
+	case l.accept <- remote:
+	case <-l.done:
+		return nil, fmt.Errorf("netsim: dial %v: %w", dst, ErrRefused)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return local, nil
+}
+
+// Pair directly connects two hosts with a stream, bypassing dial/accept.
+// ICE uses it to materialize the transport for a nominated candidate
+// pair: real WebRTC agents keep exchanging data on the hole-punched UDP
+// flow, which netsim models as a reliable stream between the nominated
+// addresses. aVis/bVis are the candidate addresses each side advertises
+// (post-NAT for srflx candidates), so captures and RemoteAddr report the
+// same endpoints the STUN exchange leaked.
+func Pair(a, b *Host, aVis, bVis netip.AddrPort) (*Conn, *Conn) {
+	ca := &Conn{
+		host:       a,
+		peerHost:   b,
+		localAddr:  netip.AddrPortFrom(a.ip, aVis.Port()),
+		remoteAddr: bVis,
+		inbox:      make(chan []byte, 64),
+		closed:     make(chan struct{}),
+		readDL:     makeDeadline(),
+		writeDL:    makeDeadline(),
+	}
+	cb := &Conn{
+		host:       b,
+		peerHost:   a,
+		localAddr:  netip.AddrPortFrom(b.ip, bVis.Port()),
+		remoteAddr: aVis,
+		inbox:      make(chan []byte, 64),
+		closed:     make(chan struct{}),
+		readDL:     makeDeadline(),
+		writeDL:    makeDeadline(),
+	}
+	ca.peer = cb
+	cb.peer = ca
+	return ca, cb
+}
+
+// Conn is one side of a simulated TCP connection. It implements net.Conn.
+type Conn struct {
+	host     *Host
+	peerHost *Host
+	peer     *Conn
+
+	localAddr  netip.AddrPort // this side's own address (private if NATed)
+	remoteAddr netip.AddrPort // peer's visible address
+
+	inbox    chan []byte
+	residual []byte
+	closed   chan struct{}
+
+	readDL  deadline
+	writeDL deadline
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read reads data from the connection.
+func (c *Conn) Read(b []byte) (int, error) {
+	if len(c.residual) > 0 {
+		n := copy(b, c.residual)
+		c.residual = c.residual[n:]
+		return n, nil
+	}
+	if isClosedChan(c.readDL.wait()) {
+		return 0, os.ErrDeadlineExceeded
+	}
+	select {
+	case chunk, ok := <-c.inbox:
+		if !ok {
+			return 0, io.EOF
+		}
+		n := copy(b, chunk)
+		if n < len(chunk) {
+			c.residual = chunk[n:]
+		}
+		return n, nil
+	case <-c.closed:
+		// Drain anything already delivered before reporting EOF.
+		select {
+		case chunk, ok := <-c.inbox:
+			if ok {
+				n := copy(b, chunk)
+				if n < len(chunk) {
+					c.residual = chunk[n:]
+				}
+				return n, nil
+			}
+		default:
+		}
+		return 0, io.EOF
+	case <-c.readDL.wait():
+		return 0, os.ErrDeadlineExceeded
+	}
+}
+
+// Write sends data to the peer, applying the sender's upload shaping and
+// the receiver's download shaping, and feeding both hosts' capture taps.
+func (c *Conn) Write(b []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, ErrClosed
+	default:
+	}
+	if isClosedChan(c.writeDL.wait()) {
+		return 0, os.ErrDeadlineExceeded
+	}
+
+	chunk := append([]byte(nil), b...)
+	c.host.shapeUp(len(chunk))
+	if lat := c.host.pathLatency(c.peerHost); lat > 0 {
+		time.Sleep(lat)
+	}
+
+	pkt := Packet{
+		Time:    time.Now(),
+		Proto:   ProtoTCP,
+		Src:     c.peer.remoteAddr, // how the receiver sees us (post-NAT)
+		Dst:     c.remoteAddr,
+		Payload: chunk,
+	}
+	pkt.Dir = DirOut
+	c.host.tap(pkt)
+
+	select {
+	case c.peer.inbox <- chunk:
+	case <-c.peer.closed:
+		return 0, ErrClosed
+	case <-c.closed:
+		return 0, ErrClosed
+	case <-c.writeDL.wait():
+		return 0, os.ErrDeadlineExceeded
+	}
+	c.peerHost.shapeDown(len(chunk))
+	pkt.Dir = DirIn
+	pkt.Dst = netip.AddrPortFrom(c.peerHost.ip, c.peer.localAddr.Port())
+	c.peerHost.tap(pkt)
+	return len(b), nil
+}
+
+// Close closes both directions of the connection.
+func (c *Conn) Close() error {
+	c.closeSide()
+	c.peer.closeSide()
+	return nil
+}
+
+func (c *Conn) closeSide() {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+}
+
+// LocalAddr returns the local address of the connection.
+func (c *Conn) LocalAddr() net.Addr {
+	return &net.TCPAddr{IP: c.localAddr.Addr().AsSlice(), Port: int(c.localAddr.Port())}
+}
+
+// RemoteAddr returns the peer's visible (post-NAT) address; this is what
+// origin-checking servers and IP-harvesting attackers observe.
+func (c *Conn) RemoteAddr() net.Addr {
+	return &net.TCPAddr{IP: c.remoteAddr.Addr().AsSlice(), Port: int(c.remoteAddr.Port())}
+}
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.readDL.set(t)
+	c.writeDL.set(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.readDL.set(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.writeDL.set(t)
+	return nil
+}

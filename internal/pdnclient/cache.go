@@ -1,0 +1,75 @@
+package pdnclient
+
+import "sync"
+
+// segmentCache is the SDK's in-memory segment store — the browser-cache
+// analogue the paper notes is same-origin protected and short-lived.
+// It evicts the oldest (lowest-index) segment beyond its capacity and
+// reports its footprint to the resource meter.
+type segmentCache struct {
+	mu       sync.Mutex
+	max      int
+	segments map[int][]byte
+	total    int64
+	onSize   func(int64)
+}
+
+func newSegmentCache(max int, onSize func(int64)) *segmentCache {
+	return &segmentCache{
+		max:      max,
+		segments: make(map[int][]byte, max),
+		onSize:   onSize,
+	}
+}
+
+// put stores a segment, evicting the lowest index if over capacity.
+func (c *segmentCache) put(idx int, data []byte) {
+	c.mu.Lock()
+	if old, ok := c.segments[idx]; ok {
+		c.total -= int64(len(old))
+	}
+	c.segments[idx] = data
+	c.total += int64(len(data))
+	for len(c.segments) > c.max {
+		lowest := -1
+		for i := range c.segments {
+			if lowest < 0 || i < lowest {
+				lowest = i
+			}
+		}
+		c.total -= int64(len(c.segments[lowest]))
+		delete(c.segments, lowest)
+	}
+	total := c.total
+	cb := c.onSize
+	c.mu.Unlock()
+	if cb != nil {
+		cb(total)
+	}
+}
+
+// get returns a cached segment.
+func (c *segmentCache) get(idx int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.segments[idx]
+	return data, ok
+}
+
+// indices returns the cached segment indices.
+func (c *segmentCache) indices() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.segments))
+	for i := range c.segments {
+		out = append(out, i)
+	}
+	return out
+}
+
+// size returns the cache footprint in bytes.
+func (c *segmentCache) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

@@ -1,0 +1,136 @@
+package pdnclient
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/mitm"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+)
+
+// pollutedSeeder stands up a fake CDN + malicious seeder polluting the
+// given segment indices and returns a stop function.
+func pollutedSeeder(t *testing.T, tb *testbed, indices []int) func() {
+	t.Helper()
+	fakeHost := tb.net.MustHost(netip.MustParseAddr("13.13.13.13"))
+	fake := mitm.NewFakeCDN(fakeHost, tb.cdnBase, mitm.SameSizePollution(indices))
+	if err := fake.Serve(fakeHost, 80); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tb.peerConfig(t)
+	cfg.CDNBase = "http://13.13.13.13:80"
+	stop := runSeeder(t, cfg, tb.video.Segments)
+	return func() {
+		stop()
+		fake.Close()
+	}
+}
+
+func TestHashManifestBlocksPollution(t *testing.T) {
+	video := smallVideo("bbb", 6)
+	tb := newTestbed(t, provider.Peer5(), video)
+	stop := pollutedSeeder(t, tb, []int{3, 4})
+	defer stop()
+
+	// Victim with the hash-manifest defense: all P2P segments verified
+	// against the CDN-published hash list.
+	cfg := tb.peerConfig(t)
+	cfg.VerifyHashManifest = true
+	var mu sync.Mutex
+	var polluted []media.SegmentKey
+	cfg.OnSegment = func(k media.SegmentKey, data []byte, source string) {
+		if !video.Verify(k.Rendition, k.Index, data) {
+			mu.Lock()
+			polluted = append(polluted, k)
+			mu.Unlock()
+		}
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(polluted) != 0 {
+		t.Fatalf("hash manifest failed to block pollution: %v", polluted)
+	}
+	if st.SegmentsPlayed != 6 {
+		t.Fatalf("victim should complete playback: %+v", st)
+	}
+	if st.IMRejected == 0 {
+		t.Fatalf("polluted P2P segments should have been rejected: %+v", st)
+	}
+}
+
+func TestHashManifestCostsCDNBytes(t *testing.T) {
+	video := smallVideo("bbb", 6)
+	tb := newTestbed(t, provider.Peer5(), video)
+
+	// Baseline viewer without the defense.
+	base := tb.cdnSrv.BytesServed(video.ID)
+	cfgPlain := tb.peerConfig(t)
+	p1, _ := New(cfgPlain)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := p1.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	plainBytes := tb.cdnSrv.BytesServed(video.ID) - base
+
+	// Viewer with the defense: strictly more CDN bytes (the hash list),
+	// even with zero attackers — the §V-B cost argument.
+	mid := tb.cdnSrv.BytesServed(video.ID)
+	cfgHash := tb.peerConfig(t)
+	cfgHash.VerifyHashManifest = true
+	p2, _ := New(cfgHash)
+	if _, err := p2.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hashBytes := tb.cdnSrv.BytesServed(video.ID) - mid
+
+	if hashBytes <= plainBytes {
+		t.Fatalf("hash-manifest viewer should cost more CDN bytes: %d vs %d", hashBytes, plainBytes)
+	}
+}
+
+func TestHashManifestUnavailableDegradesGracefully(t *testing.T) {
+	// Live assets have no hash list; the viewer still plays.
+	const segBytes = 16 << 10
+	video := &media.Video{
+		ID:              "live-ch",
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: segBytes * 8 / 10, SegmentBytes: segBytes}},
+		Segments:        100,
+		SegmentDuration: 10,
+		Live:            true,
+	}
+	tb := newTestbed(t, provider.Peer5(), video)
+	base := time.Now().Add(-120 * time.Second)
+	tb.cdnSrv.SetClock(func() time.Time { return time.Now().Add(time.Now().Sub(base) * 4) })
+
+	cfg := tb.peerConfig(t)
+	cfg.VerifyHashManifest = true
+	cfg.MaxSegments = 4
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsPlayed != 4 {
+		t.Fatalf("live playback with unavailable hash list: %+v", st)
+	}
+}

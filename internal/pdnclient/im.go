@@ -1,0 +1,44 @@
+package pdnclient
+
+import (
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// reportIM submits integrity metadata for a CDN-fetched segment — the
+// client half of the §V-B peer-assisted integrity-checking defense. A
+// peer only ever reports IMs for segments it downloaded directly from
+// the CDN; P2P-delivered segments are verified instead.
+func (p *Peer) reportIM(key media.SegmentKey, data []byte) {
+	p.mu.Lock()
+	sig := p.sig
+	p.mu.Unlock()
+	if sig == nil {
+		return
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnHash(len(data))
+	}
+	sig.ReportIM(signal.IMReport{Key: key, Hash: media.IMHash(key, data)})
+}
+
+// verifySIM checks a P2P-delivered segment against the server-signed
+// integrity metadata. Unverifiable segments (no SIM established yet)
+// are rejected, forcing CDN fallback — which in turn produces the IM
+// report that establishes the SIM.
+func (p *Peer) verifySIM(key media.SegmentKey, data []byte) bool {
+	p.mu.Lock()
+	sig := p.sig
+	p.mu.Unlock()
+	if sig == nil {
+		return false
+	}
+	resp, err := sig.GetSIM(signal.GetSIM{Key: key})
+	if err != nil || !resp.Found {
+		return false
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnHash(len(data))
+	}
+	return media.IMHash(key, data) == resp.Hash
+}

@@ -1,0 +1,498 @@
+package pdnclient
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/dtls"
+	"github.com/stealthy-peers/pdnsec/internal/ice"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// connectTimeout bounds one P2P connection establishment.
+const connectTimeout = 5 * time.Second
+
+// requestTimeout bounds one segment request to a neighbor.
+const requestTimeout = 5 * time.Second
+
+// p2pMsg is the datachannel message header. Segment payload bytes
+// follow the header's JSON encoding after a NUL separator.
+type p2pMsg struct {
+	Op    string           `json:"op"` // "want" | "segment"
+	Key   media.SegmentKey `json:"key"`
+	Found bool             `json:"found,omitempty"`
+}
+
+// encodeMsg frames a header and optional payload.
+func encodeMsg(h p2pMsg, payload []byte) ([]byte, error) {
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(hdr)+1+len(payload))
+	out = append(out, hdr...)
+	out = append(out, 0)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// decodeMsg splits a frame into header and payload.
+func decodeMsg(frame []byte) (p2pMsg, []byte, error) {
+	var h p2pMsg
+	sep := -1
+	for i, b := range frame {
+		if b == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 0 {
+		return h, nil, json.Unmarshal(frame, &h)
+	}
+	if err := json.Unmarshal(frame[:sep], &h); err != nil {
+		return h, nil, err
+	}
+	return h, frame[sep+1:], nil
+}
+
+// neighbor is one established P2P connection.
+type neighbor struct {
+	id   string
+	conn *dtls.Conn
+	peer *Peer
+
+	reqMu   chan struct{} // capacity-1 semaphore: one outstanding want
+	respCh  chan p2pFrame // segment responses
+	closedC chan struct{}
+}
+
+type p2pFrame struct {
+	hdr     p2pMsg
+	payload []byte
+}
+
+func newNeighbor(id string, conn *dtls.Conn, p *Peer) *neighbor {
+	nb := &neighbor{
+		id:      id,
+		conn:    conn,
+		peer:    p,
+		reqMu:   make(chan struct{}, 1),
+		respCh:  make(chan p2pFrame, 1),
+		closedC: make(chan struct{}),
+	}
+	nb.reqMu <- struct{}{}
+	return nb
+}
+
+// close tears the connection down and removes it from the peer.
+func (nb *neighbor) close() {
+	select {
+	case <-nb.closedC:
+		return
+	default:
+		close(nb.closedC)
+	}
+	nb.conn.Close()
+	nb.peer.removeNeighbor(nb.id)
+}
+
+// readLoop serves inbound requests and routes responses.
+func (nb *neighbor) readLoop() {
+	defer nb.close()
+	for {
+		frame, err := nb.conn.Recv()
+		if err != nil {
+			return
+		}
+		hdr, payload, err := decodeMsg(frame)
+		if err != nil {
+			continue
+		}
+		switch hdr.Op {
+		case "want":
+			nb.serve(hdr.Key)
+		case "segment":
+			select {
+			case nb.respCh <- p2pFrame{hdr: hdr, payload: payload}:
+			default: // no request outstanding: drop
+			}
+		}
+	}
+}
+
+// serve answers a neighbor's segment request from the local cache,
+// honoring the cellular-upload ("leech mode") policy.
+func (nb *neighbor) serve(key media.SegmentKey) {
+	p := nb.peer
+	pol := p.Policy()
+	resp := p2pMsg{Op: "segment", Key: key}
+	var payload []byte
+	uploadAllowed := !p.cfg.Cellular || pol.CellularUpload
+	if pol.MaxUploadBytes > 0 {
+		p.mu.Lock()
+		if p.stats.P2PUpBytes >= pol.MaxUploadBytes {
+			uploadAllowed = false // §V-C upload budget exhausted
+		}
+		p.mu.Unlock()
+	}
+	if uploadAllowed && key.Video == p.cfg.Video && key.Rendition == p.cfg.Rendition {
+		if data, ok := p.cache.get(key.Index); ok {
+			resp.Found = true
+			payload = data
+		}
+	}
+	frame, err := encodeMsg(resp, payload)
+	if err != nil {
+		return
+	}
+	if err := nb.conn.Send(frame); err != nil {
+		return
+	}
+	if resp.Found {
+		p.mu.Lock()
+		p.stats.P2PUpBytes += int64(len(payload))
+		p.mu.Unlock()
+	}
+}
+
+// request asks this neighbor for a segment.
+func (nb *neighbor) request(ctx context.Context, key media.SegmentKey) ([]byte, bool) {
+	select {
+	case <-nb.reqMu:
+	case <-ctx.Done():
+		return nil, false
+	case <-nb.closedC:
+		return nil, false
+	}
+	defer func() { nb.reqMu <- struct{}{} }()
+
+	frame, err := encodeMsg(p2pMsg{Op: "want", Key: key}, nil)
+	if err != nil {
+		return nil, false
+	}
+	if err := nb.conn.Send(frame); err != nil {
+		return nil, false
+	}
+	timer := time.NewTimer(requestTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-nb.respCh:
+		if !resp.hdr.Found || resp.hdr.Key != key {
+			return nil, false
+		}
+		return resp.payload, true
+	case <-timer.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	case <-nb.closedC:
+		return nil, false
+	}
+}
+
+// gatherCandidates collects the addresses advertised in the join
+// request. Real SDKs publish these through the server to every matched
+// peer — which is precisely the IP-leak surface: the set includes the
+// private host candidate and the STUN-discovered public address.
+func (p *Peer) gatherCandidates(ctx context.Context) ([]ice.Candidate, error) {
+	if p.cfg.TURNAddr.IsValid() {
+		return nil, nil // relayed transport: nothing to advertise, nothing to leak
+	}
+	agent, err := ice.NewAgent(p.cfg.Host, "join")
+	if err != nil {
+		return nil, err
+	}
+	defer agent.Close()
+	gctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	return agent.Gather(gctx, p.cfg.STUNAddr)
+}
+
+// maintainNeighbors tops up P2P connections from the server's matches.
+func (p *Peer) maintainNeighbors(ctx context.Context) {
+	pol := p.Policy()
+	p.mu.Lock()
+	sig := p.sig
+	have := len(p.neighbors)
+	p.mu.Unlock()
+	if sig == nil || have >= pol.MaxNeighbors {
+		return
+	}
+	peers, err := sig.GetPeers(pol.MaxNeighbors)
+	if err != nil {
+		return
+	}
+	for _, info := range peers {
+		p.mu.Lock()
+		_, connected := p.neighbors[info.ID]
+		offering := p.offering[info.ID]
+		n := len(p.neighbors)
+		if !connected && !offering && n < pol.MaxNeighbors {
+			p.offering[info.ID] = true
+		}
+		p.mu.Unlock()
+		if connected || offering || n >= pol.MaxNeighbors {
+			continue
+		}
+		p.connectTo(ctx, info)
+	}
+}
+
+// connectTo runs the initiator side: offer → answer → ICE → punch →
+// DTLS client (or a TURN-relayed flow when configured).
+func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
+	defer func() {
+		p.mu.Lock()
+		delete(p.offering, info.ID)
+		p.mu.Unlock()
+	}()
+	cctx, cancel := context.WithTimeout(ctx, connectTimeout)
+	defer cancel()
+
+	if p.cfg.TURNAddr.IsValid() {
+		p.connectViaTURN(cctx, info.ID, info.Fingerprint, true)
+		return
+	}
+
+	agent, err := ice.NewAgent(p.cfg.Host, p.ID())
+	if err != nil {
+		return
+	}
+	defer agent.Close()
+	cands, err := agent.Gather(cctx, p.cfg.STUNAddr)
+	if err != nil {
+		return
+	}
+
+	answerCh := p.expectAnswer(info.ID)
+	p.mu.Lock()
+	sig := p.sig
+	p.mu.Unlock()
+	if sig == nil {
+		return
+	}
+	if err := sig.Relay(info.ID, signal.RelayOffer, signal.ConnectOffer{
+		Fingerprint: p.identity.Fingerprint(),
+		Candidates:  cands,
+	}); err != nil {
+		return
+	}
+
+	var answer signal.ConnectOffer
+	select {
+	case answer = <-answerCh:
+	case <-cctx.Done():
+		return
+	}
+
+	nom, err := agent.Check(cctx, answer.Candidates)
+	if err != nil {
+		return
+	}
+	raw, err := p.cfg.Network.Punch(cctx, p.cfg.Host, agent.LocalCandidateFor().Addr, nom.Addr)
+	if err != nil {
+		return
+	}
+	dconn, err := dtls.Client(raw, p.dtlsConfig(answer.Fingerprint))
+	if err != nil {
+		raw.Close()
+		return
+	}
+	p.addNeighbor(info.ID, dconn)
+}
+
+// handleRelay processes offers and answers arriving via signaling.
+func (p *Peer) handleRelay(rel signal.Relay) {
+	switch rel.Kind {
+	case signal.RelayOffer:
+		var offer signal.ConnectOffer
+		if err := json.Unmarshal(rel.Payload, &offer); err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.answerOffer(rel.From, offer)
+		}()
+	case signal.RelayAnswer:
+		var answer signal.ConnectOffer
+		if err := json.Unmarshal(rel.Payload, &answer); err != nil {
+			return
+		}
+		p.mu.Lock()
+		ch := p.answerWaiters[rel.From]
+		delete(p.answerWaiters, rel.From)
+		p.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- answer:
+			default:
+			}
+		}
+	}
+}
+
+// expectAnswer registers a waiter for the peer's answer.
+func (p *Peer) expectAnswer(from string) chan signal.ConnectOffer {
+	ch := make(chan signal.ConnectOffer, 1)
+	p.mu.Lock()
+	if p.answerWaiters == nil {
+		p.answerWaiters = make(map[string]chan signal.ConnectOffer)
+	}
+	p.answerWaiters[from] = ch
+	p.mu.Unlock()
+	return ch
+}
+
+// connectViaTURN establishes the P2P transport through the TURN relay:
+// both peers dial the relay with a room derived from their IDs, then
+// run DTLS over the bridged stream. No addresses are exchanged.
+func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initiator bool) {
+	p.mu.Lock()
+	sig := p.sig
+	myID := p.peerID
+	p.mu.Unlock()
+	if sig == nil {
+		return
+	}
+	if initiator {
+		answerCh := p.expectAnswer(peerID)
+		if err := sig.Relay(peerID, signal.RelayOffer, signal.ConnectOffer{
+			Fingerprint: p.identity.Fingerprint(),
+		}); err != nil {
+			return
+		}
+		select {
+		case answer := <-answerCh:
+			theirFP = answer.Fingerprint
+		case <-ctx.Done():
+			return
+		}
+	}
+	room := myID + "|" + peerID
+	if peerID < myID {
+		room = peerID + "|" + myID
+	}
+	raw, err := defense.DialRelay(ctx, p.cfg.Host, p.cfg.TURNAddr, room)
+	if err != nil {
+		return
+	}
+	var dconn *dtls.Conn
+	if initiator {
+		dconn, err = dtls.Client(raw, p.dtlsConfig(theirFP))
+	} else {
+		dconn, err = dtls.Server(raw, p.dtlsConfig(theirFP))
+	}
+	if err != nil {
+		raw.Close()
+		return
+	}
+	p.addNeighbor(peerID, dconn)
+}
+
+// answerOffer runs the responder side: answer → ICE → punch → DTLS
+// server.
+func (p *Peer) answerOffer(from string, offer signal.ConnectOffer) {
+	p.mu.Lock()
+	_, connected := p.neighbors[from]
+	sig := p.sig
+	p.mu.Unlock()
+	if connected || sig == nil {
+		return
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), connectTimeout)
+	defer cancel()
+
+	if p.cfg.TURNAddr.IsValid() {
+		if err := sig.Relay(from, signal.RelayAnswer, signal.ConnectOffer{
+			Fingerprint: p.identity.Fingerprint(),
+		}); err != nil {
+			return
+		}
+		p.connectViaTURN(cctx, from, offer.Fingerprint, false)
+		return
+	}
+
+	agent, err := ice.NewAgent(p.cfg.Host, p.ID())
+	if err != nil {
+		return
+	}
+	defer agent.Close()
+	cands, err := agent.Gather(cctx, p.cfg.STUNAddr)
+	if err != nil {
+		return
+	}
+	if err := sig.Relay(from, signal.RelayAnswer, signal.ConnectOffer{
+		Fingerprint: p.identity.Fingerprint(),
+		Candidates:  cands,
+	}); err != nil {
+		return
+	}
+	nom, err := agent.Check(cctx, offer.Candidates)
+	if err != nil {
+		return
+	}
+	raw, err := p.cfg.Network.Punch(cctx, p.cfg.Host, agent.LocalCandidateFor().Addr, nom.Addr)
+	if err != nil {
+		return
+	}
+	dconn, err := dtls.Server(raw, p.dtlsConfig(offer.Fingerprint))
+	if err != nil {
+		raw.Close()
+		return
+	}
+	p.addNeighbor(from, dconn)
+}
+
+// dtlsConfig builds the transport config with metering hooks.
+func (p *Peer) dtlsConfig(expectedFP string) dtls.Config {
+	cfg := dtls.Config{Identity: p.identity, ExpectedPeerFingerprint: expectedFP}
+	if m := p.cfg.Meter; m != nil {
+		cfg.OnEncrypt = m.OnEncrypt
+		cfg.OnDecrypt = m.OnDecrypt
+	}
+	return cfg
+}
+
+// addNeighbor registers an established connection and starts its loop.
+func (p *Peer) addNeighbor(id string, conn *dtls.Conn) {
+	nb := newNeighbor(id, conn, p)
+	p.mu.Lock()
+	if _, exists := p.neighbors[id]; exists {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.neighbors[id] = nb
+	n := len(p.neighbors)
+	p.mu.Unlock()
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.SetNeighbors(n)
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		nb.readLoop()
+	}()
+}
+
+// removeNeighbor drops a closed connection.
+func (p *Peer) removeNeighbor(id string) {
+	p.mu.Lock()
+	delete(p.neighbors, id)
+	n := len(p.neighbors)
+	p.mu.Unlock()
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.SetNeighbors(n)
+	}
+}
+
+// NeighborCount reports current P2P connections.
+func (p *Peer) NeighborCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.neighbors)
+}

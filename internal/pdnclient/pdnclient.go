@@ -1,0 +1,678 @@
+// Package pdnclient implements the PDN SDK — the in-browser peer the
+// paper studies. A Peer plays a video the way an instrumented viewer
+// does: it fetches manifests and leading segments from the CDN ("slow
+// start"), joins the PDN signaling server, connects to matched neighbors
+// over ICE + DTLS, downloads later segments peer-to-peer with CDN
+// fallback, caches and re-serves segments to others, and reports usage
+// statistics that bill the customer whose API key it joined with.
+//
+// Security-relevant behaviours are faithful to the paper's observations:
+//   - the peer trusts whatever segment bytes a neighbor sends — there is
+//     no integrity verification unless the §V-B defense is enabled via
+//     policy (RequireIMChecking), which is exactly why the video segment
+//     pollution attack works;
+//   - the peer joins with a static API key and client-controlled
+//     Origin/Referer strings;
+//   - the peer answers every connection offer and serves every cached
+//     segment, exposing its address to any swarm member;
+//   - resource consumption (crypto, playback, cache, upload) is metered
+//     but never surfaced to the viewer, matching the no-consent finding.
+package pdnclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/cdn"
+	"github.com/stealthy-peers/pdnsec/internal/dtls"
+	"github.com/stealthy-peers/pdnsec/internal/hls"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/monitor"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// Source labels where a segment came from.
+const (
+	SourceCDN = "cdn"
+	SourceP2P = "p2p"
+)
+
+// Config parameterizes a peer.
+type Config struct {
+	// Host is the simulated machine the peer runs on. Required.
+	Host *netsim.Host
+	// Network is needed to materialize punched P2P flows. Required.
+	Network *netsim.Network
+
+	// SignalAddr and STUNAddr locate the PDN provider's services.
+	SignalAddr netip.AddrPort
+	STUNAddr   netip.AddrPort
+	// TURNAddr, when valid, routes all P2P transport through a TURN
+	// relay (§V-C): the peer gathers no ICE candidates, advertises no
+	// addresses, and never learns its neighbors' addresses.
+	TURNAddr netip.AddrPort
+	// CDNBase is the CDN origin, e.g. "http://93.184.216.34:80". The
+	// pollution attacker points this at its fake CDN.
+	CDNBase string
+
+	// Credentials: APIKey+Origin(+Referer) for public providers, or
+	// Token+VideoURL for private ones. All client-controlled.
+	APIKey   string
+	Origin   string
+	Referer  string
+	Token    string
+	VideoURL string
+
+	// Video and Rendition select the stream.
+	Video     string
+	Rendition string
+
+	// Meter, when set, receives resource accounting.
+	Meter *monitor.Meter
+	// Cellular marks the peer as metered; the provider policy then
+	// decides upload/download participation.
+	Cellular bool
+
+	// MaxSegments bounds how many segments to play (0 = entire VOD, or
+	// until ctx cancellation for live).
+	MaxSegments int
+	// Pace is the delay between segment plays (0 = as fast as possible;
+	// real playback would use the segment duration).
+	Pace time.Duration
+	// StatsInterval is how often the SDK pushes usage reports to the
+	// provider (0 = only at session end). Real SDKs report
+	// continuously — that is what meters long-lived sessions.
+	StatsInterval time.Duration
+	// CacheSegments caps the in-memory segment cache (default 8).
+	CacheSegments int
+	// OnSegment, when set, observes every played segment — experiments
+	// use it to detect whether pollution reached this viewer.
+	OnSegment func(key media.SegmentKey, data []byte, source string)
+	// Linger keeps the peer online (serving uploads and answering
+	// offers) after playback completes, modelling a viewer who leaves
+	// the page open. Run returns early if ctx is cancelled.
+	Linger time.Duration
+	// Seed drives neighbor-selection randomness.
+	Seed int64
+	// DisableP2P turns the peer into a plain CDN viewer (the paper's
+	// "no peer" control group).
+	DisableP2P bool
+	// VerifyHashManifest enables the alternative integrity defense the
+	// paper's disclosure section attributes to Viblast/Peer5 premium
+	// offerings: the player downloads a CDN-served per-segment hash
+	// list and verifies every segment against it. Effective, but every
+	// viewer pays the extra CDN bytes (compare the peer-assisted IM
+	// defense, which costs the CDN nothing absent an attack).
+	VerifyHashManifest bool
+	// ServeKnownOnly, when set, makes this peer respond to segment
+	// requests only from its cache without CDN fallback for others
+	// (default behaviour; reserved for future strategies).
+	ServeKnownOnly bool
+	// GracefulDegrade makes a failed PDN join non-fatal: the peer
+	// silently becomes a plain CDN viewer. This is how real SDKs behave
+	// when viewers block the PDN server's domain (the paper cites
+	// AdblockPlus filter lists doing exactly that against Douyu) — the
+	// video must keep playing either way.
+	GracefulDegrade bool
+}
+
+// Stats summarizes a peer's run.
+type Stats struct {
+	SegmentsPlayed int   `json:"segments_played"`
+	FromCDN        int   `json:"from_cdn"`
+	FromP2P        int   `json:"from_p2p"`
+	CDNBytes       int64 `json:"cdn_bytes"`
+	P2PDownBytes   int64 `json:"p2p_down_bytes"`
+	P2PUpBytes     int64 `json:"p2p_up_bytes"`
+	IMRejected     int   `json:"im_rejected"`
+	Neighbors      int   `json:"neighbors"`
+}
+
+// Peer is a running PDN SDK instance.
+type Peer struct {
+	cfg      Config
+	identity *dtls.Identity
+	http     *http.Client
+	rng      *rand.Rand
+
+	sig    *signal.Client
+	peerID string
+	policy signal.Policy
+
+	mu            sync.Mutex
+	neighbors     map[string]*neighbor
+	offering      map[string]bool
+	answerWaiters map[string]chan signal.ConnectOffer
+	cache         *segmentCache
+	stats         Stats
+	reported      signal.Stats // last usage values already sent upstream
+	played        map[int]bool
+	// expectedSegBytes is derived from the master playlist's declared
+	// bandwidth × the media playlist's target duration. P2P segments
+	// deviating wildly from it are rejected as inconsistent — the
+	// mechanism that makes the paper's *direct* content pollution
+	// attack fail while targeted same-size segment pollution passes.
+	expectedSegBytes int
+	// hashManifest holds the CDN-served per-segment hashes when
+	// VerifyHashManifest is on.
+	hashManifest map[string]string
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New constructs a peer (no I/O yet).
+func New(cfg Config) (*Peer, error) {
+	if cfg.Host == nil || cfg.Network == nil {
+		return nil, errors.New("pdnclient: Host and Network are required")
+	}
+	if cfg.Video == "" || cfg.Rendition == "" {
+		return nil, errors.New("pdnclient: Video and Rendition are required")
+	}
+	if cfg.CacheSegments <= 0 {
+		cfg.CacheSegments = 8
+	}
+	id, err := dtls.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{
+		cfg:      cfg,
+		identity: id,
+		http: &http.Client{
+			Transport: &http.Transport{DialContext: cfg.Host.Dialer()},
+			Timeout:   10 * time.Second,
+		},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		neighbors: make(map[string]*neighbor),
+		offering:  make(map[string]bool),
+		played:    make(map[int]bool),
+		closed:    make(chan struct{}),
+	}
+	p.cache = newSegmentCache(cfg.CacheSegments, func(total int64) {
+		if cfg.Meter != nil {
+			cfg.Meter.SetCacheBytes(total)
+		}
+	})
+	return p, nil
+}
+
+// ID returns the server-assigned peer ID (empty before Run joins).
+func (p *Peer) ID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerID
+}
+
+// Policy returns the provider policy received at join.
+func (p *Peer) Policy() signal.Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy
+}
+
+// Stats returns a snapshot of the peer's counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Neighbors = len(p.neighbors)
+	return st
+}
+
+// Fingerprint returns the peer's DTLS certificate fingerprint.
+func (p *Peer) Fingerprint() string { return p.identity.Fingerprint() }
+
+// Run plays the configured stream until it finishes, MaxSegments is
+// reached, or ctx is cancelled. It returns the final stats.
+func (p *Peer) Run(ctx context.Context) (Stats, error) {
+	defer p.teardown()
+
+	if !p.cfg.DisableP2P {
+		if err := p.join(ctx); err != nil {
+			if !p.cfg.GracefulDegrade {
+				return p.Stats(), fmt.Errorf("pdnclient: join: %w", err)
+			}
+			// PDN unreachable or rejected: degrade to a plain viewer.
+			p.cfg.DisableP2P = true
+		}
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.SetPDNLoaded(!p.cfg.DisableP2P)
+	}
+	if p.cfg.StatsInterval > 0 && !p.cfg.DisableP2P {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			t := time.NewTicker(p.cfg.StatsInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					p.reportStats()
+				case <-p.closed:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	if err := p.playbackLoop(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return p.Stats(), err
+	}
+	if p.cfg.Linger > 0 && ctx.Err() == nil {
+		select {
+		case <-time.After(p.cfg.Linger):
+		case <-ctx.Done():
+		case <-p.closed:
+		}
+	}
+	p.reportStats()
+	return p.Stats(), nil
+}
+
+// StopLinger ends an active linger phase early.
+func (p *Peer) StopLinger() {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+}
+
+// join performs ICE gathering and the signaling join.
+func (p *Peer) join(ctx context.Context) error {
+	cands, err := p.gatherCandidates(ctx)
+	if err != nil {
+		return err
+	}
+	sig, err := signal.Dial(ctx, p.cfg.Host, p.cfg.SignalAddr)
+	if err != nil {
+		return err
+	}
+	sig.OnRelay(p.handleRelay)
+	w, err := sig.Join(signal.JoinRequest{
+		APIKey:      p.cfg.APIKey,
+		Origin:      p.cfg.Origin,
+		Referer:     p.cfg.Referer,
+		Token:       p.cfg.Token,
+		VideoURL:    p.cfg.VideoURL,
+		Video:       p.cfg.Video,
+		Rendition:   p.cfg.Rendition,
+		Fingerprint: p.identity.Fingerprint(),
+		Candidates:  cands,
+		Cellular:    p.cfg.Cellular,
+	})
+	if err != nil {
+		sig.Close()
+		return err
+	}
+	p.mu.Lock()
+	p.sig = sig
+	p.peerID = w.PeerID
+	p.policy = w.Policy
+	p.mu.Unlock()
+	return nil
+}
+
+// learnExpectedSize derives the consistency baseline from the master
+// playlist (declared bandwidth) and the media playlist (durations).
+func (p *Peer) learnExpectedSize(ctx context.Context, pl *hls.MediaPlaylist) {
+	p.mu.Lock()
+	known := p.expectedSegBytes
+	p.mu.Unlock()
+	if known > 0 || len(pl.Segments) == 0 {
+		return
+	}
+	body, err := p.httpGet(ctx, cdn.MasterURL(p.cfg.CDNBase, p.cfg.Video))
+	if err != nil {
+		return
+	}
+	master, err := hls.ParseMasterPlaylist(body)
+	if err != nil {
+		return
+	}
+	for _, v := range master.Variants {
+		if v.Name == p.cfg.Rendition {
+			expected := int(pl.Segments[0].Duration * float64(v.Bandwidth) / 8)
+			p.mu.Lock()
+			p.expectedSegBytes = expected
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// consistent applies the SDK's bitrate-consistency check to a
+// P2P-delivered segment. Sizes within ±25% of the declared bitrate ×
+// duration pass (adaptive streams vary); wholesale replacement with a
+// different video fails it.
+func (p *Peer) consistent(n int) bool {
+	p.mu.Lock()
+	expected := p.expectedSegBytes
+	p.mu.Unlock()
+	if expected <= 0 {
+		return true // no baseline learned: accept, like early SDKs
+	}
+	lo := expected - expected/4
+	hi := expected + expected/4
+	return n >= lo && n <= hi
+}
+
+// playbackLoop drives segment consumption.
+func (p *Peer) playbackLoop(ctx context.Context) error {
+	for {
+		pl, err := p.fetchPlaylist(ctx)
+		if err != nil {
+			return err
+		}
+		p.learnExpectedSize(ctx, pl)
+		progressed := false
+		for i, seg := range pl.Segments {
+			idx, ok := hls.ParseSegmentURI(seg.URI)
+			if !ok {
+				idx = pl.MediaSequence + i
+			}
+			p.mu.Lock()
+			done := p.played[idx]
+			total := p.stats.SegmentsPlayed
+			p.mu.Unlock()
+			if done {
+				continue
+			}
+			if p.cfg.MaxSegments > 0 && total >= p.cfg.MaxSegments {
+				return nil
+			}
+			if err := p.playSegment(ctx, idx); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				continue // skip unfetchable segment, as players do
+			}
+			progressed = true
+			if p.cfg.Pace > 0 {
+				select {
+				case <-time.After(p.cfg.Pace):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		p.mu.Lock()
+		total := p.stats.SegmentsPlayed
+		p.mu.Unlock()
+		if p.cfg.MaxSegments > 0 && total >= p.cfg.MaxSegments {
+			return nil
+		}
+		if !pl.Live {
+			if !progressed || total >= len(pl.Segments) {
+				return nil
+			}
+			continue
+		}
+		// Live: wait for the window to slide.
+		if !progressed {
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// loadHashManifest fetches the CDN's per-segment hash list once.
+func (p *Peer) loadHashManifest(ctx context.Context) {
+	p.mu.Lock()
+	loaded := p.hashManifest != nil
+	p.mu.Unlock()
+	if loaded {
+		return
+	}
+	body, err := p.httpGet(ctx, cdn.HashesURL(p.cfg.CDNBase, p.cfg.Video, p.cfg.Rendition))
+	if err != nil {
+		return // live asset or older CDN: defense unavailable
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnHTTP(len(body))
+	}
+	var hashes map[string]string
+	if err := json.Unmarshal(body, &hashes); err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.hashManifest = hashes
+	p.mu.Unlock()
+}
+
+// hashManifestOK verifies a segment against the downloaded hash list;
+// segments absent from the list are rejected.
+func (p *Peer) hashManifestOK(key media.SegmentKey, data []byte) bool {
+	p.mu.Lock()
+	hashes := p.hashManifest
+	p.mu.Unlock()
+	if hashes == nil {
+		return true // defense not active
+	}
+	want, ok := hashes[key.String()]
+	if !ok {
+		return false
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnHash(len(data))
+	}
+	return media.IMHash(key, data) == want
+}
+
+// playSegment fetches (P2P-first after slow start), meters, caches,
+// announces, and observes one segment.
+func (p *Peer) playSegment(ctx context.Context, idx int) error {
+	key := media.SegmentKey{Video: p.cfg.Video, Rendition: p.cfg.Rendition, Index: idx}
+	data, source, err := p.fetchSegment(ctx, key)
+	if err != nil {
+		return err
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnPlayback(len(data))
+	}
+	if !p.cfg.DisableP2P {
+		// The segment cache exists to serve uploads; a plain CDN viewer
+		// holds only transient playback buffers.
+		p.cache.put(idx, data)
+	}
+	p.mu.Lock()
+	p.played[idx] = true
+	p.stats.SegmentsPlayed++
+	if source == SourceCDN {
+		p.stats.FromCDN++
+	} else {
+		p.stats.FromP2P++
+	}
+	sig := p.sig
+	p.mu.Unlock()
+	if sig != nil {
+		sig.Have([]int{idx})
+	}
+	if p.cfg.OnSegment != nil {
+		p.cfg.OnSegment(key, data, source)
+	}
+	return nil
+}
+
+// fetchSegment applies the hybrid scheduler: CDN during slow start or
+// when P2P is unavailable, otherwise P2P with CDN fallback.
+func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, string, error) {
+	pol := p.Policy()
+	p2pAllowed := !p.cfg.DisableP2P && pol.P2PEnabled &&
+		key.Index >= pol.SlowStartSegments &&
+		(!p.cfg.Cellular || pol.CellularDownload)
+
+	if p.cfg.VerifyHashManifest {
+		p.loadHashManifest(ctx)
+	}
+	if p2pAllowed {
+		p.maintainNeighbors(ctx)
+		if data, ok := p.fetchFromPeers(ctx, key); ok {
+			if !p.cfg.VerifyHashManifest || p.hashManifestOK(key, data) {
+				return data, SourceP2P, nil
+			}
+			p.mu.Lock()
+			p.stats.IMRejected++
+			p.mu.Unlock()
+		}
+	}
+	data, err := p.fetchFromCDN(ctx, key)
+	if err != nil {
+		return nil, "", err
+	}
+	if !p.cfg.DisableP2P && pol.RequireIMChecking {
+		p.reportIM(key, data)
+	}
+	return data, SourceCDN, nil
+}
+
+// fetchFromPeers asks connected neighbors for the segment, verifying
+// signed integrity metadata when the policy demands it.
+func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte, bool) {
+	pol := p.Policy()
+	for _, nb := range p.shuffledNeighbors() {
+		data, ok := nb.request(ctx, key)
+		if !ok {
+			continue
+		}
+		if !p.consistent(len(data)) {
+			// Inconsistent with the manifest's declared bitrate: drop
+			// the segment and the peer (the "slow start" detection that
+			// defeats direct pollution, §IV-C).
+			nb.close()
+			continue
+		}
+		if pol.RequireIMChecking && !p.verifySIM(key, data) {
+			p.mu.Lock()
+			p.stats.IMRejected++
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Lock()
+		p.stats.P2PDownBytes += int64(len(data))
+		p.mu.Unlock()
+		return data, true
+	}
+	return nil, false
+}
+
+// fetchFromCDN downloads a segment over HTTP.
+func (p *Peer) fetchFromCDN(ctx context.Context, key media.SegmentKey) ([]byte, error) {
+	url := cdn.SegmentURL(p.cfg.CDNBase, key.Video, key.Rendition, key.Index)
+	data, err := p.httpGet(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.stats.CDNBytes += int64(len(data))
+	p.mu.Unlock()
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnHTTP(len(data))
+	}
+	return data, nil
+}
+
+// fetchPlaylist retrieves the rendition playlist.
+func (p *Peer) fetchPlaylist(ctx context.Context) (*hls.MediaPlaylist, error) {
+	url := cdn.PlaylistURL(p.cfg.CDNBase, p.cfg.Video, p.cfg.Rendition)
+	body, err := p.httpGet(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.Meter != nil {
+		p.cfg.Meter.OnHTTP(len(body))
+	}
+	return hls.ParseMediaPlaylist(body)
+}
+
+func (p *Peer) httpGet(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("pdnclient: GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// reportStats pushes usage deltas (since the previous report) to the
+// signaling server; the server accumulates them into the customer's
+// meters.
+func (p *Peer) reportStats() {
+	p.mu.Lock()
+	sig := p.sig
+	cur := signal.Stats{
+		P2PDownBytes: p.stats.P2PDownBytes,
+		P2PUpBytes:   p.stats.P2PUpBytes,
+		CDNDownBytes: p.stats.CDNBytes,
+	}
+	delta := signal.Stats{
+		P2PDownBytes: cur.P2PDownBytes - p.reported.P2PDownBytes,
+		P2PUpBytes:   cur.P2PUpBytes - p.reported.P2PUpBytes,
+		CDNDownBytes: cur.CDNDownBytes - p.reported.CDNDownBytes,
+	}
+	p.reported = cur
+	p.mu.Unlock()
+	if sig != nil && (delta.P2PDownBytes != 0 || delta.P2PUpBytes != 0 || delta.CDNDownBytes != 0) {
+		sig.SendStats(delta)
+	}
+}
+
+// teardown closes all connections and waits for helper goroutines.
+func (p *Peer) teardown() {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	p.mu.Lock()
+	sig := p.sig
+	nbs := make([]*neighbor, 0, len(p.neighbors))
+	for _, nb := range p.neighbors {
+		nbs = append(nbs, nb)
+	}
+	p.mu.Unlock()
+	for _, nb := range nbs {
+		nb.close()
+	}
+	if sig != nil {
+		sig.Close()
+	}
+	p.wg.Wait()
+}
+
+// shuffledNeighbors returns the current neighbors in random order.
+func (p *Peer) shuffledNeighbors() []*neighbor {
+	p.mu.Lock()
+	out := make([]*neighbor, 0, len(p.neighbors))
+	for _, nb := range p.neighbors {
+		out = append(out, nb)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	p.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

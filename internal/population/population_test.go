@@ -1,0 +1,127 @@
+package population
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/stealthy-peers/pdnsec/internal/capture"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+)
+
+func TestHuyaLikeDistribution(t *testing.T) {
+	db := geoip.NewDB()
+	m := HuyaLike()
+	viewers, err := m.Generate(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viewers) != 7055 {
+		t.Fatalf("viewers = %d", len(viewers))
+	}
+	addrs := make([]netip.Addr, len(viewers))
+	for i, v := range viewers {
+		addrs[i] = v.Addr
+	}
+	s := Summarize("huya", addrs, db)
+	if s.Total != 7055 {
+		t.Fatalf("total %d", s.Total)
+	}
+	// ~7.5% bogons.
+	bogonFrac := float64(s.Bogons) / float64(s.Total)
+	if bogonFrac < 0.05 || bogonFrac > 0.10 {
+		t.Fatalf("bogon fraction %.3f outside [0.05,0.10]", bogonFrac)
+	}
+	// Bogon split dominated by private, then shared-NAT, then reserved.
+	if !(s.Private > s.SharedNAT && s.SharedNAT > s.Reserved) {
+		t.Fatalf("bogon split %d/%d/%d not ordered like the paper's 543/33/5", s.Private, s.SharedNAT, s.Reserved)
+	}
+	// ~98% of public addresses in China.
+	cnShare := float64(s.ByCountry["CN"]) / float64(s.Public)
+	if cnShare < 0.95 {
+		t.Fatalf("CN share %.3f, want ≈0.98", cnShare)
+	}
+}
+
+func TestRTNewsLikeDistribution(t *testing.T) {
+	db := geoip.NewDB()
+	m := RTNewsLike()
+	viewers, err := m.Generate(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, len(viewers))
+	for i, v := range viewers {
+		addrs[i] = v.Addr
+	}
+	s := Summarize("rtnews", addrs, db)
+	if s.Total != 685 {
+		t.Fatalf("total %d", s.Total)
+	}
+	if len(s.TopCountries) < 3 {
+		t.Fatalf("top countries %+v", s.TopCountries)
+	}
+	if s.TopCountries[0].Country != "US" {
+		t.Fatalf("top country %s, want US", s.TopCountries[0].Country)
+	}
+	usShare := s.TopCountries[0].Share
+	if usShare < 0.28 || usShare > 0.42 {
+		t.Fatalf("US share %.3f, want ≈0.35", usShare)
+	}
+	// Long tail: viewers from many countries.
+	if s.Countries < 10 {
+		t.Fatalf("countries = %d, want a long tail", s.Countries)
+	}
+	if s.Cities < 20 {
+		t.Fatalf("cities = %d, want a spread", s.Cities)
+	}
+}
+
+func TestHarvestPacketsFeedTheRealPipeline(t *testing.T) {
+	db := geoip.NewDB()
+	m := RTNewsLike()
+	m.Viewers = 100
+	viewers, err := m.Generate(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	controlled := netip.MustParseAddrPort("66.24.0.1:40000")
+	pkts := HarvestPackets(viewers, controlled, 3)
+	ips := capture.HarvestPeerIPs(pkts, controlled.Addr())
+	if len(ips) != 100 {
+		t.Fatalf("harvested %d addresses from %d viewers", len(ips), len(viewers))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	db := geoip.NewDB()
+	bad := ChannelModel{Viewers: 1, CountryMix: map[string]float64{"US": 0.8, "CN": 0.5}}
+	if _, err := bad.Generate(db, 1); err == nil {
+		t.Fatal("mix > 1 should fail")
+	}
+	empty := ChannelModel{Viewers: 1}
+	if _, err := empty.Generate(geoip.NewEmptyDB(), 1); err == nil {
+		t.Fatal("empty geo plan should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	db := geoip.NewDB()
+	m := HuyaLike()
+	m.Viewers = 50
+	a, _ := m.Generate(db, 7)
+	b, _ := m.Generate(db, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestSummarizeUniqueAddressesOnly(t *testing.T) {
+	db := geoip.NewDB()
+	addr := netip.MustParseAddr("10.1.2.3")
+	s := Summarize("x", []netip.Addr{addr, netip.MustParseAddr("169.254.0.5"), netip.MustParseAddr("100.64.1.2")}, db)
+	if s.Bogons != 3 || s.Private != 1 || s.Reserved != 1 || s.SharedNAT != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}

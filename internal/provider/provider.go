@@ -1,0 +1,354 @@
+// Package provider defines the PDN provider profiles the study targets
+// and deploys them as running services on the simulated network.
+//
+// The paper analyzed three public providers (Peer5, Streamroot, Viblast)
+// and several private ones (Mango TV, Tencent Video, plus the Microsoft
+// eCDN successor of Peer5). Those services differ in precisely the
+// properties the attacks probe: pricing plan, whether a domain allowlist
+// is enforced by default, whether session tokens bind to the video
+// source, whether any credential is required at all, and the SDK's
+// cellular-data policy. Profile captures each of those as data; Deploy
+// turns a profile into a live signaling server + key registry + STUN
+// server on a netsim network.
+//
+// The profile names are kept as the paper's provider names purely as
+// labels for reproducing its tables; the behaviours are re-implementations
+// of the *mechanisms* the paper describes, not of any vendor's code.
+package provider
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/auth"
+	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+	"github.com/stealthy-peers/pdnsec/internal/ice"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// Signatures are the fingerprints the detector scans for (§III-C):
+// URL patterns in pages, SDK namespaces in APKs, and Android manifest
+// metadata keys.
+type Signatures struct {
+	URLPatterns  []string `json:"url_patterns"`
+	Namespaces   []string `json:"namespaces"`
+	ManifestKeys []string `json:"manifest_keys"`
+}
+
+// Profile is a static description of one PDN service.
+type Profile struct {
+	// Name identifies the provider, e.g. "peer5".
+	Name string
+	// Public marks commercial multi-tenant services (vs private ad-hoc
+	// ones dedicated to a single platform).
+	Public bool
+	// Plan is the billing model (public providers only).
+	Plan auth.Plan
+	// AllowlistByDefault reports whether new keys get a domain
+	// allowlist out of the box. Only Viblast required one.
+	AllowlistByDefault bool
+	// TokenTTL and TokenBindsVideo configure private-provider session
+	// tokens. Tencent's tokens did not bind to the video URL.
+	TokenTTL        time.Duration
+	TokenBindsVideo bool
+	// RequireAuth is false for services that accept unauthenticated
+	// peers (the extracted Mango TV SDK imposed no constraint).
+	RequireAuth bool
+	// SecretKey marks services whose credential is not publicly
+	// embedded (Microsoft eCDN uses the enterprise tenant ID), which
+	// defeats key theft.
+	SecretKey bool
+	// JWTAuth deploys the §V-A defense: the customer's server issues
+	// disposable, video-binding JWTs and the PDN validates them instead
+	// of a static key.
+	JWTAuth bool
+	// JWTTTLSeconds and JWTUsageLimit parameterize issued tokens.
+	JWTTTLSeconds int64
+	JWTUsageLimit int
+	// Policy is the SDK policy delivered to peers.
+	Policy signal.Policy
+	// Signatures fingerprint the provider's SDK for the detector.
+	Signatures Signatures
+}
+
+// Peer5 models the most widely deployed public provider: per-traffic
+// billing, no allowlist by default.
+func Peer5() Profile {
+	return Profile{
+		Name:   "peer5",
+		Public: true,
+		Plan:   auth.PlanPerTraffic,
+		Policy: signal.DefaultPolicy(),
+		Signatures: Signatures{
+			URLPatterns:  []string{"api.peer5.com/peer5.js?id="},
+			Namespaces:   []string{"com.peer5.sdk"},
+			ManifestKeys: []string{"com.peer5.ApiKey"},
+		},
+	}
+}
+
+// Streamroot models the second public provider: per-traffic billing, no
+// allowlist by default.
+func Streamroot() Profile {
+	return Profile{
+		Name:   "streamroot",
+		Public: true,
+		Plan:   auth.PlanPerTraffic,
+		Policy: signal.DefaultPolicy(),
+		Signatures: Signatures{
+			URLPatterns:  []string{"cdn.streamroot.io/dna-bundle.js"},
+			Namespaces:   []string{"io.streamroot.dna"},
+			ManifestKeys: []string{"io.streamroot.dna.StreamrootKey"},
+		},
+	}
+}
+
+// Viblast models the third public provider: per-viewer-hour billing and
+// a mandatory domain allowlist (which still falls to domain spoofing).
+func Viblast() Profile {
+	return Profile{
+		Name:               "viblast",
+		Public:             true,
+		Plan:               auth.PlanPerViewerHour,
+		AllowlistByDefault: true,
+		Policy:             signal.DefaultPolicy(),
+		Signatures: Signatures{
+			URLPatterns:  []string{"viblast.com/player/viblast.js"},
+			Namespaces:   []string{"com.viblast.android"},
+			ManifestKeys: []string{"com.viblast.LicenseKey"},
+		},
+	}
+}
+
+// MangoPrivate models the private PDN whose player SDK the paper
+// extracted and free-rode "with no constraints".
+func MangoPrivate() Profile {
+	return Profile{
+		Name:        "mango-private",
+		RequireAuth: false,
+		TokenTTL:    time.Minute,
+		Policy:      signal.DefaultPolicy(),
+		Signatures: Signatures{
+			URLPatterns: []string{"signal.api.mgtv-sim.test/ws"},
+		},
+	}
+}
+
+// TencentPrivate models the private PDN whose session token does not
+// bind to the video source URL.
+func TencentPrivate() Profile {
+	return Profile{
+		Name:            "tencent-private",
+		RequireAuth:     true,
+		TokenTTL:        time.Minute,
+		TokenBindsVideo: false,
+		Policy:          signal.DefaultPolicy(),
+		Signatures: Signatures{
+			URLPatterns: []string{"webrtcpunch.video.qq-sim.test"},
+		},
+	}
+}
+
+// StrictPrivate models a private PDN with video-bound tokens, the
+// strongest deployed authentication the paper encountered.
+func StrictPrivate() Profile {
+	return Profile{
+		Name:            "strict-private",
+		RequireAuth:     true,
+		TokenTTL:        time.Minute,
+		TokenBindsVideo: true,
+		Policy:          signal.DefaultPolicy(),
+		Signatures: Signatures{
+			URLPatterns: []string{"tracker.strict-sim.test/webrtc"},
+		},
+	}
+}
+
+// ECDN models Microsoft eCDN after the Peer5 acquisition: the tenant-ID
+// credential is never published, defeating free riding, but segment
+// integrity is still unverified (§VI).
+func ECDN() Profile {
+	p := signal.DefaultPolicy()
+	return Profile{
+		Name:      "ecdn",
+		Public:    true,
+		Plan:      auth.PlanPerTraffic,
+		SecretKey: true,
+		Policy:    p,
+		Signatures: Signatures{
+			URLPatterns: []string{"ecdn.microsoft-sim.test/sdk.js"},
+		},
+	}
+}
+
+// Hardened models a §V-hardened deployment: disposable video-binding
+// JWT authentication, IM checking required, geo-constrained matching,
+// and a per-session upload budget — every mitigation the paper
+// proposes, composed. Deploy it with Options.IM set to an IMChecker to
+// activate the pollution defense.
+func Hardened() Profile {
+	pol := signal.DefaultPolicy()
+	pol.RequireIMChecking = true
+	pol.GeoMatchCountry = true
+	pol.MaxUploadBytes = 512 << 20
+	return Profile{
+		Name:          "hardened",
+		RequireAuth:   true,
+		JWTAuth:       true,
+		JWTTTLSeconds: 60,
+		JWTUsageLimit: 3,
+		Policy:        pol,
+		Signatures: Signatures{
+			URLPatterns: []string{"hardened-pdn-sim.test/sdk.js"},
+		},
+	}
+}
+
+// PublicProfiles returns the three public providers in the paper's
+// table order.
+func PublicProfiles() []Profile {
+	return []Profile{Peer5(), Streamroot(), Viblast()}
+}
+
+// AllProfiles returns every modelled provider.
+func AllProfiles() []Profile {
+	return append(PublicProfiles(), MangoPrivate(), TencentPrivate(), StrictPrivate(), ECDN(), Hardened())
+}
+
+// Deployment is a provider profile running on a simulated network.
+type Deployment struct {
+	Profile Profile
+	Keys    *auth.Registry
+	Tokens  *auth.TokenStore
+	// JWT is the customer-side token authority for JWTAuth profiles;
+	// IssueJWT mints viewer tokens from it.
+	JWT    *defense.TokenAuthority
+	Server *signal.Server
+
+	// SignalAddr and STUNAddr are the service endpoints peers use.
+	SignalAddr netip.AddrPort
+	STUNAddr   netip.AddrPort
+
+	stunCancel context.CancelFunc
+	stunConn   *netsim.PacketConn
+}
+
+// Options tweaks a deployment beyond its profile defaults.
+type Options struct {
+	// GeoDB enables server-side geolocation (needed for geo matching).
+	GeoDB *geoip.DB
+	// IM installs the integrity-checking defense.
+	IM signal.IMService
+	// PolicyOverride, when non-nil, replaces the profile policy.
+	PolicyOverride *signal.Policy
+	// Seed drives peer matching.
+	Seed int64
+}
+
+// Deploy starts the provider's signaling and STUN services on the given
+// host (ports 443 and 3478).
+func Deploy(p Profile, host *netsim.Host, opts Options) (*Deployment, error) {
+	d := &Deployment{Profile: p}
+
+	var keys *auth.Registry
+	if p.Public {
+		keys = auth.NewRegistry(p.Plan)
+	}
+	var tokens *auth.TokenStore
+	if p.TokenTTL > 0 {
+		tokens = auth.NewTokenStore(p.TokenBindsVideo, p.TokenTTL)
+	}
+	var jwtAuthority *defense.TokenAuthority
+	var jwtValidator signal.TokenValidator
+	if p.JWTAuth {
+		var secret [32]byte
+		if _, err := rand.Read(secret[:]); err != nil {
+			return nil, fmt.Errorf("provider %s: jwt secret: %w", p.Name, err)
+		}
+		jwtAuthority = defense.NewTokenAuthority(secret[:])
+		jwtValidator = jwtAuthority
+	}
+	policy := p.Policy
+	if opts.PolicyOverride != nil {
+		policy = *opts.PolicyOverride
+	}
+	srv := signal.NewServer(signal.Config{
+		Keys:        keys,
+		Tokens:      tokens,
+		JWT:         jwtValidator,
+		RequireAuth: p.RequireAuth || p.Public,
+		Policy:      policy,
+		GeoDB:       opts.GeoDB,
+		IM:          opts.IM,
+		Seed:        opts.Seed,
+	})
+	if err := srv.Serve(host, 443); err != nil {
+		return nil, fmt.Errorf("provider %s: %w", p.Name, err)
+	}
+
+	pc, err := host.ListenPacket(3478)
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("provider %s: stun: %w", p.Name, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go ice.ServeSTUN(ctx, pc)
+
+	d.Keys = keys
+	d.Tokens = tokens
+	d.JWT = jwtAuthority
+	d.Server = srv
+	d.SignalAddr = netip.AddrPortFrom(host.VisibleAddr(), 443)
+	d.STUNAddr = netip.AddrPortFrom(host.VisibleAddr(), 3478)
+	d.stunCancel = cancel
+	d.stunConn = pc
+	return d, nil
+}
+
+// IssueKey registers a customer with the provider, applying the
+// profile's allowlist default, and returns the API key the customer
+// would embed in its pages.
+func (d *Deployment) IssueKey(customerDomain string) string {
+	if d.Keys == nil {
+		return ""
+	}
+	var allow []string
+	if d.Profile.AllowlistByDefault {
+		allow = []string{customerDomain}
+	}
+	return d.Keys.Issue(customerDomain, allow)
+}
+
+// IssueJWT mints a disposable video-binding token for a viewer of the
+// given video source (the customer server's role in §V-A).
+func (d *Deployment) IssueJWT(peerID string, videoURLs ...string) (string, error) {
+	if d.JWT == nil {
+		return "", fmt.Errorf("provider %s: profile has no JWT authority", d.Profile.Name)
+	}
+	return d.JWT.Issue(defense.PDNToken{
+		CustomerID: "customer.com",
+		PDNPeerID:  peerID,
+		VideoIDs:   videoURLs,
+		TTL:        d.Profile.JWTTTLSeconds,
+		UsageLimit: d.Profile.JWTUsageLimit,
+	})
+}
+
+// Close stops the deployment's services.
+func (d *Deployment) Close() error {
+	if d.stunCancel != nil {
+		d.stunCancel()
+	}
+	if d.stunConn != nil {
+		d.stunConn.Close()
+	}
+	if d.Server != nil {
+		return d.Server.Close()
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package signal
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// ErrClosed is returned by client calls after the connection ends.
+var ErrClosed = errors.New("signal: client closed")
+
+// ServerError is an error message relayed from the PDN server.
+type ServerError struct {
+	Info ErrorInfo
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("signal: server error %s: %s", e.Info.Code, e.Info.Message)
+}
+
+// Client is the SDK side of the signaling protocol. One goroutine owns
+// the read loop; requests are serialized so responses pair with their
+// requests; asynchronous relays are delivered to the relay handler.
+type Client struct {
+	codec *wire.Codec
+
+	reqMu sync.Mutex // serializes request/response exchanges
+
+	mu       sync.Mutex
+	respCh   chan wire.Envelope
+	relayFn  func(Relay)
+	closed   bool
+	closeErr error
+	done     chan struct{}
+}
+
+// Dial connects to a PDN server from the given simulated host.
+func Dial(ctx context.Context, host *netsim.Host, server netip.AddrPort) (*Client, error) {
+	conn, err := host.Dial(ctx, server)
+	if err != nil {
+		return nil, fmt.Errorf("signal: dial %v: %w", server, err)
+	}
+	c := &Client{
+		codec:  wire.NewCodec(conn),
+		respCh: make(chan wire.Envelope, 1),
+		done:   make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// OnRelay installs the handler invoked for each relayed peer message
+// (connection offers/answers). Must be set before relays can arrive.
+func (c *Client) OnRelay(fn func(Relay)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.relayFn = fn
+}
+
+// readLoop pumps inbound envelopes: relays go to the handler, responses
+// to the pending request.
+func (c *Client) readLoop() {
+	for {
+		env, err := c.codec.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			c.closeErr = err
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		if env.Type == MsgRelay {
+			var rel Relay
+			if err := env.Decode(&rel); err == nil {
+				c.mu.Lock()
+				fn := c.relayFn
+				c.mu.Unlock()
+				if fn != nil {
+					fn(rel)
+				}
+			}
+			continue
+		}
+		select {
+		case c.respCh <- env:
+		default:
+			// Unsolicited response (e.g. error after a one-way message);
+			// drop rather than block the loop.
+		}
+	}
+}
+
+// roundTrip sends a request and waits for the next response envelope.
+func (c *Client) roundTrip(typ string, payload any) (wire.Envelope, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	// Drain any stale response left by a previous failed exchange.
+	select {
+	case <-c.respCh:
+	default:
+	}
+	if err := c.codec.Send(typ, payload); err != nil {
+		return wire.Envelope{}, err
+	}
+	select {
+	case env := <-c.respCh:
+		if env.Type == MsgError {
+			var info ErrorInfo
+			if err := env.Decode(&info); err != nil {
+				return wire.Envelope{}, err
+			}
+			return wire.Envelope{}, &ServerError{Info: info}
+		}
+		return env, nil
+	case <-c.done:
+		return wire.Envelope{}, c.closeErr
+	}
+}
+
+// Join authenticates with the server and returns the welcome.
+func (c *Client) Join(req JoinRequest) (Welcome, error) {
+	env, err := c.roundTrip(MsgJoin, req)
+	if err != nil {
+		return Welcome{}, err
+	}
+	if env.Type != MsgWelcome {
+		return Welcome{}, fmt.Errorf("signal: unexpected response %q", env.Type)
+	}
+	var w Welcome
+	if err := env.Decode(&w); err != nil {
+		return Welcome{}, err
+	}
+	return w, nil
+}
+
+// GetPeers requests up to max neighbor candidates.
+func (c *Client) GetPeers(max int) ([]PeerInfo, error) {
+	env, err := c.roundTrip(MsgGetPeers, GetPeersReq{Max: max})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != MsgPeers {
+		return nil, fmt.Errorf("signal: unexpected response %q", env.Type)
+	}
+	var resp PeersResp
+	if err := env.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return resp.Peers, nil
+}
+
+// Have announces cached segments (one-way).
+func (c *Client) Have(segments []int) error {
+	return c.codec.Send(MsgHave, Have{Segments: segments})
+}
+
+// SendStats reports usage (one-way).
+func (c *Client) SendStats(st Stats) error {
+	return c.codec.Send(MsgStats, st)
+}
+
+// Relay forwards an opaque message to another peer via the server
+// (one-way).
+func (c *Client) Relay(to, kind string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("signal: marshal relay payload: %w", err)
+	}
+	return c.codec.Send(MsgRelay, Relay{To: to, Kind: kind, Payload: raw})
+}
+
+// ReportIM submits integrity metadata for a CDN-fetched segment
+// (one-way; the server may respond with a blacklisting error, which
+// surfaces as a closed connection).
+func (c *Client) ReportIM(rep IMReport) error {
+	return c.codec.Send(MsgIMReport, rep)
+}
+
+// GetSIM fetches the signed integrity metadata for a segment.
+func (c *Client) GetSIM(key GetSIM) (SIM, error) {
+	env, err := c.roundTrip(MsgGetSIM, key)
+	if err != nil {
+		return SIM{}, err
+	}
+	if env.Type != MsgSIM {
+		return SIM{}, fmt.Errorf("signal: unexpected response %q", env.Type)
+	}
+	var sim SIM
+	if err := env.Decode(&sim); err != nil {
+		return SIM{}, err
+	}
+	return sim, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.codec.Send(MsgBye, nil)
+	return c.codec.Close()
+}

@@ -1,0 +1,117 @@
+package signal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRelayToUnknownPeerReturnsError(t *testing.T) {
+	e := newEnv(t, nil)
+	key := e.keys.Issue("customer.com", nil)
+	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	if _, err := c.Join(basicJoin(key)); err != nil {
+		t.Fatal(err)
+	}
+	// Relay is one-way; the error arrives as an unsolicited server
+	// message. Confirm the session survives and later requests work.
+	if err := c.Relay("p999", RelayOffer, ConnectOffer{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := c.GetPeers(1); err != nil {
+		t.Fatalf("session should survive a relay error: %v", err)
+	}
+}
+
+func TestSwarmsIsolatedByRendition(t *testing.T) {
+	e := newEnv(t, nil)
+	key := e.keys.Issue("customer.com", nil)
+
+	c720 := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	j := basicJoin(key)
+	j.Rendition = "720p"
+	if _, err := c720.Join(j); err != nil {
+		t.Fatal(err)
+	}
+	c1080 := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
+	j2 := basicJoin(key)
+	j2.Rendition = "1080p"
+	if _, err := c1080.Join(j2); err != nil {
+		t.Fatal(err)
+	}
+	peers, err := c720.GetPeers(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 0 {
+		t.Fatalf("different renditions must not match: %+v", peers)
+	}
+	if e.server.SwarmSize("bbb", "720p") != 1 || e.server.SwarmSize("bbb", "1080p") != 1 {
+		t.Fatal("swarm sizes wrong")
+	}
+}
+
+func TestPolicyDeliveredVerbatim(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.MaxUploadBytes = 12345
+	pol.SlowStartSegments = 7
+	pol.RequireIMChecking = true
+	e := newEnv(t, func(c *Config) { c.Policy = pol })
+	key := e.keys.Issue("customer.com", nil)
+	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	w, err := c.Join(basicJoin(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Policy.MaxUploadBytes != 12345 || w.Policy.SlowStartSegments != 7 || !w.Policy.RequireIMChecking {
+		t.Fatalf("policy mangled in transit: %+v", w.Policy)
+	}
+}
+
+func TestUnknownMessageTypeAnswered(t *testing.T) {
+	e := newEnv(t, nil)
+	key := e.keys.Issue("customer.com", nil)
+	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	if _, err := c.Join(basicJoin(key)); err != nil {
+		t.Fatal(err)
+	}
+	// roundTrip surfaces the server's bad-request error.
+	_, err := c.roundTrip("frobnicate", nil)
+	se, ok := err.(*ServerError)
+	if !ok || se.Info.Code != CodeBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	// Session still usable.
+	if _, err := c.GetPeers(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewerTimeMetering(t *testing.T) {
+	e := newEnv(t, nil)
+	key := e.keys.Issue("customer.com", nil)
+	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	if _, err := c.Join(basicJoin(key)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	c.Close()
+	waitFor(t, time.Second, func() bool {
+		return e.keys.Usage("customer.com").ViewerSeconds > 0
+	})
+}
+
+func TestServerCloseDisconnectsPeers(t *testing.T) {
+	e := newEnv(t, nil)
+	key := e.keys.Issue("customer.com", nil)
+	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	if _, err := c.Join(basicJoin(key)); err != nil {
+		t.Fatal(err)
+	}
+	e.server.Close()
+	// Subsequent requests fail once the server is gone.
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := c.GetPeers(1)
+		return err != nil
+	})
+}

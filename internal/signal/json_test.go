@@ -1,0 +1,6 @@
+package signal
+
+import "encoding/json"
+
+// jsonUnmarshal is a tiny indirection so test helpers read clearly.
+func jsonUnmarshal(raw []byte, out any) error { return json.Unmarshal(raw, out) }

@@ -1,0 +1,198 @@
+// Package signal implements the PDN server — the trusted third party
+// that authenticates peers, groups them into per-content swarms, brokers
+// candidate exchange for WebRTC connections, collects usage statistics,
+// and (when the defense is enabled) arbitrates segment integrity
+// metadata.
+//
+// The protocol mirrors what the paper observed by MITMing commercial
+// PDN signaling channels: a join carrying a static API key plus
+// client-reported Origin/Referer headers, followed by candidate
+// exchange and peer matching. Authentication trusts exactly what the
+// deployed services trust, so the paper's cross-domain and
+// domain-spoofing attacks work — or fail — for the same reasons.
+package signal
+
+import (
+	"encoding/json"
+
+	"github.com/stealthy-peers/pdnsec/internal/ice"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+)
+
+// Message type identifiers on the signaling channel.
+const (
+	MsgJoin     = "join"
+	MsgWelcome  = "welcome"
+	MsgError    = "error"
+	MsgGetPeers = "get_peers"
+	MsgPeers    = "peers"
+	MsgHave     = "have"
+	MsgStats    = "stats"
+	MsgRelay    = "relay"
+	MsgIMReport = "im_report"
+	MsgGetSIM   = "get_sim"
+	MsgSIM      = "sim"
+	MsgBye      = "bye"
+)
+
+// Error codes returned in ErrorInfo.
+const (
+	CodeAuthFailed  = "auth_failed"
+	CodeBadRequest  = "bad_request"
+	CodeNotFound    = "not_found"
+	CodeBlacklisted = "blacklisted"
+)
+
+// JoinRequest is the first message a peer sends. APIKey/Origin/Referer
+// model public providers; Token/VideoURL model private providers.
+type JoinRequest struct {
+	APIKey   string `json:"api_key,omitempty"`
+	Origin   string `json:"origin,omitempty"`
+	Referer  string `json:"referer,omitempty"`
+	Token    string `json:"token,omitempty"`
+	VideoURL string `json:"video_url,omitempty"`
+
+	Video     string `json:"video"`
+	Rendition string `json:"rendition"`
+
+	// Fingerprint is the peer's DTLS certificate fingerprint, shared so
+	// other peers can authenticate the transport.
+	Fingerprint string `json:"fingerprint"`
+	// Candidates are the peer's ICE candidates, gathered before joining.
+	Candidates []ice.Candidate `json:"candidates"`
+	// Cellular marks the peer as being on a metered cellular connection;
+	// the policy decides whether such peers upload.
+	Cellular bool `json:"cellular,omitempty"`
+}
+
+// Policy is the provider-controlled SDK configuration delivered at join.
+// The paper found this object unprotected in Peer5's JavaScript and used
+// it to identify apps allowing cellular upload (§IV-D).
+type Policy struct {
+	// P2PEnabled gates the whole PDN path.
+	P2PEnabled bool `json:"p2p_enabled"`
+	// SlowStartSegments is how many leading segments must come from the
+	// CDN before P2P kicks in — the "slow start" that defeats the
+	// direct content pollution attack.
+	SlowStartSegments int `json:"slow_start_segments"`
+	// MaxNeighbors caps concurrent P2P neighbors.
+	MaxNeighbors int `json:"max_neighbors"`
+	// CellularDownload / CellularUpload control whether metered peers
+	// consume cellular data for each direction ("leech mode" is
+	// download-only).
+	CellularDownload bool `json:"cellular_download"`
+	CellularUpload   bool `json:"cellular_upload"`
+	// GeoMatchCountry restricts peer matching to same-country peers —
+	// the paper's §V-C mitigation for the IP-leak risk.
+	GeoMatchCountry bool `json:"geo_match_country"`
+	// MaxUploadBytes caps how much a peer will upload per session —
+	// the paper's §V-C mitigation for resource squatting ("limiting the
+	// maximum uploading bandwidth"). Zero means unlimited, which is
+	// what every deployed service ships.
+	MaxUploadBytes int64 `json:"max_upload_bytes,omitempty"`
+	// RequireIMChecking makes peers verify signed integrity metadata for
+	// every P2P segment — the paper's §V-B defense.
+	RequireIMChecking bool `json:"require_im_checking"`
+}
+
+// DefaultPolicy matches the commercial deployments the paper measured.
+func DefaultPolicy() Policy {
+	return Policy{
+		P2PEnabled:        true,
+		SlowStartSegments: 2,
+		MaxNeighbors:      8,
+		CellularDownload:  true,
+		CellularUpload:    false,
+	}
+}
+
+// Welcome acknowledges a successful join.
+type Welcome struct {
+	PeerID  string `json:"peer_id"`
+	SwarmID string `json:"swarm_id"`
+	Policy  Policy `json:"policy"`
+}
+
+// ErrorInfo reports a request failure.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// GetPeersReq asks for neighbor candidates.
+type GetPeersReq struct {
+	Max int `json:"max"`
+}
+
+// PeerInfo describes a matched neighbor — including its ICE candidates,
+// i.e. its IP addresses. Handing this to an untrusted peer is the IP
+// leak (§IV-D): the server has no way to know the requester is a
+// harvester.
+type PeerInfo struct {
+	ID          string          `json:"id"`
+	Fingerprint string          `json:"fingerprint"`
+	Candidates  []ice.Candidate `json:"candidates"`
+	Country     string          `json:"country,omitempty"`
+}
+
+// PeersResp lists matched neighbors.
+type PeersResp struct {
+	Peers []PeerInfo `json:"peers"`
+}
+
+// Have announces which segment indices the peer can serve.
+type Have struct {
+	Segments []int `json:"segments"`
+}
+
+// Stats is the SDK's periodic usage report; the server meters the
+// owning customer from it, which is what lets free riders bill victims.
+type Stats struct {
+	P2PDownBytes int64 `json:"p2p_down_bytes"`
+	P2PUpBytes   int64 `json:"p2p_up_bytes"`
+	CDNDownBytes int64 `json:"cdn_down_bytes"`
+	ViewSeconds  int64 `json:"view_seconds"`
+}
+
+// Relay is an opaque peer-to-peer message forwarded through the server
+// (connection offers/answers during ICE).
+type Relay struct {
+	To      string          `json:"to"`
+	From    string          `json:"from,omitempty"` // set by the server
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Relay kinds used by the SDK's connection setup.
+const (
+	RelayOffer  = "offer"
+	RelayAnswer = "answer"
+)
+
+// ConnectOffer is the payload of an "offer"/"answer" relay: the sender's
+// nominated transport parameters.
+type ConnectOffer struct {
+	Fingerprint string          `json:"fingerprint"`
+	Candidates  []ice.Candidate `json:"candidates"`
+}
+
+// IMReport carries a peer's integrity metadata for a CDN-downloaded
+// segment (defense, §V-B).
+type IMReport struct {
+	Key  media.SegmentKey `json:"key"`
+	Hash string           `json:"hash"`
+}
+
+// GetSIM requests the signed integrity metadata for a segment.
+type GetSIM struct {
+	Key media.SegmentKey `json:"key"`
+}
+
+// SIM is signed integrity metadata: the server-authenticated hash a
+// peer must verify before accepting a P2P-delivered segment.
+type SIM struct {
+	Key   media.SegmentKey `json:"key"`
+	Hash  string           `json:"hash"`
+	Sig   string           `json:"sig"`
+	Found bool             `json:"found"`
+}

@@ -1,0 +1,416 @@
+package signal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/auth"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+	"github.com/stealthy-peers/pdnsec/internal/ice"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// IMService is the pluggable integrity-metadata arbiter (the §V-B
+// defense). A nil IMService disables integrity checking, which is the
+// deployed-provider behaviour the pollution attack exploits.
+type IMService interface {
+	// Report records a peer's IM for a CDN-fetched segment and returns
+	// an error if the peer is now (or already was) blacklisted.
+	Report(peerID string, key media.SegmentKey, hash string) error
+	// SIM returns the signed IM for a segment if one is established.
+	SIM(key media.SegmentKey) (hash, sig string, ok bool)
+	// Blacklisted reports whether a peer has been banned.
+	Blacklisted(peerID string) bool
+}
+
+// TokenValidator validates a presented token for a video source — the
+// §V-A disposable video-binding JWT defense plugs in here
+// (defense.TokenAuthority satisfies it).
+type TokenValidator interface {
+	Validate(token, videoID string) error
+}
+
+// Config parameterizes a PDN signaling server.
+type Config struct {
+	// Keys authenticates public-provider joins (API key + origin).
+	// Nil disables key authentication.
+	Keys *auth.Registry
+	// Tokens authenticates private-provider joins (session token).
+	// Nil disables token authentication.
+	Tokens *auth.TokenStore
+	// JWT, when set, validates joins carrying a signed video-binding
+	// token (§V-A). It takes precedence over Tokens.
+	JWT TokenValidator
+	// RequireAuth rejects joins that present no credential. The
+	// extracted Mango TV SDK imposed no constraint, modelled by false.
+	RequireAuth bool
+	// Policy is delivered to every peer at join.
+	Policy Policy
+	// GeoDB geolocates peers for the geo-matching mitigation and for
+	// experiment reporting. Nil disables geolocation.
+	GeoDB *geoip.DB
+	// IM enables peer-assisted integrity checking.
+	IM IMService
+	// Seed drives peer-matching randomness.
+	Seed int64
+}
+
+// Server is a running PDN signaling server.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	nextID int
+	peers  map[string]*session
+	swarms map[string]map[string]*session // swarmID -> peerID -> session
+	rng    *rand.Rand
+
+	listener *netsim.Listener
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// session is the server's view of one connected peer.
+type session struct {
+	id          string
+	customer    string
+	swarmID     string
+	fingerprint string
+	candidates  []ice.Candidate
+	country     string
+	addr        netip.Addr
+	cellular    bool
+
+	mu    sync.Mutex
+	codec *wire.Codec
+	have  map[int]bool
+	joinT time.Time
+}
+
+// send serializes concurrent writes to the peer.
+func (s *session) send(typ string, payload any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codec.Send(typ, payload)
+}
+
+// NewServer constructs a server with the given configuration.
+func NewServer(cfg Config) *Server {
+	return &Server{
+		cfg:    cfg,
+		peers:  make(map[string]*session),
+		swarms: make(map[string]map[string]*session),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		done:   make(chan struct{}),
+	}
+}
+
+// Serve starts accepting signaling connections on a simulated host/port.
+func (s *Server) Serve(host *netsim.Host, port uint16) error {
+	l, err := host.Listen(port)
+	if err != nil {
+		return fmt.Errorf("signal: listen: %w", err)
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Close stops the server and disconnects all peers.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.mu.Lock()
+	for _, p := range s.peers {
+		p.codec.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn authenticates one peer and serves its message loop.
+func (s *Server) handleConn(conn net.Conn) {
+	codec := wire.NewCodec(conn)
+	defer codec.Close()
+
+	env, err := codec.Read()
+	if err != nil {
+		return
+	}
+	if env.Type != MsgJoin {
+		codec.Send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: "expected join"})
+		return
+	}
+	var join JoinRequest
+	if err := env.Decode(&join); err != nil {
+		codec.Send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+
+	customer, err := s.authenticate(join)
+	if err != nil {
+		codec.Send(MsgError, ErrorInfo{Code: CodeAuthFailed, Message: err.Error()})
+		return
+	}
+
+	sess := s.register(codec, conn, join, customer)
+	defer s.unregister(sess)
+
+	if s.cfg.Keys != nil && customer != "" {
+		s.cfg.Keys.RecordJoin(customer)
+	}
+	if err := sess.send(MsgWelcome, Welcome{PeerID: sess.id, SwarmID: sess.swarmID, Policy: s.cfg.Policy}); err != nil {
+		return
+	}
+
+	for {
+		env, err := codec.Read()
+		if err != nil {
+			return
+		}
+		if done := s.dispatch(sess, env); done {
+			return
+		}
+	}
+}
+
+// authenticate validates the join's credentials per the configuration.
+func (s *Server) authenticate(join JoinRequest) (string, error) {
+	switch {
+	case join.APIKey != "" && s.cfg.Keys != nil:
+		origin := join.Origin
+		if origin == "" {
+			origin = join.Referer
+		}
+		return s.cfg.Keys.Authenticate(join.APIKey, origin)
+	case join.Token != "" && s.cfg.JWT != nil:
+		if err := s.cfg.JWT.Validate(join.Token, join.VideoURL); err != nil {
+			return "", err
+		}
+		return "", nil
+	case join.Token != "" && s.cfg.Tokens != nil:
+		if err := s.cfg.Tokens.Validate(join.Token, join.VideoURL); err != nil {
+			return "", err
+		}
+		return "", nil
+	case !s.cfg.RequireAuth:
+		return "", nil
+	default:
+		return "", errors.New("signal: no valid credential presented")
+	}
+}
+
+// register adds the peer to its swarm.
+func (s *Server) register(codec *wire.Codec, conn net.Conn, join JoinRequest, customer string) *session {
+	addr := remoteAddr(conn)
+	country := ""
+	if s.cfg.GeoDB != nil && addr.IsValid() {
+		country = s.cfg.GeoDB.Lookup(addr).Country
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sess := &session{
+		id:          "p" + strconv.Itoa(s.nextID),
+		customer:    customer,
+		swarmID:     join.Video + "/" + join.Rendition,
+		fingerprint: join.Fingerprint,
+		candidates:  append([]ice.Candidate(nil), join.Candidates...),
+		country:     country,
+		addr:        addr,
+		cellular:    join.Cellular,
+		codec:       codec,
+		have:        make(map[int]bool),
+		joinT:       time.Now(),
+	}
+	s.peers[sess.id] = sess
+	sw, ok := s.swarms[sess.swarmID]
+	if !ok {
+		sw = make(map[string]*session)
+		s.swarms[sess.swarmID] = sw
+	}
+	sw[sess.id] = sess
+	return sess
+}
+
+func (s *Server) unregister(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.peers, sess.id)
+	if sw, ok := s.swarms[sess.swarmID]; ok {
+		delete(sw, sess.id)
+		if len(sw) == 0 {
+			delete(s.swarms, sess.swarmID)
+		}
+	}
+	if s.cfg.Keys != nil && sess.customer != "" {
+		s.cfg.Keys.RecordViewerTime(sess.customer, time.Since(sess.joinT))
+	}
+}
+
+// dispatch handles one message; it returns true when the session ends.
+func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
+	switch env.Type {
+	case MsgGetPeers:
+		var req GetPeersReq
+		if err := env.Decode(&req); err != nil {
+			sess.send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: err.Error()})
+			return false
+		}
+		sess.send(MsgPeers, PeersResp{Peers: s.matchPeers(sess, req.Max)})
+	case MsgHave:
+		var have Have
+		if err := env.Decode(&have); err != nil {
+			return false
+		}
+		sess.mu.Lock()
+		for _, idx := range have.Segments {
+			sess.have[idx] = true
+		}
+		sess.mu.Unlock()
+	case MsgStats:
+		var st Stats
+		if err := env.Decode(&st); err != nil {
+			return false
+		}
+		if s.cfg.Keys != nil && sess.customer != "" {
+			s.cfg.Keys.RecordP2P(sess.customer, st.P2PDownBytes+st.P2PUpBytes)
+			s.cfg.Keys.RecordCDN(sess.customer, st.CDNDownBytes)
+		}
+	case MsgRelay:
+		var rel Relay
+		if err := env.Decode(&rel); err != nil {
+			return false
+		}
+		rel.From = sess.id
+		s.mu.Lock()
+		target := s.peers[rel.To]
+		s.mu.Unlock()
+		if target == nil {
+			sess.send(MsgError, ErrorInfo{Code: CodeNotFound, Message: "peer " + rel.To})
+			return false
+		}
+		target.send(MsgRelay, rel)
+	case MsgIMReport:
+		var rep IMReport
+		if err := env.Decode(&rep); err != nil {
+			return false
+		}
+		if s.cfg.IM != nil {
+			if err := s.cfg.IM.Report(sess.id, rep.Key, rep.Hash); err != nil {
+				sess.send(MsgError, ErrorInfo{Code: CodeBlacklisted, Message: err.Error()})
+				return true
+			}
+		}
+	case MsgGetSIM:
+		var req GetSIM
+		if err := env.Decode(&req); err != nil {
+			return false
+		}
+		resp := SIM{Key: req.Key}
+		if s.cfg.IM != nil {
+			if hash, sig, ok := s.cfg.IM.SIM(req.Key); ok {
+				resp.Hash, resp.Sig, resp.Found = hash, sig, true
+			}
+		}
+		sess.send(MsgSIM, resp)
+	case MsgBye:
+		return true
+	default:
+		sess.send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: "unknown type " + env.Type})
+	}
+	return false
+}
+
+// matchPeers selects up to max swarm-mates for the requester, applying
+// the geo-matching policy when enabled and skipping blacklisted peers.
+func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
+	if max <= 0 {
+		max = s.cfg.Policy.MaxNeighbors
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.swarms[sess.swarmID]
+	cands := make([]*session, 0, len(sw))
+	for id, p := range sw {
+		if id == sess.id {
+			continue
+		}
+		if s.cfg.Policy.GeoMatchCountry && p.country != sess.country {
+			continue
+		}
+		if s.cfg.IM != nil && s.cfg.IM.Blacklisted(id) {
+			continue
+		}
+		cands = append(cands, p)
+	}
+	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]PeerInfo, 0, len(cands))
+	for _, p := range cands {
+		out = append(out, PeerInfo{
+			ID:          p.id,
+			Fingerprint: p.fingerprint,
+			Candidates:  append([]ice.Candidate(nil), p.candidates...),
+			Country:     p.country,
+		})
+	}
+	return out
+}
+
+// PeerCount reports the number of connected peers (tests/monitoring).
+func (s *Server) PeerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+// SwarmSize reports the population of one swarm.
+func (s *Server) SwarmSize(video, rendition string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.swarms[video+"/"+rendition])
+}
+
+// remoteAddr extracts the peer's IP from the connection.
+func remoteAddr(conn net.Conn) netip.Addr {
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		if a, ok := netip.AddrFromSlice(ta.IP); ok {
+			return a.Unmap()
+		}
+	}
+	return netip.Addr{}
+}

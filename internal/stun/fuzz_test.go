@@ -1,0 +1,32 @@
+package stun
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode exercises the STUN parser with adversarial bytes — the
+// detector and IP-leak harvester feed it raw captured datagrams, so it
+// must never panic and must round-trip what it accepts.
+func FuzzDecode(f *testing.F) {
+	f.Add(BindingRequest("user:pass", 42).Encode())
+	f.Add(BindingSuccess(NewTxID(), netip.MustParseAddrPort("203.0.113.9:54321")).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xa4, 0x42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// parsed attributes.
+		again, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Type != m.Type || again.Username != m.Username ||
+			again.XORMappedAddress != m.XORMappedAddress || again.Priority != m.Priority {
+			t.Fatalf("round trip mismatch: %+v vs %+v", m, again)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package stun
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestBindingRequestRoundTrip(t *testing.T) {
+	req := BindingRequest("alice:bob", 12345)
+	got, err := Decode(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeBindingRequest || got.Username != "alice:bob" || got.Priority != 12345 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Tx != req.Tx {
+		t.Fatal("transaction ID mismatch")
+	}
+	if got.Software != "pdnsec-ice" {
+		t.Fatalf("software %q", got.Software)
+	}
+}
+
+func TestBindingSuccessReflectsAddress(t *testing.T) {
+	tx := NewTxID()
+	mapped := netip.MustParseAddrPort("203.0.113.9:54321")
+	resp := BindingSuccess(tx, mapped)
+	got, err := Decode(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeBindingSuccess || got.Tx != tx {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.XORMappedAddress != mapped {
+		t.Fatalf("mapped %v, want %v", got.XORMappedAddress, mapped)
+	}
+}
+
+func TestXORActuallyObfuscates(t *testing.T) {
+	// The address bytes must not appear verbatim in the encoding (they
+	// are XORed with the magic cookie) — but Decode recovers them.
+	mapped := netip.MustParseAddrPort("1.2.3.4:80")
+	enc := BindingSuccess(NewTxID(), mapped).Encode()
+	raw := [4]byte{1, 2, 3, 4}
+	for i := 0; i+4 <= len(enc); i++ {
+		if enc[i] == raw[0] && enc[i+1] == raw[1] && enc[i+2] == raw[2] && enc[i+3] == raw[3] {
+			t.Fatal("raw address bytes leaked un-XORed")
+		}
+	}
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	m := &Message{Type: TypeBindingError, Tx: NewTxID(), ErrorCode: 401, ErrorReason: "Unauthorized"}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ErrorCode != 401 || got.ErrorReason != "Unauthorized" {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestIs(t *testing.T) {
+	req := BindingRequest("u", 1).Encode()
+	if !Is(req) {
+		t.Fatal("Is rejected a valid message")
+	}
+	if Is(nil) || Is([]byte("hello world this is not stun")) {
+		t.Fatal("Is accepted garbage")
+	}
+	// Wrong cookie
+	bad := append([]byte(nil), req...)
+	bad[4] ^= 0xff
+	if Is(bad) {
+		t.Fatal("Is accepted wrong cookie")
+	}
+	// DTLS-looking first byte (>= 20) has top bits set
+	bad2 := append([]byte(nil), req...)
+	bad2[0] = 0x16 // still top bits clear; set them:
+	bad2[0] |= 0xc0
+	if Is(bad2) {
+		t.Fatal("Is accepted non-STUN leading type bits")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("tiny")); err != ErrNotSTUN {
+		t.Fatalf("want ErrNotSTUN, got %v", err)
+	}
+	// Truncated attribute area: claim more attr bytes than present.
+	req := BindingRequest("user", 1).Encode()
+	req[2], req[3] = 0xff, 0xff
+	if _, err := Decode(req); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestDecodeBadXORAddr(t *testing.T) {
+	m := &Message{Type: TypeBindingSuccess, Tx: NewTxID()}
+	enc := m.Encode()
+	// Append a malformed (short) XOR-MAPPED-ADDRESS attribute by hand.
+	attr := []byte{0x00, 0x20, 0x00, 0x04, 0x00, 0x01, 0x00, 0x00}
+	enc = append(enc, attr...)
+	enc[2] = byte(len(attr) >> 8)
+	enc[3] = byte(len(attr))
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("expected error for short XOR-MAPPED-ADDRESS")
+	}
+}
+
+func TestNewTxIDUnique(t *testing.T) {
+	a, b := NewTxID(), NewTxID()
+	if a == b {
+		t.Fatal("transaction IDs should be random")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary addresses and ports.
+func TestQuickAddressRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, port uint16) bool {
+		ap := netip.AddrPortFrom(netip.AddrFrom4([4]byte{a, b, c, d}), port)
+		got, err := Decode(BindingSuccess(NewTxID(), ap).Encode())
+		return err == nil && got.XORMappedAddress == ap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary input.
+func TestQuickDecodeNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		if len(data) >= 8 {
+			// Force the cookie so the attribute parser runs.
+			forced := append([]byte(nil), data...)
+			forced[0] &^= 0xc0
+			forced[4], forced[5], forced[6], forced[7] = 0x21, 0x12, 0xa4, 0x42
+			_, _ = Decode(forced)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUsernameRoundTrip(t *testing.T) {
+	f := func(user string) bool {
+		if len(user) > 400 {
+			user = user[:400]
+		}
+		m := BindingRequest(user, 7)
+		got, err := Decode(m.Encode())
+		return err == nil && got.Username == user
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type testPayload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewCodec(a), NewCodec(b)
+	want := testPayload{Name: "join", Count: 3}
+	go func() {
+		if err := ca.Send("join", want); err != nil {
+			t.Error(err)
+		}
+	}()
+	e, err := cb.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != "join" {
+		t.Fatalf("type %q", e.Type)
+	}
+	var got testPayload
+	if err := e.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewCodec(a), NewCodec(b)
+	go ca.Send("bye", nil)
+	e, err := cb.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != "bye" || len(e.Data) != 0 {
+		t.Fatalf("envelope %+v", e)
+	}
+}
+
+func TestEOFOnClose(t *testing.T) {
+	a, b := net.Pipe()
+	cb := NewCodec(b)
+	a.Close()
+	if _, err := cb.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	a, _ := net.Pipe()
+	ca := NewCodec(a)
+	huge := strings.Repeat("x", MaxMessage+1)
+	if err := ca.Send("big", huge); err == nil {
+		t.Fatal("oversize send should fail")
+	}
+}
+
+func TestOversizeFrameHeaderRejected(t *testing.T) {
+	a, b := net.Pipe()
+	cb := NewCodec(b)
+	go a.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := cb.Read(); err == nil {
+		t.Fatal("oversize frame should be rejected")
+	}
+}
+
+func TestGarbageBodyRejected(t *testing.T) {
+	a, b := net.Pipe()
+	cb := NewCodec(b)
+	go a.Write([]byte{0, 0, 0, 3, 'x', 'y', 'z'})
+	if _, err := cb.Read(); err == nil {
+		t.Fatal("non-JSON body should be rejected")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewCodec(a), NewCodec(b)
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ca.Send("msg", testPayload{Count: i}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		e, err := cb.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p testPayload
+		if err := e.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.Count] {
+			t.Fatalf("duplicate message %d (interleaved frames?)", p.Count)
+		}
+		seen[p.Count] = true
+	}
+	wg.Wait()
+}
+
+// Property: every well-formed payload round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewCodec(a), NewCodec(b)
+	f := func(name string, count int) bool {
+		go ca.Send("t", testPayload{Name: name, Count: count})
+		e, err := cb.Read()
+		if err != nil {
+			return false
+		}
+		var got testPayload
+		if err := e.Decode(&got); err != nil {
+			return false
+		}
+		return got.Name == name && got.Count == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
