@@ -7,43 +7,79 @@
 // Usage:
 //
 //	pdnscan [-seed N] [-sites N] [-apps N] [-keys]
+//	        [-workers N] [-checkpoint FILE] [-stats]
 //
 // -sites/-apps size the non-PDN background population; -keys also
-// prints the API keys the §IV-B regex extraction recovered.
+// prints the API keys the §IV-B regex extraction recovered. The scan
+// runs on the internal/dispatch engine: -workers sizes its pool
+// (0 = one per CPU; the merged report is identical at any width),
+// -checkpoint makes an interrupted scan resumable, and -stats prints
+// the engine's job counters and p50/p99 latency afterwards. Ctrl-C
+// cancels the scan cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 
 	"github.com/stealthy-peers/pdnsec"
+	"github.com/stealthy-peers/pdnsec/internal/dispatch"
 )
 
 func main() {
-	os.Exit(run())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	seed := flag.Int64("seed", 1, "corpus generation seed")
-	sites := flag.Int("sites", 0, "filler (non-PDN) sites to scan (0 = default 1500)")
-	apps := flag.Int("apps", 0, "filler (non-PDN) apps to scan (0 = default 800)")
-	keys := flag.Bool("keys", false, "print extracted API keys")
-	flag.Parse()
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdnscan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "corpus generation seed")
+	sites := fs.Int("sites", 0, "filler (non-PDN) sites to scan (0 = default 1500)")
+	apps := fs.Int("apps", 0, "filler (non-PDN) apps to scan (0 = default 800)")
+	keys := fs.Bool("keys", false, "print extracted API keys")
+	workers := fs.Int("workers", 0, "scan worker pool size (0 = one per CPU)")
+	checkpoint := fs.String("checkpoint", "", "resumable scan state file (empty = no checkpointing)")
+	stats := fs.Bool("stats", false, "print dispatch counters and latency quantiles after the scan")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *sites < 0 || *apps < 0 {
+		fmt.Fprintf(stderr, "pdnscan: -sites and -apps must be non-negative (got -sites=%d -apps=%d)\n", *sites, *apps)
+		fs.Usage()
+		return 2
+	}
 
-	det := pdnsec.DetectCustomers(*seed, *sites, *apps)
-	fmt.Printf("scanned %d sites and %d APKs\n\n", det.Report.SitesScanned, det.Report.APKsScanned)
-	fmt.Println(det.RenderTableI())
-	fmt.Println(det.RenderTableII())
-	fmt.Println(det.RenderTableIII())
-	fmt.Println(det.RenderTableIV())
-	fmt.Println(det.RenderResourceSquattingWild())
+	metrics := dispatch.NewMetrics()
+	det, err := pdnsec.DetectCustomersParallel(ctx, *seed, *sites, *apps, pdnsec.DetectOptions{
+		Workers:    *workers,
+		Checkpoint: *checkpoint,
+		Metrics:    metrics,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "pdnscan: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scanned %d sites and %d APKs\n\n", det.Report.SitesScanned, det.Report.APKsScanned)
+	fmt.Fprintln(stdout, det.RenderTableI())
+	fmt.Fprintln(stdout, det.RenderTableII())
+	fmt.Fprintln(stdout, det.RenderTableIII())
+	fmt.Fprintln(stdout, det.RenderTableIV())
+	fmt.Fprintln(stdout, det.RenderResourceSquattingWild())
 
 	if *keys {
-		fmt.Printf("extracted API keys (%d):\n", len(det.Report.ExtractedKeys))
+		fmt.Fprintf(stdout, "extracted API keys (%d):\n", len(det.Report.ExtractedKeys))
 		for _, k := range det.Report.ExtractedKeys {
-			fmt.Printf("  %-12s %-28s %s\n", k.Provider, k.Domain, k.Key)
+			fmt.Fprintf(stdout, "  %-12s %-28s %s\n", k.Provider, k.Domain, k.Key)
 		}
+	}
+	if *stats {
+		fmt.Fprintf(stdout, "dispatch: %s\n", metrics.Snapshot())
 	}
 	return 0
 }

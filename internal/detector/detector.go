@@ -10,6 +10,7 @@
 package detector
 
 import (
+	"context"
 	"encoding/json"
 	"regexp"
 	"sort"
@@ -260,9 +261,91 @@ type PrivateSite struct {
 // analysis (§III-D: "the top 57 websites that rank in top 10K").
 const topRankCutoff = 10_000
 
-// Pipeline runs the full detection flow over a corpus.
-func Pipeline(c *corpus.Corpus, profiles []provider.Profile, seed int64) *Report {
-	scanner := NewWebScanner(profiles)
+// WebRTCVerdict classifies a generic-WebRTC site's dynamic capture.
+// The string values are part of the checkpoint format.
+type WebRTCVerdict string
+
+// WebRTC verdicts for dynamically analyzed generic-WebRTC sites.
+const (
+	WebRTCNotAnalyzed WebRTCVerdict = ""            // not flagged or below the rank cutoff
+	WebRTCPrivatePDN  WebRTCVerdict = "private"     // STUN + DTLS between peers: a private PDN
+	WebRTCRelayOnly   WebRTCVerdict = "relay"       // DTLS to a relay, no peer STUN (adult TURN)
+	WebRTCTracking    WebRTCVerdict = "tracking"    // STUN without DTLS: IP discovery only
+	WebRTCUntriggered WebRTCVerdict = "untriggered" // nothing triggered in the session
+)
+
+// SiteOutcome is everything the pipeline learns about one site: the
+// static scan, any extracted keys, and the dynamic-analysis verdicts.
+// It is the unit of work the dispatch engine schedules and checkpoints,
+// so all fields round-trip through JSON.
+type SiteOutcome struct {
+	Scan      ScanResult     `json:"scan"`
+	Keys      []ExtractedKey `json:"keys,omitempty"`
+	Confirmed bool           `json:"confirmed,omitempty"`
+	WebRTC    WebRTCVerdict  `json:"webrtc,omitempty"`
+}
+
+// ScanSiteFull runs one site through the whole per-site flow: static
+// signature scan, key extraction, and — when the static scan or the
+// §III-D rank gate calls for it — dynamic confirmation.
+func (s *WebScanner) ScanSiteFull(site *corpus.Site, seed int64) SiteOutcome {
+	out := SiteOutcome{Scan: s.ScanSite(site)}
+	switch {
+	case out.Scan.Provider != "":
+		out.Keys = ExtractKeys(site)
+		out.Confirmed = ConfirmDynamic(site.DynamicCapture(seed))
+	case out.Scan.GenericWebRTC && site.Rank <= topRankCutoff:
+		pkts := site.DynamicCapture(seed)
+		switch {
+		case ConfirmDynamic(pkts):
+			out.WebRTC = WebRTCPrivatePDN
+		case isRelayOnly(pkts):
+			out.WebRTC = WebRTCRelayOnly
+		case isTrackingOnly(pkts):
+			out.WebRTC = WebRTCTracking
+		default:
+			out.WebRTC = WebRTCUntriggered
+		}
+	}
+	return out
+}
+
+// AppOutcome is one app's scan product (static APK scan over every
+// version, config recovery, dynamic confirmation), JSON-stable for
+// checkpointing.
+type AppOutcome struct {
+	Provider        string     `json:"provider,omitempty"`
+	SignedVersions  int        `json:"signed_versions,omitempty"`
+	VersionsScanned int        `json:"versions_scanned"`
+	Config          *AppConfig `json:"config,omitempty"`
+	Confirmed       bool       `json:"confirmed,omitempty"`
+}
+
+// ScanAppFull runs one app through the per-app flow.
+func ScanAppFull(app *corpus.App, profiles []provider.Profile, seed int64) AppOutcome {
+	out := AppOutcome{VersionsScanned: len(app.Versions)}
+	for _, apk := range app.Versions {
+		if prov, ok := ScanAPK(apk, profiles); ok {
+			out.Provider = prov
+			out.SignedVersions++
+		}
+	}
+	if out.Provider == "" {
+		return out
+	}
+	if cfg, ok := ExtractAppConfig(app); ok {
+		out.Config = &cfg
+	}
+	out.Confirmed = ConfirmDynamic(app.DynamicCapture(seed))
+	return out
+}
+
+// Reduce folds per-item outcomes into the Report, walking them in
+// corpus order. Because every outcome is positionally tied to its site
+// or app, the fold — and therefore every rendered table — is identical
+// whether the outcomes were computed sequentially or by a racing worker
+// pool.
+func Reduce(c *corpus.Corpus, sites []SiteOutcome, apps []AppOutcome) *Report {
 	rep := &Report{
 		PotentialSites: map[string]int{},
 		ConfirmedSites: map[string]int{},
@@ -271,34 +354,32 @@ func Pipeline(c *corpus.Corpus, profiles []provider.Profile, seed int64) *Report
 		PotentialAPKs:  map[string]int{},
 		ConfirmedAPKs:  map[string]int{},
 	}
-
-	for _, site := range c.Sites {
+	for i, out := range sites {
+		site := c.Sites[i]
 		rep.SitesScanned++
-		res := scanner.ScanSite(site)
 		switch {
-		case res.Provider != "":
-			rep.PotentialSites[res.Provider]++
-			rep.ExtractedKeys = append(rep.ExtractedKeys, ExtractKeys(site)...)
-			if ConfirmDynamic(site.DynamicCapture(seed)) {
-				rep.ConfirmedSites[res.Provider]++
+		case out.Scan.Provider != "":
+			rep.PotentialSites[out.Scan.Provider]++
+			rep.ExtractedKeys = append(rep.ExtractedKeys, out.Keys...)
+			if out.Confirmed {
+				rep.ConfirmedSites[out.Scan.Provider]++
 				rep.ConfirmedSiteList = append(rep.ConfirmedSiteList, ConfirmedSite{
-					Domain: site.Domain, Provider: res.Provider, MonthlyVisits: site.MonthlyVisits,
+					Domain: site.Domain, Provider: out.Scan.Provider, MonthlyVisits: site.MonthlyVisits,
 				})
 			}
-		case res.GenericWebRTC:
+		case out.Scan.GenericWebRTC:
 			rep.GenericWebRTCSites++
 			if site.Rank <= topRankCutoff {
 				rep.TopDynamicSites++
-				pkts := site.DynamicCapture(seed)
-				switch {
-				case ConfirmDynamic(pkts):
+				switch out.WebRTC {
+				case WebRTCPrivatePDN:
 					rep.ConfirmedPrivate++
 					rep.ConfirmedPrivateList = append(rep.ConfirmedPrivateList, PrivateSite{
 						Domain: site.Domain, Server: site.Truth.PrivateServer, MonthlyVisits: site.MonthlyVisits,
 					})
-				case isRelayOnly(pkts):
+				case WebRTCRelayOnly:
 					rep.AdultTURN++
-				case isTrackingOnly(pkts):
+				case WebRTCTracking:
 					rep.TrackingOnly++
 				default:
 					rep.Untriggered++
@@ -306,38 +387,53 @@ func Pipeline(c *corpus.Corpus, profiles []provider.Profile, seed int64) *Report
 			}
 		}
 	}
-
-	for _, app := range c.Apps {
-		appProvider := ""
-		signedVersions := 0
-		for _, apk := range app.Versions {
-			rep.APKsScanned++
-			if prov, ok := ScanAPK(apk, profiles); ok {
-				appProvider = prov
-				signedVersions++
-			}
-		}
-		if appProvider == "" {
+	for i, out := range apps {
+		app := c.Apps[i]
+		rep.APKsScanned += out.VersionsScanned
+		if out.Provider == "" {
 			continue
 		}
-		if cfg, ok := ExtractAppConfig(app); ok {
-			if cfg.CellularUpload {
+		if out.Config != nil {
+			if out.Config.CellularUpload {
 				rep.CellularUploadApps = append(rep.CellularUploadApps, app.Package)
-			} else if cfg.CellularDownload {
+			} else if out.Config.CellularDownload {
 				rep.LeechModeApps = append(rep.LeechModeApps, app.Package)
 			}
 		}
-		rep.PotentialApps[appProvider]++
-		rep.PotentialAPKs[appProvider] += signedVersions
-		if ConfirmDynamic(app.DynamicCapture(seed)) {
-			rep.ConfirmedApps[appProvider]++
-			rep.ConfirmedAPKs[appProvider] += signedVersions
+		rep.PotentialApps[out.Provider]++
+		rep.PotentialAPKs[out.Provider] += out.SignedVersions
+		if out.Confirmed {
+			rep.ConfirmedApps[out.Provider]++
+			rep.ConfirmedAPKs[out.Provider] += out.SignedVersions
 			rep.ConfirmedAppList = append(rep.ConfirmedAppList, ConfirmedApp{
-				Package: app.Package, Provider: appProvider, Downloads: app.Downloads,
+				Package: app.Package, Provider: out.Provider, Downloads: app.Downloads,
 			})
 		}
 	}
 	return rep
+}
+
+// Pipeline runs the full detection flow over a corpus sequentially,
+// checking ctx between items so a scan can be cancelled mid-corpus.
+// It is the single-threaded reference the dispatch-backed
+// ParallelPipeline must match byte for byte.
+func Pipeline(ctx context.Context, c *corpus.Corpus, profiles []provider.Profile, seed int64) (*Report, error) {
+	scanner := NewWebScanner(profiles)
+	siteOut := make([]SiteOutcome, len(c.Sites))
+	for i, site := range c.Sites {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		siteOut[i] = scanner.ScanSiteFull(site, seed)
+	}
+	appOut := make([]AppOutcome, len(c.Apps))
+	for i, app := range c.Apps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		appOut[i] = ScanAppFull(app, profiles, seed)
+	}
+	return Reduce(c, siteOut, appOut), nil
 }
 
 // isRelayOnly matches TURN-style captures: DTLS records present but no

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"testing"
 
 	"github.com/stealthy-peers/pdnsec/internal/corpus"
@@ -9,9 +10,20 @@ import (
 
 func profiles() []provider.Profile { return provider.PublicProfiles() }
 
+// runPipeline runs the sequential reference pipeline, failing the test
+// on error.
+func runPipeline(t *testing.T, c *corpus.Corpus, seed int64) *Report {
+	t.Helper()
+	rep, err := Pipeline(context.Background(), c, profiles(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func TestPipelineReproducesTableI(t *testing.T) {
 	c := corpus.Generate(corpus.Params{Seed: 1, FillerSites: 200, FillerApps: 100})
-	rep := Pipeline(c, profiles(), 1)
+	rep := runPipeline(t, c, 1)
 
 	// Table I: potential / confirmed per provider.
 	want := []struct {
@@ -48,7 +60,7 @@ func TestPipelineReproducesTableI(t *testing.T) {
 
 func TestPipelineReproducesPrivateLandscape(t *testing.T) {
 	c := corpus.Generate(corpus.Params{Seed: 2, FillerSites: 200, FillerApps: 50})
-	rep := Pipeline(c, profiles(), 2)
+	rep := runPipeline(t, c, 2)
 
 	if rep.GenericWebRTCSites != 385 {
 		t.Errorf("generic WebRTC sites = %d, want 385", rep.GenericWebRTCSites)
@@ -80,7 +92,7 @@ func TestPipelineReproducesPrivateLandscape(t *testing.T) {
 
 func TestKeyExtractionMatchesPaper(t *testing.T) {
 	c := corpus.Generate(corpus.Params{Seed: 3, FillerSites: 50, FillerApps: 10})
-	rep := Pipeline(c, profiles(), 3)
+	rep := runPipeline(t, c, 3)
 	// §IV-B: 44 keys extractable by regex (40 valid + 4 expired);
 	// obfuscated keys are not recoverable.
 	if len(rep.ExtractedKeys) != 44 {
@@ -164,8 +176,8 @@ func TestScanAPK(t *testing.T) {
 }
 
 func TestDeterministicPipeline(t *testing.T) {
-	a := Pipeline(corpus.Generate(corpus.Params{Seed: 9, FillerSites: 50, FillerApps: 20}), profiles(), 9)
-	b := Pipeline(corpus.Generate(corpus.Params{Seed: 9, FillerSites: 50, FillerApps: 20}), profiles(), 9)
+	a := runPipeline(t, corpus.Generate(corpus.Params{Seed: 9, FillerSites: 50, FillerApps: 20}), 9)
+	b := runPipeline(t, corpus.Generate(corpus.Params{Seed: 9, FillerSites: 50, FillerApps: 20}), 9)
 	if a.SitesScanned != b.SitesScanned || a.PotentialSites["peer5"] != b.PotentialSites["peer5"] ||
 		len(a.ExtractedKeys) != len(b.ExtractedKeys) {
 		t.Fatal("pipeline not deterministic for equal seeds")
@@ -174,7 +186,7 @@ func TestDeterministicPipeline(t *testing.T) {
 
 func TestCellularConfigExtraction(t *testing.T) {
 	c := corpus.Generate(corpus.Params{Seed: 11, FillerSites: 50, FillerApps: 20})
-	rep := Pipeline(c, profiles(), 11)
+	rep := runPipeline(t, c, 11)
 	// §IV-D: 3 popular apps allow cellular upload; the rest of the
 	// Peer5 customers are in leech mode.
 	if len(rep.CellularUploadApps) != 3 {

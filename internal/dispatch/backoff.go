@@ -1,0 +1,73 @@
+package dispatch
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+)
+
+// Backoff is the retry schedule: exponential growth with deterministic
+// jitter. The jitter is derived from the job key and attempt number
+// rather than a global RNG so that a re-run of the same workload waits
+// the same amounts — scan runs stay reproducible end to end.
+type Backoff struct {
+	// Base is the first retry's delay. Default 50ms.
+	Base time.Duration
+	// Max caps the grown delay. Default 5s.
+	Max time.Duration
+	// Factor multiplies the delay each further attempt. Default 2.
+	Factor float64
+	// Jitter is the fraction of the delay that is randomized away
+	// (0.5 → delays land in [0.5d, d]). Default 0.5.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// delay returns the wait before retry `attempt` (1 = first retry) of
+// the job identified by key.
+func (b Backoff) delay(key string, attempt int) time.Duration {
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{byte(attempt), byte(attempt >> 8)})
+		// Scale into [1-Jitter, 1] of the computed delay.
+		frac := float64(h.Sum64()%1000) / 1000
+		d *= 1 - b.Jitter*frac
+	}
+	return time.Duration(d)
+}
+
+// sleep waits for d or until ctx is done, reporting which.
+func sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint persists completed job results as append-only JSON lines
+// so an interrupted scan can resume where it left off: on the next run
+// the engine satisfies already-recorded jobs from the file instead of
+// re-executing them. A partially written final line (crash mid-append)
+// is tolerated and dropped on load.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]json.RawMessage
+}
+
+type checkpointEntry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenCheckpoint loads any prior state at path and opens it for
+// appending, creating the file if needed.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: open checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, done: make(map[string]json.RawMessage)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		var e checkpointEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn or corrupt line: redo that job
+		}
+		c.done[e.Key] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dispatch: read checkpoint: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dispatch: seek checkpoint: %w", err)
+	}
+	c.w = bufio.NewWriter(f)
+	return c, nil
+}
+
+// Len reports how many completed jobs the checkpoint holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// lookup returns the recorded result for key, if any.
+func (c *Checkpoint) lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.done[key]
+	return raw, ok
+}
+
+// record appends one completed job. The line is flushed to the OS
+// immediately so a killed process loses at most the in-flight jobs.
+func (c *Checkpoint) record(key string, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("dispatch: marshal checkpoint result for %s: %w", key, err)
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Result: raw})
+	if err != nil {
+		return fmt.Errorf("dispatch: marshal checkpoint entry for %s: %w", key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = raw
+	c.w.Write(line)
+	c.w.WriteByte('\n')
+	return c.w.Flush()
+}
+
+// Close flushes and closes the backing file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.w != nil {
+		if err := c.w.Flush(); err != nil {
+			c.f.Close()
+			return err
+		}
+	}
+	return c.f.Close()
+}

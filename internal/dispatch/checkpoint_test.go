@@ -1,0 +1,141 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+type scanRecord struct {
+	Domain string `json:"domain"`
+	Hits   int    `json:"hits"`
+}
+
+func checkpointJobs(n int, ran *atomic.Int64) []Job[scanRecord] {
+	jobs := make([]Job[scanRecord], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[scanRecord]{
+			Key: fmt.Sprintf("site-%03d", i),
+			Do: func(context.Context) (scanRecord, error) {
+				ran.Add(1)
+				return scanRecord{Domain: fmt.Sprintf("d%03d.example", i), Hits: i}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestCheckpointResumeSkipsCompletedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	ctx := testCtx(t)
+
+	var firstRan atomic.Int64
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New[scanRecord](Config{Workers: 4, Checkpoint: ckpt})
+	// First run completes only half the corpus.
+	res1, err := e.Run(ctx, checkpointJobs(50, &firstRan)[:25])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if firstRan.Load() != 25 || len(res1) != 25 {
+		t.Fatalf("first run: ran=%d res=%d", firstRan.Load(), len(res1))
+	}
+
+	// Second run over the full corpus resumes the 25 recorded jobs.
+	ckpt2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Len() != 25 {
+		t.Fatalf("reloaded checkpoint holds %d entries, want 25", ckpt2.Len())
+	}
+	var secondRan atomic.Int64
+	e2 := New[scanRecord](Config{Workers: 4, Checkpoint: ckpt2})
+	res2, err := e2.Run(ctx, checkpointJobs(50, &secondRan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondRan.Load() != 25 {
+		t.Fatalf("second run re-executed %d jobs, want 25", secondRan.Load())
+	}
+	for i, r := range res2 {
+		want := scanRecord{Domain: fmt.Sprintf("d%03d.example", i), Hits: i}
+		if r != want {
+			t.Fatalf("res2[%d] = %+v, want %+v", i, r, want)
+		}
+	}
+	snap := e2.Metrics().Snapshot()
+	if snap.Resumed != 25 || snap.Done != 25 {
+		t.Fatalf("resume metrics: %+v", snap)
+	}
+}
+
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	ctx := testCtx(t)
+	ckpt, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	e := New[scanRecord](Config{Workers: 2, Checkpoint: ckpt})
+	if _, err := e.Run(ctx, checkpointJobs(10, &ran)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop the final line in half.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := strings.TrimRight(string(data), "\n")
+	cut := len(trimmed) - 20
+	if err := os.WriteFile(path, []byte(trimmed[:cut]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if n := ckpt2.Len(); n != 9 {
+		t.Fatalf("torn checkpoint loaded %d entries, want 9", n)
+	}
+	// The torn job re-runs; the nine intact ones resume.
+	var ran2 atomic.Int64
+	e2 := New[scanRecord](Config{Workers: 2, Checkpoint: ckpt2})
+	res, err := e2.Run(ctx, checkpointJobs(10, &ran2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran2.Load() != 1 {
+		t.Fatalf("re-ran %d jobs after torn tail, want 1", ran2.Load())
+	}
+	for i, r := range res {
+		if r.Hits != i {
+			t.Fatalf("res[%d] = %+v", i, r)
+		}
+	}
+}
+
+func TestCheckpointRejectsUnreadablePath(t *testing.T) {
+	if _, err := OpenCheckpoint(filepath.Join(t.TempDir(), "no", "such", "dir", "x.ckpt")); err == nil {
+		t.Fatal("expected error for unreachable checkpoint path")
+	}
+}

@@ -1,0 +1,112 @@
+package dispatch
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+)
+
+// shardedQueue is a bounded multi-producer multi-consumer queue split
+// into independently buffered shards. Producers hash jobs to a shard,
+// giving same-domain jobs natural affinity; consumers drain their own
+// shard first and steal from the others when it runs dry, so a slow
+// shard cannot idle the pool.
+type shardedQueue[T any] struct {
+	shards []chan T
+}
+
+func newShardedQueue[T any](shards, depth int) *shardedQueue[T] {
+	q := &shardedQueue[T]{shards: make([]chan T, shards)}
+	for i := range q.shards {
+		q.shards[i] = make(chan T, depth)
+	}
+	return q
+}
+
+// shardOf maps a key to its home shard.
+func (q *shardedQueue[T]) shardOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % len(q.shards)
+}
+
+// push blocks while the target shard is full (backpressure on the
+// producer) and fails only when ctx is done.
+func (q *shardedQueue[T]) push(ctx context.Context, shard int, v T) error {
+	select {
+	case q.shards[shard] <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close marks the queue complete; consumers drain the remaining items.
+func (q *shardedQueue[T]) close() {
+	for _, ch := range q.shards {
+		close(ch)
+	}
+}
+
+// consumer is one worker's view of the queue: it remembers which
+// shards it has seen closed so the steal scan and the blocking wait
+// never spin on a dead channel.
+type consumer[T any] struct {
+	q      *shardedQueue[T]
+	home   int
+	closed []bool
+	open   int
+}
+
+func (q *shardedQueue[T]) consumer(home int) *consumer[T] {
+	return &consumer[T]{q: q, home: home % len(q.shards), closed: make([]bool, len(q.shards)), open: len(q.shards)}
+}
+
+// next returns the next item, preferring the consumer's home shard and
+// stealing round-robin otherwise. It blocks until an item arrives,
+// every shard is closed and drained, or ctx is done; ok=false means no
+// more work for this consumer.
+func (c *consumer[T]) next(ctx context.Context) (v T, ok bool) {
+	n := len(c.q.shards)
+	for {
+		for i := 0; i < n; i++ {
+			s := (c.home + i) % n
+			if c.closed[s] {
+				continue
+			}
+			select {
+			case v, alive := <-c.q.shards[s]:
+				if alive {
+					return v, true
+				}
+				c.closed[s] = true
+				c.open--
+			default:
+			}
+		}
+		if c.open == 0 {
+			return v, false
+		}
+		// Every open shard was momentarily empty: block on the first
+		// open shard from home, re-scanning steal targets on a short
+		// timer so work appearing elsewhere is picked up promptly.
+		block := c.home
+		for c.closed[block] {
+			block = (block + 1) % n
+		}
+		timer := time.NewTimer(200 * time.Microsecond)
+		select {
+		case v, alive := <-c.q.shards[block]:
+			timer.Stop()
+			if alive {
+				return v, true
+			}
+			c.closed[block] = true
+			c.open--
+		case <-ctx.Done():
+			timer.Stop()
+			return v, false
+		case <-timer.C:
+		}
+	}
+}

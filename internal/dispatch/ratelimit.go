@@ -1,0 +1,80 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// RateLimit configures per-domain token buckets. Every job names a
+// Domain (the crawl target's host, a provider API, ...) and the engine
+// draws one token from that domain's bucket before each attempt, so a
+// thousand-worker pool still touches any single domain at a polite,
+// configured pace.
+type RateLimit struct {
+	// Rate is the sustained jobs/second allowed per domain.
+	// Zero disables rate limiting.
+	Rate float64
+	// Burst is the bucket capacity — how many jobs may hit a cold
+	// domain back to back. Default max(Rate, 1).
+	Burst float64
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter holds the per-domain buckets. Reservation runs under one
+// mutex (cheap: a map lookup and a few float ops); the waiting itself
+// happens outside the lock.
+type rateLimiter struct {
+	cfg RateLimit
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newRateLimiter(cfg RateLimit) *rateLimiter {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &rateLimiter{cfg: cfg, now: time.Now, buckets: make(map[string]*tokenBucket)}
+}
+
+// reserve draws one token from domain's bucket, going negative if none
+// is available, and returns how long the caller must wait before the
+// reservation becomes valid (0 = proceed now).
+func (l *rateLimiter) reserve(domain string) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[domain]
+	if b == nil {
+		b = &tokenBucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[domain] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.cfg.Rate
+	if b.tokens > l.cfg.Burst {
+		b.tokens = l.cfg.Burst
+	}
+	b.last = now
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / l.cfg.Rate * float64(time.Second))
+}
+
+// wait blocks until domain's next token is available or ctx is done.
+func (l *rateLimiter) wait(ctx context.Context, domain string) error {
+	d := l.reserve(domain)
+	if d <= 0 {
+		return nil
+	}
+	return sleep(ctx, d)
+}

@@ -16,7 +16,11 @@ func testCtx(t *testing.T) context.Context {
 
 func detection(t *testing.T) *DetectionResult {
 	t.Helper()
-	return RunDetection(1, 100, 50)
+	det, err := RunDetection(testCtx(t), 1, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
 }
 
 func TestTablesIThroughIVRender(t *testing.T) {

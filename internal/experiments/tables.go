@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,13 +22,28 @@ type DetectionResult struct {
 	Corpus *corpus.Corpus
 }
 
-// RunDetection executes the detector pipeline over a generated corpus.
-// fillerSites/fillerApps size the non-PDN background population (0 for
-// defaults).
-func RunDetection(seed int64, fillerSites, fillerApps int) *DetectionResult {
+// RunDetection executes the sequential reference detector pipeline
+// over a generated corpus. fillerSites/fillerApps size the non-PDN
+// background population (0 for defaults).
+func RunDetection(ctx context.Context, seed int64, fillerSites, fillerApps int) (*DetectionResult, error) {
 	c := corpus.Generate(corpus.Params{Seed: seed, FillerSites: fillerSites, FillerApps: fillerApps})
-	rep := detector.Pipeline(c, provider.PublicProfiles(), seed)
-	return &DetectionResult{Report: rep, Corpus: c}
+	rep, err := detector.Pipeline(ctx, c, provider.PublicProfiles(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectionResult{Report: rep, Corpus: c}, nil
+}
+
+// RunDetectionOpts executes the detection pipeline on the dispatch
+// engine — worker pool, optional rate limit and checkpoint/resume per
+// opts — with output identical to RunDetection's.
+func RunDetectionOpts(ctx context.Context, seed int64, fillerSites, fillerApps int, opts detector.Options) (*DetectionResult, error) {
+	c := corpus.Generate(corpus.Params{Seed: seed, FillerSites: fillerSites, FillerApps: fillerApps})
+	rep, err := detector.ParallelPipeline(ctx, c, provider.PublicProfiles(), seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectionResult{Report: rep, Corpus: c}, nil
 }
 
 // providerOrder is the paper's table ordering.

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/detector"
 	"github.com/stealthy-peers/pdnsec/internal/experiments"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 )
@@ -83,11 +84,24 @@ func AnalyzeRisk(ctx context.Context, p Provider, risk string) (Verdict, error) 
 // Detection re-exports the measurement pipeline result.
 type Detection = experiments.DetectionResult
 
+// DetectOptions tunes DetectCustomersParallel: worker-pool size,
+// checkpoint/resume path, per-domain rate limit, and progress hooks.
+type DetectOptions = detector.Options
+
 // DetectCustomers runs the detector pipeline over a synthetic corpus
-// seeded with the paper's landscape. fillerSites/fillerApps size the
-// non-PDN background population (0 for defaults).
-func DetectCustomers(seed int64, fillerSites, fillerApps int) *Detection {
-	return experiments.RunDetection(seed, fillerSites, fillerApps)
+// seeded with the paper's landscape, cancellable through ctx.
+// fillerSites/fillerApps size the non-PDN background population (0 for
+// defaults).
+func DetectCustomers(ctx context.Context, seed int64, fillerSites, fillerApps int) (*Detection, error) {
+	return experiments.RunDetection(ctx, seed, fillerSites, fillerApps)
+}
+
+// DetectCustomersParallel runs the same pipeline on the concurrent
+// scan-orchestration engine (internal/dispatch). Tables I-IV are
+// byte-identical to DetectCustomers' at any worker count; opts adds
+// checkpoint/resume, rate limiting, and progress reporting.
+func DetectCustomersParallel(ctx context.Context, seed int64, fillerSites, fillerApps int, opts DetectOptions) (*Detection, error) {
+	return experiments.RunDetectionOpts(ctx, seed, fillerSites, fillerApps, opts)
 }
 
 // Reproduce regenerates every table and figure and writes a combined
@@ -102,7 +116,13 @@ func Reproduce(ctx context.Context, w io.Writer, seed int64) error {
 		return nil
 	}
 
-	det := experiments.RunDetection(seed, 0, 0)
+	// The detection scan runs on the dispatch engine at full width —
+	// its reduce is deterministic, so the report is identical to a
+	// sequential run, just faster.
+	det, err := experiments.RunDetectionOpts(ctx, seed, 0, 0, detector.Options{})
+	if err != nil {
+		return fmt.Errorf("pdnsec: detection: %w", err)
+	}
 	steps := []struct {
 		name string
 		body func() (string, error)

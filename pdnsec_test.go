@@ -37,12 +37,24 @@ func TestFacadeAnalyzeRisk(t *testing.T) {
 }
 
 func TestFacadeDetectCustomers(t *testing.T) {
-	det := pdnsec.DetectCustomers(1, 50, 20)
+	det, err := pdnsec.DetectCustomers(context.Background(), 1, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if det.Report.PotentialSites["peer5"] != 60 {
 		t.Fatalf("detection report %+v", det.Report.PotentialSites)
 	}
 	if !strings.Contains(det.RenderTableI(), "17/134") {
 		t.Fatal("Table I render broken through the facade")
+	}
+
+	// The parallel facade must reproduce the sequential tables.
+	par, err := pdnsec.DetectCustomersParallel(context.Background(), 1, 50, 20, pdnsec.DetectOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.RenderTableI() != det.RenderTableI() {
+		t.Fatal("parallel facade diverges from sequential Table I")
 	}
 }
 
