@@ -223,7 +223,7 @@ func pollutedHeadSegments(ctx context.Context, slowStart int) (int, error) {
 	video := analyzer.SmallVideo("bbb", 4, 16<<10)
 	pol := signal.DefaultPolicy()
 	pol.SlowStartSegments = slowStart
-	tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{
+	tb, err := analyzer.NewTestbed(context.Background(), analyzer.TestbedConfig{
 		Profile: provider.Peer5(),
 		Video:   video,
 		Options: provider.Options{Seed: 5, PolicyOverride: &pol},
@@ -580,7 +580,7 @@ func BenchmarkPopulationHarvest(b *testing.B) {
 func BenchmarkFullTestbedSession(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		video := analyzer.SmallVideo("bbb", 6, 32<<10)
-		tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: provider.Peer5(), Video: video})
+		tb, err := pdnsec.NewTestbed(context.Background(), pdnsec.TestbedConfig{Profile: provider.Peer5(), Video: video})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -588,7 +588,7 @@ func BenchmarkFullTestbedSession(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, stop, err := tb.Seeder(tb.ViewerConfig(hostA, 1), video.Segments)
+		_, stop, err := tb.Seeder(context.Background(), tb.ViewerConfig(hostA, 1), video.Segments)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -596,7 +596,7 @@ func BenchmarkFullTestbedSession(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		st, err := tb.RunViewer(tb.ViewerConfig(hostB, 2))
+		st, err := tb.RunViewer(context.Background(), tb.ViewerConfig(hostB, 2))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,105 @@
+// Command pdnlint runs the repo-specific static-analysis suite
+// (internal/lint) over the module: detrand, ctxflow, mutexspan,
+// errwrap, and goleak enforce the determinism, context-plumbing, and
+// concurrency invariants the parallel detector's byte-identical-tables
+// guarantee depends on. See docs/lint.md.
+//
+// Usage:
+//
+//	pdnlint [-vet] [-only name,name] [packages]
+//
+// Packages default to ./... resolved from the current directory. With
+// -vet, `go vet` runs first on the same patterns so one command gates
+// both suites. Findings print as file:line:col: [analyzer] message and
+// any finding makes the exit status 1 (2 = usage or load failure).
+//
+// Suppress an intentional finding with a mandatory reason:
+//
+//	//lint:ignore pdnlint/<analyzer> reason
+//
+// on the finding's line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/stealthy-peers/pdnsec/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdnlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vet := fs.Bool("vet", false, "also run `go vet` on the same packages first")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(stderr, "pdnlint: %v\n", err)
+		return 2
+	}
+
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(stderr, "pdnlint: go vet failed\n")
+			return 1
+		}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "pdnlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "pdnlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "pdnlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: detrand, ctxflow, mutexspan, errwrap, goleak)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -12,7 +12,8 @@
 // -sites/-apps size the non-PDN background population; -keys also
 // prints the API keys the §IV-B regex extraction recovered. The scan
 // runs on the internal/dispatch engine: -workers sizes its pool
-// (0 = one per CPU; the merged report is identical at any width),
+// (defaults to one per CPU and must be positive; the merged report is
+// identical at any width),
 // -checkpoint makes an interrupted scan resumable, and -stats prints
 // the engine's job counters and p50/p99 latency afterwards. Ctrl-C
 // cancels the scan cleanly.
@@ -25,6 +26,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 
 	"github.com/stealthy-peers/pdnsec"
 	"github.com/stealthy-peers/pdnsec/internal/dispatch"
@@ -43,7 +45,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	sites := fs.Int("sites", 0, "filler (non-PDN) sites to scan (0 = default 1500)")
 	apps := fs.Int("apps", 0, "filler (non-PDN) apps to scan (0 = default 800)")
 	keys := fs.Bool("keys", false, "print extracted API keys")
-	workers := fs.Int("workers", 0, "scan worker pool size (0 = one per CPU)")
+	workers := fs.Int("workers", runtime.NumCPU(), "scan worker pool size (must be positive)")
 	checkpoint := fs.String("checkpoint", "", "resumable scan state file (empty = no checkpointing)")
 	stats := fs.Bool("stats", false, "print dispatch counters and latency quantiles after the scan")
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +53,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *sites < 0 || *apps < 0 {
 		fmt.Fprintf(stderr, "pdnscan: -sites and -apps must be non-negative (got -sites=%d -apps=%d)\n", *sites, *apps)
+		fs.Usage()
+		return 2
+	}
+	if *workers <= 0 {
+		fmt.Fprintf(stderr, "pdnscan: -workers must be positive (got -workers=%d)\n", *workers)
 		fs.Usage()
 		return 2
 	}

@@ -26,6 +26,24 @@ func TestRunRejectsNegativeSitesAndApps(t *testing.T) {
 	}
 }
 
+func TestRunRejectsNonPositiveWorkers(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-workers", "-2"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want usage error 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "-workers must be positive") {
+			t.Errorf("run(%v) stderr missing diagnosis:\n%s", args, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "Usage") {
+			t.Errorf("run(%v) should print usage, got:\n%s", args, errOut.String())
+		}
+	}
+}
+
 func TestRunRejectsUnknownFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {

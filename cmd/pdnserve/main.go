@@ -44,8 +44,11 @@ func run() int {
 		return 2
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
 	video := analyzer.SmallVideo("bbb", *segments, 256<<10)
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: prof, Video: video})
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{Profile: prof, Video: video})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deploy: %v\n", err)
 		return 1
@@ -54,9 +57,6 @@ func run() int {
 
 	fmt.Printf("deployed %s: signaling %v, stun %v, cdn %s\n",
 		prof.Name, tb.Dep.SignalAddr, tb.Dep.STUNAddr, tb.CDNBase)
-
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
 
 	countries := []string{"US", "GB", "DE", "FR", "CA", "JP", "BR", "IN"}
 	var wg sync.WaitGroup

@@ -31,7 +31,7 @@ func run() error {
 
 	fmt.Println("--- peer authentication tests (stolen key) ---")
 	for _, prof := range pdnsec.PublicProfiles() {
-		tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: prof, CustomerDomain: "victim.com"})
+		tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{Profile: prof, CustomerDomain: "victim.com"})
 		if err != nil {
 			return err
 		}
@@ -66,7 +66,7 @@ func run() error {
 
 	fmt.Println("\n--- free-riding traffic generation against peer5 ---")
 	video := analyzer.SmallVideo("attacker-movie", 6, 128<<10)
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{
 		Profile:        pdnsec.Peer5(),
 		Video:          video,
 		CustomerDomain: "victim.com",

@@ -44,7 +44,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{
 		Profile: provider.Hardened(),
 		Video:   video,
 		Options: provider.Options{IM: checker, Seed: 7},
@@ -60,7 +60,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	_, stopA, err := tb.Seeder(tb.ViewerConfig(hostA, 1), video.Segments)
+	_, stopA, err := tb.Seeder(ctx, tb.ViewerConfig(hostA, 1), video.Segments)
 	if err != nil {
 		return err
 	}
@@ -68,7 +68,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	stB, err := tb.RunViewer(tb.ViewerConfig(hostB, 2))
+	stB, err := tb.RunViewer(ctx, tb.ViewerConfig(hostB, 2))
 	if err != nil {
 		return err
 	}
@@ -82,7 +82,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	stC, err := tb.RunViewer(tb.ViewerConfig(hostC, 3))
+	stC, err := tb.RunViewer(ctx, tb.ViewerConfig(hostC, 3))
 	if err != nil {
 		return err
 	}
@@ -154,7 +154,7 @@ func run() error {
 			polluted++
 		}
 	}
-	stV, err := tb.RunViewer(vcfg)
+	stV, err := tb.RunViewer(ctx, vcfg)
 	if err != nil {
 		return err
 	}

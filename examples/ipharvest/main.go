@@ -37,7 +37,7 @@ func run() error {
 	// reads the victim's public IP straight out of its own capture.
 	fmt.Println("--- live lab leak (controlled peer vs NATed victim) ---")
 	video := analyzer.SmallVideo("live-ch", 6, 32<<10)
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: pdnsec.Peer5(), Video: video})
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{Profile: pdnsec.Peer5(), Video: video})
 	if err != nil {
 		return err
 	}
@@ -48,7 +48,7 @@ func run() error {
 		return err
 	}
 	rec := analyzer.RecorderFor(attackerHost)
-	_, stop, err := tb.Seeder(tb.ViewerConfig(attackerHost, 1), video.Segments)
+	_, stop, err := tb.Seeder(ctx, tb.ViewerConfig(attackerHost, 1), video.Segments)
 	if err != nil {
 		return err
 	}
@@ -56,11 +56,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := tb.RunViewer(tb.ViewerConfig(victimHost, 2)); err != nil {
+	if _, err := tb.RunViewer(ctx, tb.ViewerConfig(victimHost, 2)); err != nil {
 		return err
 	}
 	stop()
-	_ = ctx
 
 	db := tb.GeoDB
 	for _, ip := range capture.HarvestPeerIPs(rec.Packets(), attackerHost.Addr()) {
@@ -107,7 +106,7 @@ func run() error {
 	rec2 := analyzer.RecorderFor(atk2)
 	cfgA := tb.ViewerConfig(atk2, 11)
 	cfgA.TURNAddr = relayAddr
-	_, stop2, err := tb.Seeder(cfgA, video.Segments)
+	_, stop2, err := tb.Seeder(ctx, cfgA, video.Segments)
 	if err != nil {
 		return err
 	}
@@ -117,7 +116,7 @@ func run() error {
 	}
 	cfgB := tb.ViewerConfig(vic2, 12)
 	cfgB.TURNAddr = relayAddr
-	stB, err := tb.RunViewer(cfgB)
+	stB, err := tb.RunViewer(ctx, cfgB)
 	if err != nil {
 		return err
 	}

@@ -73,7 +73,7 @@ func round(ctx context.Context, defended bool) (int, error) {
 		pol.RequireIMChecking = true
 		opts.PolicyOverride = &pol
 	}
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{
 		Profile: pdnsec.Peer5(),
 		Video:   video,
 		Options: opts,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -21,9 +22,10 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// 1. Deploy a Peer5-like provider with an 8-segment VOD asset.
 	video := analyzer.SmallVideo("big-buck-bunny", 8, 128<<10)
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{
 		Profile: pdnsec.Peer5(),
 		Video:   video,
 	})
@@ -41,7 +43,7 @@ func run() error {
 		return err
 	}
 	aliceCfg := tb.ViewerConfig(aliceHost, 1)
-	alice, stopAlice, err := tb.Seeder(aliceCfg, video.Segments)
+	alice, stopAlice, err := tb.Seeder(ctx, aliceCfg, video.Segments)
 	if err != nil {
 		return err
 	}
@@ -55,7 +57,7 @@ func run() error {
 		return err
 	}
 	bobCfg := tb.ViewerConfig(bobHost, 2)
-	bobStats, err := tb.RunViewer(bobCfg)
+	bobStats, err := tb.RunViewer(ctx, bobCfg)
 	if err != nil {
 		return err
 	}

@@ -153,7 +153,7 @@ func TestRunRiskUnknown(t *testing.T) {
 }
 
 func TestTestbedViewerHelpers(t *testing.T) {
-	tb, err := NewTestbed(TestbedConfig{Profile: provider.Peer5()})
+	tb, err := NewTestbed(context.Background(), TestbedConfig{Profile: provider.Peer5()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestHardenedProfileResistsCrossDomain(t *testing.T) {
 }
 
 func TestHardenedViewerStreamsNormally(t *testing.T) {
-	tb, err := NewTestbed(TestbedConfig{Profile: provider.Hardened()})
+	tb, err := NewTestbed(context.Background(), TestbedConfig{Profile: provider.Hardened()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestHardenedViewerStreamsNormally(t *testing.T) {
 	if cfg.Token == "" {
 		t.Fatal("hardened viewer config should carry a JWT")
 	}
-	st, err := tb.RunViewer(cfg)
+	st, err := tb.RunViewer(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

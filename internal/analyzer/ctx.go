@@ -9,6 +9,6 @@ import (
 // compact.
 type ctxT = context.Context
 
-func newTimeoutCtx(d time.Duration) (ctxT, func()) {
-	return context.WithTimeout(context.Background(), d)
+func newTimeoutCtx(parent ctxT, d time.Duration) (ctxT, func()) {
+	return context.WithTimeout(parent, d)
 }

@@ -80,8 +80,9 @@ func SmallVideo(id string, segments, segBytes int) *media.Video {
 	}
 }
 
-// NewTestbed deploys the provider, CDN, and video.
-func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+// NewTestbed deploys the provider, CDN, and video. ctx bounds the
+// deployment's background services (the provider's STUN responder).
+func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 	if cfg.Video == nil {
 		cfg.Video = SmallVideo("bbb", 8, 16<<10)
 	}
@@ -123,7 +124,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		tb.Close()
 		return nil, err
 	}
-	dep, err := provider.Deploy(cfg.Profile, sigHost, cfg.Options)
+	dep, err := provider.Deploy(ctx, cfg.Profile, sigHost, cfg.Options)
 	if err != nil {
 		tb.Close()
 		return nil, err
@@ -214,35 +215,39 @@ func (tb *Testbed) ViewerConfig(host *netsim.Host, seed int64) pdnclient.Config 
 	return cfg
 }
 
-// RunViewer constructs and runs a viewer to completion.
-func (tb *Testbed) RunViewer(cfg pdnclient.Config) (pdnclient.Stats, error) {
+// RunViewer constructs and runs a viewer to completion under a
+// testbed-scoped timeout derived from ctx.
+func (tb *Testbed) RunViewer(ctx ctxT, cfg pdnclient.Config) (pdnclient.Stats, error) {
 	p, err := pdnclient.New(cfg)
 	if err != nil {
 		return pdnclient.Stats{}, err
 	}
-	ctx, cancel := timeoutCtx()
+	rctx, cancel := timeoutCtx(ctx)
 	defer cancel()
-	return p.Run(ctx)
+	return p.Run(rctx)
 }
 
 // Seeder starts a lingering viewer that plays everything and then
 // serves the swarm. It returns the peer and a stop function that ends
 // the linger and waits for completion.
-func (tb *Testbed) Seeder(cfg pdnclient.Config, segments int) (*pdnclient.Peer, func() pdnclient.Stats, error) {
+func (tb *Testbed) Seeder(ctx ctxT, cfg pdnclient.Config, segments int) (*pdnclient.Peer, func() pdnclient.Stats, error) {
 	cfg.MaxSegments = segments
 	cfg.Linger = 5 * time.Minute
 	p, err := pdnclient.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	ctx, cancel := timeoutCtx()
+	rctx, cancel := timeoutCtx(ctx)
 	done := make(chan pdnclient.Stats, 1)
 	go func() {
-		st, _ := p.Run(ctx)
+		st, _ := p.Run(rctx)
 		done <- st
 	}()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	timeout := time.NewTimer(30 * time.Second)
+	defer timeout.Stop()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for waiting := true; waiting; {
 		if st := p.Stats(); st.SegmentsPlayed >= segments {
 			stop := func() pdnclient.Stats {
 				p.StopLinger()
@@ -252,7 +257,13 @@ func (tb *Testbed) Seeder(cfg pdnclient.Config, segments int) (*pdnclient.Peer, 
 			}
 			return p, stop, nil
 		}
-		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-timeout.C:
+			waiting = false
+		case <-rctx.Done():
+			waiting = false
+		case <-tick.C:
+		}
 	}
 	cancel()
 	<-done
@@ -287,4 +298,4 @@ func DefaultPolicyWithIM() *signal.Policy {
 	return &p
 }
 
-func timeoutCtx() (ctxT, func()) { return newTimeoutCtx(2 * time.Minute) }
+func timeoutCtx(parent ctxT) (ctxT, func()) { return newTimeoutCtx(parent, 2*time.Minute) }

@@ -80,7 +80,7 @@ func RunAll(ctx context.Context, prof provider.Profile) ([]Verdict, error) {
 // unauthorized context (§IV-B, test 1).
 func CrossDomainTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
 	v := Verdict{Provider: prof.Name, Risk: RiskCrossDomain, Applicable: true}
-	tb, err := NewTestbed(TestbedConfig{Profile: prof})
+	tb, err := NewTestbed(ctx, TestbedConfig{Profile: prof})
 	if err != nil {
 		return v, err
 	}
@@ -172,7 +172,7 @@ func DomainSpoofTest(ctx context.Context, prof provider.Profile) (Verdict, error
 		v.Detail = "no publicly-stealable key to spoof an origin for"
 		return v, nil
 	}
-	tb, err := NewTestbed(TestbedConfig{Profile: prof})
+	tb, err := NewTestbed(ctx, TestbedConfig{Profile: prof})
 	if err != nil {
 		return v, err
 	}
@@ -218,7 +218,7 @@ func PollutionTest(ctx context.Context, prof provider.Profile, sameSize bool, po
 	if policyOverride != nil {
 		opts.PolicyOverride = policyOverride
 	}
-	tb, err := NewTestbed(TestbedConfig{Profile: prof, Video: video, Options: opts})
+	tb, err := NewTestbed(ctx, TestbedConfig{Profile: prof, Video: video, Options: opts})
 	if err != nil {
 		return v, err
 	}
@@ -232,7 +232,7 @@ func PollutionTest(ctx context.Context, prof provider.Profile, sameSize bool, po
 			return v, err
 		}
 		opts.IM = checker
-		tb, err = NewTestbed(TestbedConfig{Profile: prof, Video: video, Options: opts})
+		tb, err = NewTestbed(ctx, TestbedConfig{Profile: prof, Video: video, Options: opts})
 		if err != nil {
 			return v, err
 		}
@@ -301,7 +301,7 @@ func PollutionTest(ctx context.Context, prof provider.Profile, sameSize bool, po
 func IPLeakTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
 	v := Verdict{Provider: prof.Name, Risk: RiskIPLeak, Applicable: true}
 	video := SmallVideo("bbb", 6, 16<<10)
-	tb, err := NewTestbed(TestbedConfig{Profile: prof, Video: video})
+	tb, err := NewTestbed(ctx, TestbedConfig{Profile: prof, Video: video})
 	if err != nil {
 		return v, err
 	}
@@ -316,7 +316,7 @@ func IPLeakTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
 	rec := RecorderFor(attackerHost)
 
 	acfg := tb.ViewerConfig(attackerHost, 1)
-	_, stopSeeder, err := tb.Seeder(acfg, video.Segments)
+	_, stopSeeder, err := tb.Seeder(ctx, acfg, video.Segments)
 	if err != nil {
 		return v, err
 	}
@@ -327,7 +327,7 @@ func IPLeakTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
 		return v, err
 	}
 	vcfg := tb.ViewerConfig(victimHost, 2)
-	if _, err := tb.RunViewer(vcfg); err != nil {
+	if _, err := tb.RunViewer(ctx, vcfg); err != nil {
 		return v, err
 	}
 	stopSeeder()
@@ -349,7 +349,7 @@ func IPLeakTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
 func ResourceSquattingTest(ctx context.Context, prof provider.Profile) (Verdict, error) {
 	v := Verdict{Provider: prof.Name, Risk: RiskResourceSquatting, Applicable: true}
 	video := SmallVideo("bbb", 6, 32<<10)
-	tb, err := NewTestbed(TestbedConfig{Profile: prof, Video: video})
+	tb, err := NewTestbed(ctx, TestbedConfig{Profile: prof, Video: video})
 	if err != nil {
 		return v, err
 	}
@@ -363,7 +363,7 @@ func ResourceSquattingTest(ctx context.Context, prof provider.Profile) (Verdict,
 	ctrlCfg := tb.ViewerConfig(ctrlHost, 1)
 	ctrlCfg.DisableP2P = true
 	ctrlMeter := MeterFor(&ctrlCfg, ctrlHost)
-	if _, err := tb.RunViewer(ctrlCfg); err != nil {
+	if _, err := tb.RunViewer(ctx, ctrlCfg); err != nil {
 		return v, err
 	}
 
@@ -374,7 +374,7 @@ func ResourceSquattingTest(ctx context.Context, prof provider.Profile) (Verdict,
 	}
 	seedCfg := tb.ViewerConfig(seedHost, 2)
 	seedMeter := MeterFor(&seedCfg, seedHost)
-	_, stopSeeder, err := tb.Seeder(seedCfg, video.Segments)
+	_, stopSeeder, err := tb.Seeder(ctx, seedCfg, video.Segments)
 	if err != nil {
 		return v, err
 	}
@@ -384,7 +384,7 @@ func ResourceSquattingTest(ctx context.Context, prof provider.Profile) (Verdict,
 	}
 	leechCfg := tb.ViewerConfig(leechHost, 3)
 	leechMeter := MeterFor(&leechCfg, leechHost)
-	leechStats, err := tb.RunViewer(leechCfg)
+	leechStats, err := tb.RunViewer(ctx, leechCfg)
 	if err != nil {
 		return v, err
 	}

@@ -38,7 +38,7 @@ func JoinProbe(ctx context.Context, host *netsim.Host, server netip.AddrPort, re
 		return false, err
 	}
 	defer c.Close()
-	if _, err := c.Join(req); err != nil {
+	if _, err := c.Join(ctx, req); err != nil {
 		if _, isServer := err.(*signal.ServerError); isServer {
 			return false, nil
 		}
@@ -64,7 +64,7 @@ func CrossDomain(ctx context.Context, host *netsim.Host, server netip.AddrPort, 
 // domain. proxyHost must be a host the attacker controls.
 func DomainSpoof(ctx context.Context, attacker, proxyHost *netsim.Host, server netip.AddrPort, stolenKey, victimDomain string) (bool, error) {
 	proxy := mitm.NewSignalProxy(proxyHost, server, mitm.SpoofOrigin(victimDomain))
-	if err := proxy.Serve(8443); err != nil {
+	if err := proxy.Serve(ctx, 8443); err != nil {
 		return false, err
 	}
 	defer proxy.Close()

@@ -41,7 +41,7 @@ func newBed(t *testing.T, prof provider.Profile, segments int) *bed {
 	t.Cleanup(func() { c.Close() })
 
 	sigHost := n.MustHost(netip.MustParseAddr("44.1.1.1"))
-	dep, err := provider.Deploy(prof, sigHost, provider.Options{Seed: 7})
+	dep, err := provider.Deploy(context.Background(), prof, sigHost, provider.Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,6 +38,7 @@ type Server struct {
 
 	httpSrv  *http.Server
 	listener *netsim.Listener
+	srvWG    sync.WaitGroup
 }
 
 // New constructs an empty CDN server.
@@ -286,7 +287,9 @@ func (s *Server) Serve(host *netsim.Host, port uint16) error {
 	}
 	s.listener = l
 	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.srvWG.Add(1)
 	go func() {
+		defer s.srvWG.Done()
 		// Serve exits with ErrServerClosed on Close; other errors mean
 		// the simulated listener died, which only happens at teardown.
 		_ = s.httpSrv.Serve(l)
@@ -294,12 +297,14 @@ func (s *Server) Serve(host *netsim.Host, port uint16) error {
 	return nil
 }
 
-// Close stops the HTTP server.
+// Close stops the HTTP server and waits for its serve goroutine.
 func (s *Server) Close() error {
-	if s.httpSrv != nil {
-		return s.httpSrv.Close()
+	if s.httpSrv == nil {
+		return nil
 	}
-	return nil
+	err := s.httpSrv.Close()
+	s.srvWG.Wait()
+	return err
 }
 
 // URLs for the canonical layout, relative to a base like

@@ -77,11 +77,12 @@ func (r *TURNRelay) Close() error {
 		r.listener.Close()
 	}
 	r.mu.Lock()
-	for _, c := range r.waiting {
-		c.Close()
-	}
+	waiting := r.waiting
 	r.waiting = make(map[string]net.Conn)
 	r.mu.Unlock()
+	for _, c := range waiting {
+		c.Close()
+	}
 	r.wg.Wait()
 	return nil
 }

@@ -97,6 +97,13 @@ func RunTableVI(ctx context.Context, segmentSize int) (*TableVIResult, error) {
 	return res, nil
 }
 
+// wallClock is the latency-measurement clock. The simulated network
+// produces its delays with real sleeps, so measuring them needs wall
+// time; keeping the clock injectable (time.Now is referenced as a
+// value, never called inline) preserves the package's determinism
+// contract for tests that want to fake it.
+var wallClock = time.Now
+
 // measureIMLatency times one segment's P2P delivery (T_recv − T_send)
 // without and with IM checking. With IM, the sender computes the IM
 // before sending and the receiver fetches the SIM from the PDN server
@@ -118,14 +125,23 @@ func measureIMLatency(ctx context.Context, segmentSize int, hostLatency time.Dur
 	if err != nil {
 		return 0, 0, err
 	}
+	// Teardown order (defers run LIFO): close the client conns first so
+	// the per-conn goroutines unblock, then the listener so the accept
+	// loop exits, then wait for all of them.
+	var srvWG sync.WaitGroup
+	defer srvWG.Wait()
 	defer l.Close()
+	srvWG.Add(1)
 	go func() {
+		defer srvWG.Done()
 		for {
 			c, err := l.Accept()
 			if err != nil {
 				return
 			}
+			srvWG.Add(1)
 			go func() {
+				defer srvWG.Done()
 				defer c.Close()
 				buf := make([]byte, 256)
 				for {
@@ -184,7 +200,7 @@ func measureIMLatency(ctx context.Context, segmentSize int, hostLatency time.Dur
 	transfer := func(im bool) (time.Duration, error) {
 		recvDone := make(chan error, 1)
 		var elapsed time.Duration
-		start := time.Now()
+		start := wallClock()
 		go func() {
 			data, err := connR.Recv()
 			if err != nil {
@@ -204,7 +220,7 @@ func measureIMLatency(ctx context.Context, segmentSize int, hostLatency time.Dur
 				}
 				_ = media.IMHash(key, data)
 			}
-			elapsed = time.Since(start)
+			elapsed = wallClock().Sub(start)
 			recvDone <- nil
 		}()
 		if im {

@@ -80,7 +80,7 @@ func defenseCostRow(ctx context.Context, strategy DefenseStrategy) (DefenseCostR
 		pol.RequireIMChecking = true
 		opts.PolicyOverride = &pol
 	}
-	tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video, Options: opts})
+	tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video, Options: opts})
 	if err != nil {
 		return row, err
 	}
@@ -129,7 +129,7 @@ func defenseCostRow(ctx context.Context, strategy DefenseStrategy) (DefenseCostR
 			polluted++
 		}
 	}
-	st, err := tb.RunViewer(vcfg)
+	st, err := tb.RunViewer(ctx, vcfg)
 	if err != nil {
 		return row, err
 	}

@@ -36,7 +36,7 @@ func RunFigure4(ctx context.Context) (*Figure4Result, error) {
 	// 1 MiB segments: large enough that the segment cache and crypto
 	// work dominate the overhead the way they do in a real player.
 	video := analyzer.SmallVideo("bbb", 8, 1<<20)
-	tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video})
+	tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video})
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +50,7 @@ func RunFigure4(ctx context.Context) (*Figure4Result, error) {
 	ctrlCfg := tb.ViewerConfig(ctrlHost, 1)
 	ctrlCfg.DisableP2P = true
 	ctrlMeter := analyzer.MeterFor(&ctrlCfg, ctrlHost)
-	if _, err := tb.RunViewer(ctrlCfg); err != nil {
+	if _, err := tb.RunViewer(ctx, ctrlCfg); err != nil {
 		return nil, err
 	}
 
@@ -61,7 +61,7 @@ func RunFigure4(ctx context.Context) (*Figure4Result, error) {
 	}
 	cfgA := tb.ViewerConfig(hostA, 2)
 	meterA := analyzer.MeterFor(&cfgA, hostA)
-	_, stopA, err := tb.Seeder(cfgA, video.Segments)
+	_, stopA, err := tb.Seeder(ctx, cfgA, video.Segments)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +71,7 @@ func RunFigure4(ctx context.Context) (*Figure4Result, error) {
 	}
 	cfgB := tb.ViewerConfig(hostB, 3)
 	meterB := analyzer.MeterFor(&cfgB, hostB)
-	if _, err := tb.RunViewer(cfgB); err != nil {
+	if _, err := tb.RunViewer(ctx, cfgB); err != nil {
 		return nil, err
 	}
 	stopA()
@@ -146,7 +146,7 @@ func RunFigure5(ctx context.Context, maxPeers int) (*Figure5Result, error) {
 	res := &Figure5Result{}
 	for k := 1; k <= maxPeers; k++ {
 		video := analyzer.SmallVideo("bbb", 6, 64<<10)
-		tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video})
+		tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video})
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +157,7 @@ func RunFigure5(ctx context.Context, maxPeers int) (*Figure5Result, error) {
 		}
 		cfgA := tb.ViewerConfig(hostA, 1)
 		meterA := analyzer.MeterFor(&cfgA, hostA)
-		_, stopA, err := tb.Seeder(cfgA, video.Segments)
+		_, stopA, err := tb.Seeder(ctx, cfgA, video.Segments)
 		if err != nil {
 			tb.Close()
 			return nil, err
@@ -169,7 +169,7 @@ func RunFigure5(ctx context.Context, maxPeers int) (*Figure5Result, error) {
 				return nil, err
 			}
 			cfgB := tb.ViewerConfig(hostB, int64(10+i))
-			if _, err := tb.RunViewer(cfgB); err != nil {
+			if _, err := tb.RunViewer(ctx, cfgB); err != nil {
 				tb.Close()
 				return nil, err
 			}

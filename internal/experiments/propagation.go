@@ -42,7 +42,7 @@ func RunPollutionPropagation(ctx context.Context, viewers int) (*PropagationResu
 	}
 	const segBytes = 16 << 10
 	video := analyzer.SmallVideo("live-event", 6, segBytes)
-	tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video})
+	tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video})
 	if err != nil {
 		return nil, err
 	}

@@ -76,7 +76,7 @@ func providerColumn(ctx context.Context, prof provider.Profile, det *DetectionRe
 // not), then probed with the cross-domain attack.
 func probeExtractedKeys(ctx context.Context, prof provider.Profile, det *DetectionResult) (KeyProbeResult, error) {
 	res := KeyProbeResult{Provider: prof.Name}
-	tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{Profile: prof})
+	tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{Profile: prof})
 	if err != nil {
 		return res, err
 	}

@@ -181,7 +181,7 @@ func RunFreeRideBilling(ctx context.Context, attackerPeers int) (*FreeRideBillin
 		attackerPeers = 3
 	}
 	video := analyzer.SmallVideo("attacker-movie", 6, 64<<10)
-	tb, err := analyzer.NewTestbed(analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video, CustomerDomain: "victim.com"})
+	tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{Profile: provider.Peer5(), Video: video, CustomerDomain: "victim.com"})
 	if err != nil {
 		return nil, err
 	}
@@ -212,9 +212,18 @@ func RunFreeRideBilling(ctx context.Context, attackerPeers int) (*FreeRideBillin
 	}
 	// Stats frames are sent just before each peer disconnects; give the
 	// server a moment to process the last ones.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && tb.Dep.Keys.Usage("victim.com").P2PBytes < res.P2PBytes {
-		time.Sleep(10 * time.Millisecond)
+	timeout := time.NewTimer(5 * time.Second)
+	defer timeout.Stop()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for waiting := true; waiting && tb.Dep.Keys.Usage("victim.com").P2PBytes < res.P2PBytes; {
+		select {
+		case <-timeout.C:
+			waiting = false
+		case <-ctx.Done():
+			waiting = false
+		case <-tick.C:
+		}
 	}
 	return &FreeRideBillingResult{
 		Provider:     "peer5",

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantComment extracts the expectation regexps from a `// want "re"`
+// comment, analysistest-style: multiple patterns — double- or
+// backtick-quoted — may follow one want marker.
+var wantComment = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantPattern = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// runAnalysisTest loads internal/lint/testdata/src/<pkgdir>, runs the
+// analyzer (with suppression handling, so //lint:ignore directives can
+// be exercised in testdata too), and verifies the findings against the
+// want comments: every finding must be expected and every expectation
+// must fire.
+func runAnalysisTest(t *testing.T, a *Analyzer, pkgdir string) {
+	t.Helper()
+	pkgs, err := Load(repoRoot(t), "./internal/lint/testdata/src/"+pkgdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), pkgdir)
+	}
+	pkg := pkgs[0]
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantPattern.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					wants[key] = append(wants[key], &want{re: regexp.MustCompile(pat)})
+				}
+			}
+		}
+	}
+
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q did not fire", key, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package lint
+
+import "testing"
+
+// Each analyzer is exercised against a testdata package seeded with
+// violations (the `// want` comments) and compliant counterexamples
+// that must stay silent, including one //lint:ignore suppression per
+// analyzer.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkgdir   string
+	}{
+		{Detrand, "netsim"},
+		{Ctxflow, "signal"},
+		{Mutexspan, "mutexspan"},
+		{Errwrap, "errwrap"},
+		{Goleak, "goleak"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			runAnalysisTest(t, tc.analyzer, tc.pkgdir)
+		})
+	}
+}
+
+// TestSuiteOrder pins the registry: CI output ordering and the
+// suppression namespace (pdnlint/<name>) both key off these names.
+func TestSuiteOrder(t *testing.T) {
+	want := []string{"detrand", "ctxflow", "mutexspan", "errwrap", "goleak"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: incomplete analyzer", a.Name)
+		}
+	}
+}

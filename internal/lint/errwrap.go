@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Errwrap flags fmt.Errorf calls that format an error value with %v or
+// %s: the produced error loses its chain, so errors.Is/As stop seeing
+// the cause. %w preserves it. Non-error arguments formatted with %v/%s
+// are fine.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w (not %v/%s) when fmt.Errorf formats an error value",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) error {
+	info := pass.Info()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgCall(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs, ok := scanVerbs(format)
+			if !ok {
+				return true // explicit arg indexes etc.: out of scope
+			}
+			for i, verb := range verbs {
+				argIdx := 1 + i
+				if argIdx >= len(call.Args) || (verb != 'v' && verb != 's') {
+					continue
+				}
+				tv, ok := info.Types[call.Args[argIdx]]
+				if !ok {
+					continue
+				}
+				if implementsError(tv.Type) {
+					pass.Reportf(call.Args[argIdx].Pos(), "%%%c applied to error value loses the chain; use %%w", verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanVerbs returns one entry per argument the format string consumes:
+// the verb letter for ordinary verbs, '*' for star width/precision
+// arguments. It reports !ok for explicit argument indexes (%[n]d),
+// which reorder consumption.
+func scanVerbs(format string) ([]byte, bool) {
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision — stars consume arguments.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				out = append(out, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.", c) >= 0 || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			out = append(out, format[i])
+		}
+	}
+	return out, true
+}

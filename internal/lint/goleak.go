@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goleak flags `go` statements that launch work with no cancellation or
+// completion path. A launched function is considered tracked when its
+// body (or, for calls of same-package functions, the callee's body)
+// references a context.Context, calls Done/Add on a sync.WaitGroup, or
+// performs any channel operation (send, receive, select, range) — a
+// goroutine that owns none of these can neither be stopped nor awaited,
+// which is how scans outlive their deadline and tests leak runners.
+// Launch sites directly preceded by a WaitGroup Add call are also
+// accepted (`wg.Add(1); go f()` where f calls wg.Done).
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "forbid goroutine launches without a cancellation or completion path",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *Pass) error {
+	info := pass.Info()
+	decls := packageFuncDecls(pass.Pkg)
+	bodies := make(map[*types.Func]*ast.BlockStmt, len(decls))
+	for f, fd := range decls {
+		bodies[f] = fd.Body
+	}
+	for _, file := range pass.Pkg.Files {
+		// Walk statement lists manually so each go statement sees its
+		// preceding siblings (for the wg.Add-before-launch pattern).
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				g, ok := stmt.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if precededByWGAdd(info, block.List[:i]) || launchTracked(info, g.Call, bodies) {
+					continue
+				}
+				pass.Reportf(g.Pos(), "goroutine has no cancellation or completion path (no context, WaitGroup, or channel operation)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// precededByWGAdd reports whether the immediately preceding non-empty
+// statement is a sync.WaitGroup Add call.
+func precededByWGAdd(info *types.Info, before []ast.Stmt) bool {
+	if len(before) == 0 {
+		return false
+	}
+	es, ok := before[len(before)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && methodOn(info, call, "Add", "sync.WaitGroup")
+}
+
+// launchTracked decides whether the launched call has a cancellation or
+// completion path.
+func launchTracked(info *types.Info, call *ast.CallExpr, bodies map[*types.Func]*ast.BlockStmt) bool {
+	// A context argument hands the callee its cancellation signal.
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyHasCancellationPath(info, lit.Body)
+	}
+	// Same-package callee: look through to its body.
+	if f := calleeFunc(info, call); f != nil {
+		if body, ok := bodies[f]; ok {
+			return bodyHasCancellationPath(info, body)
+		}
+	}
+	return false
+}
+
+// bodyHasCancellationPath scans a launched body for context use,
+// WaitGroup bookkeeping, or channel operations. Nested function
+// literals count too: a tracked inner launch implies the outer one
+// at least signals through the same structures.
+func bodyHasCancellationPath(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if methodOn(info, n, "Done", "sync.WaitGroup") || methodOn(info, n, "Add", "sync.WaitGroup") {
+				found = true
+			}
+			// close(ch) is a completion signal: whoever receives from
+			// (or ranges over) ch observes the goroutine finishing.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

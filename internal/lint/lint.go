@@ -1,0 +1,296 @@
+// Package lint is a repo-specific static-analysis suite enforcing the
+// invariants pdnsec's reproducibility guarantees rest on: no wall-clock
+// or global-rand reads in deterministic packages, context plumbed
+// through blocking paths, no mutexes held across blocking operations,
+// error chains preserved with %w, and no goroutine launched without a
+// cancellation or completion path. See docs/lint.md for the rules and
+// the suppression syntax.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) on the standard library alone, so the
+// suite builds offline with zero dependencies; migrating an analyzer to
+// x/tools later is mechanical.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, in the image of analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and suppressions,
+	// e.g. "detrand".
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Fset returns the file set positioning the package.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Info returns the type-checker fact tables for the package.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: [name] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignoreDirective matches the suppression comment syntax:
+//
+//	//lint:ignore pdnlint/<name> reason
+//
+// The directive suppresses findings of <name> on its own line or, when
+// written as a standalone comment, on the line below. A reason is
+// mandatory.
+var ignoreDirective = regexp.MustCompile(`^//\s*lint:ignore\s+pdnlint/([a-z]+)\s+(\S.*)$`)
+
+// suppressor indexes the ignore directives of one package. A directive
+// suppresses findings of the named analyzer on its own line (trailing
+// comment) and on the line below (standalone comment above the finding).
+// Maps are keyed per file so line numbers don't collide across files.
+type suppressor struct {
+	byFile map[string]map[string]map[int]bool // file -> analyzer -> line
+}
+
+func newSuppressor(pkg *Package) *suppressor {
+	s := &suppressor{byFile: make(map[string]map[string]map[int]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byAn := s.byFile[pos.Filename]
+				if byAn == nil {
+					byAn = make(map[string]map[int]bool)
+					s.byFile[pos.Filename] = byAn
+				}
+				lines := byAn[m[1]]
+				if lines == nil {
+					lines = make(map[int]bool)
+					byAn[m[1]] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressor) suppressed(d Diagnostic) bool {
+	return s.byFile[d.Pos.Filename][d.Analyzer][d.Pos.Line]
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings ordered by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				if !sup.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full pdnlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Ctxflow, Mutexspan, Errwrap, Goleak}
+}
+
+// ---- shared type/AST helpers used by the analyzers ----
+
+// pkgBase returns the last path element of the package import path,
+// which is how analyzers scope themselves to named packages (matching
+// both internal/<name> in the repo and testdata/src/<name> in tests).
+func pkgBase(p *Package) string {
+	path := p.ImportPath
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or ""
+// for builtins.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isPkgCall reports whether call invokes one of the named package-level
+// functions of the package with import path pkgPath.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || funcPkgPath(f) != pkgPath {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context (through aliases
+// like analyzer's ctxT).
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasContextParam reports whether any (possibly variadic) parameter of
+// sig is a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeString renders the receiver's base named type as pkgpath.Name
+// (e.g. "sync.Mutex"), or "".
+func recvTypeString(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// methodOn reports whether call is sel-style method call named name on a
+// receiver whose base type is one of the fully-qualified types given.
+func methodOn(info *types.Info, call *ast.CallExpr, name string, recvTypes ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	rt := recvTypeString(selection.Recv())
+	for _, want := range recvTypes {
+		if rt == want {
+			return true
+		}
+	}
+	return false
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+// exportedFuncs yields every package-level exported function or method
+// declaration with a body.
+func exportedFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the resolved import path (vendored stdlib deps keep
+	// their "vendor/..." prefix, matching `go list`).
+	ImportPath string
+	// Dir is the directory holding the package sources.
+	Dir string
+	// Fset positions all files of the whole load, shared across packages.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, in go-list order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables for Files. It is only
+	// populated for packages of the main module (the ones analyzers run
+	// on); bare dependencies carry a nil Info.
+	Info *types.Info
+	// Module reports whether the package belongs to the main module.
+	Module bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Goroot     bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list -json -deps` run in dir and
+// type-checks every listed package from source, dependencies first. It
+// works fully offline: the only inputs are GOROOT sources and the module
+// rooted at dir. Cgo is disabled so the pure-Go stdlib variants are
+// selected, which go/types can check without invoking the C toolchain.
+//
+// Only packages belonging to the module in dir are returned; their
+// dependencies are type-checked internally but not analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	raw, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	universe := make(map[string]*types.Package, len(raw))
+	var out []*Package
+	for _, lp := range raw {
+		if lp.ImportPath == "unsafe" {
+			universe["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		inModule := lp.Module != nil && !lp.Standard
+		files, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		var info *types.Info
+		if inModule {
+			info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+				Scopes:     make(map[ast.Node]*types.Scope),
+			}
+		}
+		cfg := types.Config{
+			Importer:    &mapImporter{universe: universe, importMap: lp.ImportMap},
+			FakeImportC: true,
+		}
+		tpkg, err := cfg.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", lp.ImportPath, err)
+		}
+		universe[lp.ImportPath] = tpkg
+		if inModule {
+			out = append(out, &Package{
+				ImportPath: lp.ImportPath,
+				Dir:        lp.Dir,
+				Fset:       fset,
+				Files:      files,
+				Types:      tpkg,
+				Info:       info,
+				Module:     true,
+			})
+		}
+	}
+	return out, nil
+}
+
+// goList invokes the go command and decodes its JSON stream. -deps lists
+// every package in dependency-before-dependent order, which lets the
+// loader type-check in a single forward pass.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var pkgs []listPkg
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// mapImporter resolves imports against the packages checked so far,
+// applying the per-package vendor map go list reports (stdlib files
+// import e.g. "golang.org/x/net/http2/hpack", resolved to a
+// "vendor/..." path).
+type mapImporter struct {
+	universe  map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := m.universe[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not in dependency closure", path)
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot locates the module root from this source file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestLoadModule type-checks the entire repository offline; this is the
+// load path pdnlint itself uses.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck is slow")
+	}
+	pkgs, err := Load(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded %d module packages, expected the whole repo", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Info == nil || p.Types == nil {
+			t.Errorf("%s: missing type info", p.ImportPath)
+		}
+	}
+}

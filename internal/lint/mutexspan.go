@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mutexspan flags statements between a sync.Mutex/RWMutex Lock and its
+// matching Unlock (in the same block) that perform operations which may
+// block indefinitely: channel sends/receives, selects without default,
+// WaitGroup/Cond waits, net/http calls, and time.Sleep. A goroutine
+// parked on one of these while holding a lock stalls every other
+// goroutine contending for it — the failure mode that turns one slow
+// peer into a wedged scan.
+//
+// The span is syntactic: it starts at `x.Lock()` / `x.RLock()` and ends
+// at the first `x.Unlock()` / `x.RUnlock()` statement in the same block
+// (deferred unlocks extend the span to the end of the block). Function
+// literal bodies inside the span are not executed under the lock and
+// are skipped.
+var Mutexspan = &Analyzer{
+	Name: "mutexspan",
+	Doc:  "forbid blocking operations while holding a mutex",
+	Run:  runMutexspan,
+}
+
+func runMutexspan(pass *Pass) error {
+	info := pass.Info()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkBlockSpans(pass, info, block)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlockSpans scans one block's statement list for lock spans.
+func checkBlockSpans(pass *Pass, info *types.Info, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		mutex, ok := lockedMutex(info, stmt)
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(block.List); j++ {
+			if unlocked, ok := unlockTarget(info, block.List[j]); ok && unlocked == mutex {
+				break
+			}
+			// An unlock buried in a nested statement (early-return
+			// branches) ends the tracked span positionally: operations
+			// past the first nested unlock may run with the lock
+			// released, so only ops before it are reported.
+			limit := nestedUnlockPos(info, block.List[j], mutex)
+			reportBlockingIn(pass, info, block.List[j], mutex, limit)
+			if limit.IsValid() {
+				break
+			}
+		}
+	}
+}
+
+// nestedUnlockPos returns the position of the first unlock of mutex
+// anywhere under stmt, or token.NoPos.
+func nestedUnlockPos(info *types.Info, stmt ast.Stmt, mutex string) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			if unlocked, ok := unlockTarget(info, s); ok && unlocked == mutex {
+				pos = s.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// lockedMutex matches `x.Lock()` / `x.RLock()` expression statements on
+// sync mutexes and returns the canonical receiver text.
+func lockedMutex(info *types.Info, stmt ast.Stmt) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	for _, name := range []string{"Lock", "RLock"} {
+		if methodOn(info, call, name, "sync.Mutex", "sync.RWMutex") {
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			return types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// unlockTarget matches `x.Unlock()` / `x.RUnlock()` statements (plain or
+// deferred — a deferred unlock ends the *tracked* span because from
+// there on the function intends to hold the lock to the end, which the
+// analyzer treats as "rest of block" by keeping the span open only for
+// plain unlocks).
+func unlockTarget(info *types.Info, stmt ast.Stmt) (string, bool) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	default:
+		return "", false
+	}
+	if call == nil {
+		return "", false
+	}
+	for _, name := range []string{"Unlock", "RUnlock"} {
+		if methodOn(info, call, name, "sync.Mutex", "sync.RWMutex") {
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			return types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// reportBlockingIn reports every blocking operation under stmt before
+// limit (when valid), skipping function literals (not executed under
+// the lock).
+func reportBlockingIn(pass *Pass, info *types.Info, stmt ast.Stmt, mutex string, limit token.Pos) {
+	visitBlocking(info, stmt, true, func(n ast.Node, what string) {
+		if limit.IsValid() && n.Pos() >= limit {
+			return
+		}
+		pass.Reportf(n.Pos(), "%s while holding %s", what, mutex)
+	})
+}

@@ -1,0 +1,48 @@
+// Package errwrap is errwrap analyzer testdata.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+type codedError struct{ code int }
+
+func (e *codedError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func verbV(err error) error {
+	return fmt.Errorf("scan failed: %v", err) // want `%v applied to error value loses the chain; use %w`
+}
+
+func verbS(err error) error {
+	return fmt.Errorf("scan failed: %s", err) // want `%s applied to error value loses the chain; use %w`
+}
+
+func flaggedVerb(err error) error {
+	return fmt.Errorf("scan failed: %+v", err) // want `%v applied to error value loses the chain; use %w`
+}
+
+func concreteErrorType(e *codedError) error {
+	return fmt.Errorf("upstream: %v", e) // want `%v applied to error value loses the chain; use %w`
+}
+
+func secondArg(name string, err error) error {
+	return fmt.Errorf("scan %s: %v", name, err) // want `%v applied to error value loses the chain; use %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("scan failed: %w", err) // %w preserves the chain: allowed
+}
+
+func nonErrorArgs(name string, n int) error {
+	return fmt.Errorf("scan %s: %v rows", name, n) // %v on non-error: allowed
+}
+
+func stringified(err error) error {
+	return errors.New("opaque: " + err.Error()) // not fmt.Errorf: out of scope
+}
+
+func suppressed(err error) error {
+	//lint:ignore pdnlint/errwrap testdata exercises the suppression path
+	return fmt.Errorf("boundary: %v", err)
+}

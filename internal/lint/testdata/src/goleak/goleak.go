@@ -1,0 +1,99 @@
+// Package goleak is goleak analyzer testdata.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+func fireAndForget(work func()) {
+	go func() { // want `goroutine has no cancellation or completion path`
+		for {
+			work()
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func namedFireAndForget() {
+	go spin() // want `goroutine has no cancellation or completion path`
+}
+
+func ctxLoop(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func ctxArg(ctx context.Context) {
+	go runUntil(ctx) // context argument is the cancellation path
+}
+
+func runUntil(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func (p *pump) tracked(work func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func (p *pump) addBeforeNamedLaunch() {
+	p.wg.Add(1)
+	go p.drain() // preceding wg.Add tracks the launch
+}
+
+func (p *pump) drain() {
+	defer p.wg.Done()
+	for range p.jobs {
+	}
+}
+
+func (p *pump) rangeOverChannel(work func(int)) {
+	go func() {
+		for v := range p.jobs { // closing jobs terminates the goroutine
+			work(v)
+		}
+	}()
+}
+
+func completionChannel() <-chan int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 42 // completion signal: awaitable
+	}()
+	return done
+}
+
+func closeOnCompletion(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done) // closing done signals completion: awaitable
+	}()
+	return done
+}
+
+func suppressedLaunch() {
+	//lint:ignore pdnlint/goleak testdata exercises the suppression path
+	go spin()
+}

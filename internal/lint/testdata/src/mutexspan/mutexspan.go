@@ -1,0 +1,96 @@
+// Package mutexspan is mutexspan analyzer testdata.
+package mutexspan
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	val int
+}
+
+func (b *box) recvUnderLock() {
+	b.mu.Lock()
+	v := <-b.ch // want `channel receive while holding b\.mu`
+	b.mu.Unlock()
+	b.val = v
+}
+
+func (b *box) sendUnderLock(v int) {
+	b.mu.Lock()
+	b.ch <- v // want `channel send while holding b\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) sleepUnderDeferredLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `potentially blocking call while holding b\.mu`
+}
+
+func (b *box) selectUnderRLock() {
+	b.rw.RLock()
+	select { // want `blocking select while holding b\.rw`
+	case v := <-b.ch:
+		b.val = v
+	case b.ch <- 1:
+	}
+	b.rw.RUnlock()
+}
+
+func (b *box) recvAfterUnlock() int {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	return v + <-b.ch // released before the receive: allowed
+}
+
+func (b *box) nonBlockingSelectUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.val = v
+	default:
+	}
+}
+
+func (b *box) launchUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1 // runs without the lock: allowed
+	}()
+}
+
+func (b *box) earlyUnlockBranch(fast bool) {
+	b.mu.Lock()
+	if fast {
+		b.mu.Unlock()
+		<-b.ch // nested unlock precedes the receive: allowed
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) blockBeforeNestedUnlock(fast bool) {
+	b.mu.Lock()
+	if fast {
+		<-b.ch // want `channel receive while holding b\.mu`
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) suppressedRecv() {
+	b.mu.Lock()
+	//lint:ignore pdnlint/mutexspan testdata exercises the suppression path
+	v := <-b.ch
+	b.mu.Unlock()
+	b.val = v
+}

@@ -1,0 +1,66 @@
+// Package netsim is detrand analyzer testdata: its base name puts it in
+// the deterministic-package scope.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock injection: referencing time.Now as a value is the sanctioned
+// default for an injectable clock and must not be flagged.
+var defaultClock = time.Now
+
+type sim struct {
+	now func() time.Time
+	rng *rand.Rand
+}
+
+func newSim(seed int64) *sim {
+	return &sim{
+		now: defaultClock,
+		rng: rand.New(rand.NewSource(seed)), // seeded source: allowed
+	}
+}
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `call to time\.Now in deterministic package`
+	_ = time.Until(start)    // want `call to time\.Until in deterministic package`
+	return time.Since(start) // want `call to time\.Since in deterministic package`
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global-source rand\.Shuffle`
+	return rand.Intn(10)               // want `global-source rand\.Intn`
+}
+
+func seededRand(s *sim) int {
+	return s.rng.Intn(10) // method on a seeded *rand.Rand: allowed
+}
+
+func mapOrderedOutput(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func mapOrderedWrite(m map[string]int, f *os.File) {
+	for k := range m { // want `map iteration order feeds output`
+		f.WriteString(k)
+	}
+}
+
+func mapAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-independent aggregation: allowed
+		total += v
+	}
+	return total
+}
+
+func suppressedClock() time.Time {
+	//lint:ignore pdnlint/detrand testdata exercises the suppression path
+	return time.Now()
+}

@@ -1,0 +1,92 @@
+// Package signal is ctxflow analyzer testdata: its base name puts it in
+// the context-required scope.
+package signal
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+type server struct {
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// RecvJob blocks on a channel without accepting a context.
+func (s *server) RecvJob() int { // want `exported RecvJob blocks .* but takes no context\.Context`
+	return <-s.jobs
+}
+
+// SendJob blocks on a channel send without accepting a context.
+func (s *server) SendJob(v int) { // want `exported SendJob blocks .* but takes no context\.Context`
+	s.jobs <- v
+}
+
+// WaitIdle blocks in WaitGroup.Wait without accepting a context.
+func (s *server) WaitIdle() { // want `exported WaitIdle blocks .* but takes no context\.Context`
+	s.wg.Wait()
+}
+
+// DialUpstream performs a net call without accepting a context.
+func DialUpstream(addr string) (net.Conn, error) { // want `exported DialUpstream blocks .* but takes no context\.Context`
+	return net.Dial("tcp", addr)
+}
+
+// Relay blocks only through a same-package helper; the transitive pass
+// must still flag it.
+func (s *server) Relay(v int) { // want `exported Relay blocks .* but takes no context\.Context`
+	s.push(v)
+}
+
+func (s *server) push(v int) {
+	s.jobs <- v
+}
+
+// RecvJobCtx accepts a context: compliant.
+func (s *server) RecvJobCtx(ctx context.Context) (int, error) {
+	select {
+	case v := <-s.jobs:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// TryRecv uses a select with default: never blocks, no context needed.
+func (s *server) TryRecv() (int, bool) {
+	select {
+	case v := <-s.jobs:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Close is exempt as io.Closer even though it waits.
+func (s *server) Close() error {
+	s.wg.Wait()
+	return nil
+}
+
+// Detached builds a root context below cmd/.
+func Detached() context.Context {
+	return context.Background() // want `context\.Background below cmd/`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO below cmd/`
+}
+
+// Spawn only launches a goroutine; the literal's body blocks the new
+// goroutine, not Spawn itself.
+func (s *server) Spawn(ctx context.Context) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-s.jobs:
+		case <-ctx.Done():
+		}
+	}()
+}

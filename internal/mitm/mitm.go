@@ -85,6 +85,7 @@ type FakeCDN struct {
 	substitutions atomic.Int64
 
 	httpSrv *http.Server
+	srvWG   sync.WaitGroup
 }
 
 // NewFakeCDN constructs a fake CDN forwarding to upstream; outbound
@@ -110,16 +111,22 @@ func (f *FakeCDN) Serve(host *netsim.Host, port uint16) error {
 		return fmt.Errorf("mitm: fake cdn listen: %w", err)
 	}
 	f.httpSrv = &http.Server{Handler: http.HandlerFunc(f.handle)}
-	go func() { _ = f.httpSrv.Serve(l) }()
+	f.srvWG.Add(1)
+	go func() {
+		defer f.srvWG.Done()
+		_ = f.httpSrv.Serve(l)
+	}()
 	return nil
 }
 
-// Close stops the server.
+// Close stops the server and waits for its serve goroutine.
 func (f *FakeCDN) Close() error {
-	if f.httpSrv != nil {
-		return f.httpSrv.Close()
+	if f.httpSrv == nil {
+		return nil
 	}
-	return nil
+	err := f.httpSrv.Close()
+	f.srvWG.Wait()
+	return err
 }
 
 func (f *FakeCDN) handle(w http.ResponseWriter, r *http.Request) {
@@ -205,8 +212,9 @@ func NewSignalProxy(host *netsim.Host, upstream netip.AddrPort, rewrite RewriteF
 	return &SignalProxy{host: host, upstream: upstream, rewrite: rewrite, done: make(chan struct{})}
 }
 
-// Serve starts the proxy on a port of its host.
-func (p *SignalProxy) Serve(port uint16) error {
+// Serve starts the proxy on a port of its host. ctx bounds the upstream
+// dial of every piped connection.
+func (p *SignalProxy) Serve(ctx context.Context, port uint16) error {
 	l, err := p.host.Listen(port)
 	if err != nil {
 		return fmt.Errorf("mitm: proxy listen: %w", err)
@@ -223,7 +231,7 @@ func (p *SignalProxy) Serve(port uint16) error {
 			p.wg.Add(1)
 			go func() {
 				defer p.wg.Done()
-				p.pipe(conn)
+				p.pipe(ctx, conn)
 			}()
 		}
 	}()
@@ -246,10 +254,10 @@ func (p *SignalProxy) Close() error {
 
 // pipe relays envelopes between a client conn and the upstream server,
 // applying the rewrite hook in both directions.
-func (p *SignalProxy) pipe(clientConn net.Conn) {
+func (p *SignalProxy) pipe(ctx context.Context, clientConn net.Conn) {
 	defer clientConn.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	upstreamConn, err := p.host.Dial(ctx, p.upstream)
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	upstreamConn, err := p.host.Dial(dctx, p.upstream)
 	cancel()
 	if err != nil {
 		return

@@ -141,7 +141,7 @@ func TestSignalProxySpoofsOrigin(t *testing.T) {
 	defer srv.Close()
 
 	proxy := NewSignalProxy(proxyHost, netip.MustParseAddrPort("44.1.1.1:443"), SpoofOrigin("victim.com"))
-	if err := proxy.Serve(443); err != nil {
+	if err := proxy.Serve(context.Background(), 443); err != nil {
 		t.Fatal(err)
 	}
 	defer proxy.Close()
@@ -154,7 +154,7 @@ func TestSignalProxySpoofsOrigin(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer direct.Close()
-	_, err = direct.Join(signal.JoinRequest{APIKey: key, Origin: "https://attacker.evil", Video: "v", Rendition: "r"})
+	_, err = direct.Join(context.Background(), signal.JoinRequest{APIKey: key, Origin: "https://attacker.evil", Video: "v", Rendition: "r"})
 	if err == nil {
 		t.Fatal("direct cross-domain join should fail")
 	}
@@ -165,7 +165,7 @@ func TestSignalProxySpoofsOrigin(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer viaProxy.Close()
-	w, err := viaProxy.Join(signal.JoinRequest{APIKey: key, Origin: "https://attacker.evil", Video: "v", Rendition: "r"})
+	w, err := viaProxy.Join(context.Background(), signal.JoinRequest{APIKey: key, Origin: "https://attacker.evil", Video: "v", Rendition: "r"})
 	if err != nil {
 		t.Fatalf("spoofed join should pass: %v", err)
 	}
@@ -173,7 +173,7 @@ func TestSignalProxySpoofsOrigin(t *testing.T) {
 		t.Fatal("no peer ID")
 	}
 	// And requests keep flowing through the proxied session.
-	if _, err := viaProxy.GetPeers(4); err != nil {
+	if _, err := viaProxy.GetPeers(context.Background(), 4); err != nil {
 		t.Fatalf("proxied session broken: %v", err)
 	}
 }

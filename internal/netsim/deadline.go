@@ -23,6 +23,7 @@ func (d *deadline) set(t time.Time) {
 	defer d.mu.Unlock()
 
 	if d.timer != nil && !d.timer.Stop() {
+		//lint:ignore pdnlint/mutexspan the AfterFunc callback only closes cancel and never takes d.mu, so this receive is prompt (stdlib pipeDeadline pattern)
 		<-d.cancel // wait for the timer callback to finish and close cancel
 	}
 	d.timer = nil
@@ -37,6 +38,7 @@ func (d *deadline) set(t time.Time) {
 		return
 	}
 
+	//lint:ignore pdnlint/detrand deadlines are absolute wall times armed via time.AfterFunc, which runs on the wall clock; an injected clock cannot drive it
 	if dur := time.Until(t); dur > 0 {
 		if closed {
 			d.cancel = make(chan struct{})

@@ -435,14 +435,15 @@ type rateGate struct {
 }
 
 // wait blocks until n bytes may pass at the given rate, and returns
-// immediately for rate<=0.
-func (g *rateGate) wait(n int, rate int64) {
+// immediately for rate<=0. The clock is injected so shaped timestamps
+// follow the network's (possibly test-controlled) time source.
+func (g *rateGate) wait(n int, rate int64, clock func() time.Time) {
 	if rate <= 0 || n <= 0 {
 		return
 	}
 	dur := time.Duration(float64(n) / float64(rate) * float64(time.Second))
 	g.mu.Lock()
-	now := time.Now()
+	now := clock()
 	start := g.next
 	if start.Before(now) {
 		start = now
@@ -459,7 +460,7 @@ func (h *Host) shapeUp(n int) {
 	h.mu.Lock()
 	rate := h.upRate
 	h.mu.Unlock()
-	h.upGate.wait(n, rate)
+	h.upGate.wait(n, rate, h.net.now)
 	h.bytesUp.Add(int64(n))
 }
 
@@ -467,7 +468,7 @@ func (h *Host) shapeDown(n int) {
 	h.mu.Lock()
 	rate := h.downRate
 	h.mu.Unlock()
-	h.downGate.wait(n, rate)
+	h.downGate.wait(n, rate, h.net.now)
 	h.bytesDown.Add(int64(n))
 }
 

@@ -267,7 +267,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	}
 
 	pkt := Packet{
-		Time:    time.Now(),
+		Time:    c.host.net.now(),
 		Proto:   ProtoTCP,
 		Src:     c.peer.remoteAddr, // how the receiver sees us (post-NAT)
 		Dst:     c.remoteAddr,

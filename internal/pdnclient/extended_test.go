@@ -145,7 +145,7 @@ func newTestbedWithPolicy(t *testing.T, prof provider.Profile, video *media.Vide
 	}
 	t.Cleanup(func() { cdnSrv.Close() })
 	sigHost := n.MustHost(netip.MustParseAddr("44.2.2.2"))
-	dep, err := provider.Deploy(prof, sigHost, provider.Options{Seed: 42, PolicyOverride: pol})
+	dep, err := provider.Deploy(context.Background(), prof, sigHost, provider.Options{Seed: 42, PolicyOverride: pol})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestPacketLossStillConnects(t *testing.T) {
 	}
 	t.Cleanup(func() { cdnSrv.Close() })
 	sigHost := n.MustHost(netip.MustParseAddr("44.1.1.1"))
-	dep, err := provider.Deploy(provider.Peer5(), sigHost, provider.Options{Seed: 3})
+	dep, err := provider.Deploy(context.Background(), provider.Peer5(), sigHost, provider.Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package pdnclient
 
 import (
+	"context"
+
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
@@ -26,14 +28,14 @@ func (p *Peer) reportIM(key media.SegmentKey, data []byte) {
 // integrity metadata. Unverifiable segments (no SIM established yet)
 // are rejected, forcing CDN fallback — which in turn produces the IM
 // report that establishes the SIM.
-func (p *Peer) verifySIM(key media.SegmentKey, data []byte) bool {
+func (p *Peer) verifySIM(ctx context.Context, key media.SegmentKey, data []byte) bool {
 	p.mu.Lock()
 	sig := p.sig
 	p.mu.Unlock()
 	if sig == nil {
 		return false
 	}
-	resp, err := sig.GetSIM(signal.GetSIM{Key: key})
+	resp, err := sig.GetSIM(ctx, signal.GetSIM{Key: key})
 	if err != nil || !resp.Found {
 		return false
 	}

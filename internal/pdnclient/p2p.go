@@ -221,7 +221,7 @@ func (p *Peer) maintainNeighbors(ctx context.Context) {
 	if sig == nil || have >= pol.MaxNeighbors {
 		return
 	}
-	peers, err := sig.GetPeers(pol.MaxNeighbors)
+	peers, err := sig.GetPeers(ctx, pol.MaxNeighbors)
 	if err != nil {
 		return
 	}
@@ -399,11 +399,12 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer) {
 	p.mu.Lock()
 	_, connected := p.neighbors[from]
 	sig := p.sig
+	runCtx := p.runCtx
 	p.mu.Unlock()
-	if connected || sig == nil {
+	if connected || sig == nil || runCtx == nil {
 		return
 	}
-	cctx, cancel := context.WithTimeout(context.Background(), connectTimeout)
+	cctx, cancel := context.WithTimeout(runCtx, connectTimeout)
 	defer cancel()
 
 	if p.cfg.TURNAddr.IsValid() {

@@ -150,6 +150,7 @@ type Peer struct {
 	policy signal.Policy
 
 	mu            sync.Mutex
+	runCtx        context.Context // the active Run's context; answers derive from it
 	neighbors     map[string]*neighbor
 	offering      map[string]bool
 	answerWaiters map[string]chan signal.ConnectOffer
@@ -238,6 +239,10 @@ func (p *Peer) Fingerprint() string { return p.identity.Fingerprint() }
 func (p *Peer) Run(ctx context.Context) (Stats, error) {
 	defer p.teardown()
 
+	p.mu.Lock()
+	p.runCtx = ctx
+	p.mu.Unlock()
+
 	if !p.cfg.DisableP2P {
 		if err := p.join(ctx); err != nil {
 			if !p.cfg.GracefulDegrade {
@@ -303,7 +308,7 @@ func (p *Peer) join(ctx context.Context) error {
 		return err
 	}
 	sig.OnRelay(p.handleRelay)
-	w, err := sig.Join(signal.JoinRequest{
+	w, err := sig.Join(ctx, signal.JoinRequest{
 		APIKey:      p.cfg.APIKey,
 		Origin:      p.cfg.Origin,
 		Referer:     p.cfg.Referer,
@@ -559,7 +564,7 @@ func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte
 			nb.close()
 			continue
 		}
-		if pol.RequireIMChecking && !p.verifySIM(key, data) {
+		if pol.RequireIMChecking && !p.verifySIM(ctx, key, data) {
 			p.mu.Lock()
 			p.stats.IMRejected++
 			p.mu.Unlock()

@@ -52,7 +52,7 @@ func newTestbed(t *testing.T, prof provider.Profile, video *media.Video) *testbe
 	t.Cleanup(func() { cdnSrv.Close() })
 
 	sigHost := n.MustHost(netip.MustParseAddr("44.1.1.1"))
-	dep, err := provider.Deploy(prof, sigHost, provider.Options{Seed: 42})
+	dep, err := provider.Deploy(context.Background(), prof, sigHost, provider.Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

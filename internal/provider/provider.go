@@ -251,8 +251,9 @@ type Options struct {
 }
 
 // Deploy starts the provider's signaling and STUN services on the given
-// host (ports 443 and 3478).
-func Deploy(p Profile, host *netsim.Host, opts Options) (*Deployment, error) {
+// host (ports 443 and 3478). ctx bounds the deployment's background
+// services: cancelling it stops the STUN responder (Close does too).
+func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*Deployment, error) {
 	d := &Deployment{Profile: p}
 
 	var keys *auth.Registry
@@ -296,8 +297,8 @@ func Deploy(p Profile, host *netsim.Host, opts Options) (*Deployment, error) {
 		srv.Close()
 		return nil, fmt.Errorf("provider %s: stun: %w", p.Name, err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	go ice.ServeSTUN(ctx, pc)
+	stunCtx, cancel := context.WithCancel(ctx)
+	go ice.ServeSTUN(stunCtx, pc)
 
 	d.Keys = keys
 	d.Tokens = tokens

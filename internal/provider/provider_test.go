@@ -16,7 +16,7 @@ func deploy(t *testing.T, p Profile) (*netsim.Network, *Deployment) {
 	t.Helper()
 	n := netsim.New(netsim.Config{})
 	host := n.MustHost(netip.MustParseAddr("44.1.1.1"))
-	d, err := Deploy(p, host, Options{Seed: 1})
+	d, err := Deploy(context.Background(), p, host, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func join(t *testing.T, n *netsim.Network, d *Deployment, ip string, req signal.
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
-	_, err = c.Join(req)
+	_, err = c.Join(context.Background(), req)
 	return c, err
 }
 

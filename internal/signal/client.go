@@ -98,8 +98,9 @@ func (c *Client) readLoop() {
 	}
 }
 
-// roundTrip sends a request and waits for the next response envelope.
-func (c *Client) roundTrip(typ string, payload any) (wire.Envelope, error) {
+// roundTrip sends a request and waits for the next response envelope,
+// giving up when ctx is done.
+func (c *Client) roundTrip(ctx context.Context, typ string, payload any) (wire.Envelope, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	// Drain any stale response left by a previous failed exchange.
@@ -110,6 +111,7 @@ func (c *Client) roundTrip(typ string, payload any) (wire.Envelope, error) {
 	if err := c.codec.Send(typ, payload); err != nil {
 		return wire.Envelope{}, err
 	}
+	//lint:ignore pdnlint/mutexspan reqMu is the request slot: holding it across the response wait is what pairs responses with requests, and readLoop (the sender on respCh) never takes it
 	select {
 	case env := <-c.respCh:
 		if env.Type == MsgError {
@@ -122,12 +124,14 @@ func (c *Client) roundTrip(typ string, payload any) (wire.Envelope, error) {
 		return env, nil
 	case <-c.done:
 		return wire.Envelope{}, c.closeErr
+	case <-ctx.Done():
+		return wire.Envelope{}, ctx.Err()
 	}
 }
 
 // Join authenticates with the server and returns the welcome.
-func (c *Client) Join(req JoinRequest) (Welcome, error) {
-	env, err := c.roundTrip(MsgJoin, req)
+func (c *Client) Join(ctx context.Context, req JoinRequest) (Welcome, error) {
+	env, err := c.roundTrip(ctx, MsgJoin, req)
 	if err != nil {
 		return Welcome{}, err
 	}
@@ -142,8 +146,8 @@ func (c *Client) Join(req JoinRequest) (Welcome, error) {
 }
 
 // GetPeers requests up to max neighbor candidates.
-func (c *Client) GetPeers(max int) ([]PeerInfo, error) {
-	env, err := c.roundTrip(MsgGetPeers, GetPeersReq{Max: max})
+func (c *Client) GetPeers(ctx context.Context, max int) ([]PeerInfo, error) {
+	env, err := c.roundTrip(ctx, MsgGetPeers, GetPeersReq{Max: max})
 	if err != nil {
 		return nil, err
 	}
@@ -185,8 +189,8 @@ func (c *Client) ReportIM(rep IMReport) error {
 }
 
 // GetSIM fetches the signed integrity metadata for a segment.
-func (c *Client) GetSIM(key GetSIM) (SIM, error) {
-	env, err := c.roundTrip(MsgGetSIM, key)
+func (c *Client) GetSIM(ctx context.Context, key GetSIM) (SIM, error) {
+	env, err := c.roundTrip(ctx, MsgGetSIM, key)
 	if err != nil {
 		return SIM{}, err
 	}

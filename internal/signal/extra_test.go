@@ -9,7 +9,7 @@ func TestRelayToUnknownPeerReturnsError(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	// Relay is one-way; the error arrives as an unsolicited server
@@ -18,7 +18,7 @@ func TestRelayToUnknownPeerReturnsError(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
-	if _, err := c.GetPeers(1); err != nil {
+	if _, err := c.GetPeers(testCtx, 1); err != nil {
 		t.Fatalf("session should survive a relay error: %v", err)
 	}
 }
@@ -30,16 +30,16 @@ func TestSwarmsIsolatedByRendition(t *testing.T) {
 	c720 := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
 	j := basicJoin(key)
 	j.Rendition = "720p"
-	if _, err := c720.Join(j); err != nil {
+	if _, err := c720.Join(testCtx, j); err != nil {
 		t.Fatal(err)
 	}
 	c1080 := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
 	j2 := basicJoin(key)
 	j2.Rendition = "1080p"
-	if _, err := c1080.Join(j2); err != nil {
+	if _, err := c1080.Join(testCtx, j2); err != nil {
 		t.Fatal(err)
 	}
-	peers, err := c720.GetPeers(10)
+	peers, err := c720.GetPeers(testCtx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPolicyDeliveredVerbatim(t *testing.T) {
 	e := newEnv(t, func(c *Config) { c.Policy = pol })
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	w, err := c.Join(basicJoin(key))
+	w, err := c.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,17 +72,17 @@ func TestUnknownMessageTypeAnswered(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	// roundTrip surfaces the server's bad-request error.
-	_, err := c.roundTrip("frobnicate", nil)
+	_, err := c.roundTrip(testCtx, "frobnicate", nil)
 	se, ok := err.(*ServerError)
 	if !ok || se.Info.Code != CodeBadRequest {
 		t.Fatalf("err = %v", err)
 	}
 	// Session still usable.
-	if _, err := c.GetPeers(1); err != nil {
+	if _, err := c.GetPeers(testCtx, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -91,7 +91,7 @@ func TestViewerTimeMetering(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(30 * time.Millisecond)
@@ -105,13 +105,13 @@ func TestServerCloseDisconnectsPeers(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	e.server.Close()
 	// Subsequent requests fail once the server is gone.
 	waitFor(t, 2*time.Second, func() bool {
-		_, err := c.GetPeers(1)
+		_, err := c.GetPeers(testCtx, 1)
 		return err != nil
 	})
 }

@@ -15,6 +15,10 @@ import (
 
 const serverIP = "44.44.44.44"
 
+// testCtx backs the client calls whose cancellation is irrelevant to
+// the test at hand.
+var testCtx = context.Background()
+
 type env struct {
 	net    *netsim.Network
 	server *Server
@@ -72,7 +76,7 @@ func TestJoinWithValidKey(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	w, err := c.Join(basicJoin(key))
+	w, err := c.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +97,7 @@ func TestJoinWithValidKey(t *testing.T) {
 func TestJoinRejectsBadKey(t *testing.T) {
 	e := newEnv(t, nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	_, err := c.Join(basicJoin("stolen-but-wrong"))
+	_, err := c.Join(testCtx, basicJoin("stolen-but-wrong"))
 	se, ok := err.(*ServerError)
 	if !ok || se.Info.Code != CodeAuthFailed {
 		t.Fatalf("err = %v", err)
@@ -108,7 +112,7 @@ func TestJoinAllowlistAndSpoof(t *testing.T) {
 	c1 := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
 	req := basicJoin(key)
 	req.Origin = "https://attacker.evil"
-	if _, err := c1.Join(req); err == nil {
+	if _, err := c1.Join(testCtx, req); err == nil {
 		t.Fatal("cross-domain join should be rejected with allowlist")
 	}
 
@@ -117,7 +121,7 @@ func TestJoinAllowlistAndSpoof(t *testing.T) {
 	c2 := e.dial(t, e.newPeerHost(t, "66.24.0.3"))
 	spoof := basicJoin(key)
 	spoof.Origin = "https://customer.com"
-	if _, err := c2.Join(spoof); err != nil {
+	if _, err := c2.Join(testCtx, spoof); err != nil {
 		t.Fatalf("spoofed join should pass: %v", err)
 	}
 }
@@ -129,7 +133,7 @@ func TestJoinRefererFallback(t *testing.T) {
 	req := basicJoin(key)
 	req.Origin = ""
 	req.Referer = "https://customer.com/watch/1"
-	if _, err := c.Join(req); err != nil {
+	if _, err := c.Join(testCtx, req); err != nil {
 		t.Fatalf("referer fallback: %v", err)
 	}
 }
@@ -140,22 +144,22 @@ func TestGetPeersMatchesSwarm(t *testing.T) {
 
 	// Two peers in bbb/720p, one in a different swarm.
 	cA := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := cA.Join(basicJoin(key)); err != nil {
+	if _, err := cA.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	cB := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
-	wB, err := cB.Join(basicJoin(key))
+	wB, err := cB.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cC := e.dial(t, e.newPeerHost(t, "66.24.0.3"))
 	other := basicJoin(key)
 	other.Video = "different"
-	if _, err := cC.Join(other); err != nil {
+	if _, err := cC.Join(testCtx, other); err != nil {
 		t.Fatal(err)
 	}
 
-	peers, err := cA.GetPeers(10)
+	peers, err := cA.GetPeers(testCtx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,15 +176,15 @@ func TestGetPeersHonorsMax(t *testing.T) {
 	key := e.keys.Issue("customer.com", nil)
 	for i := 0; i < 5; i++ {
 		c := e.dial(t, e.newPeerHost(t, "66.24.1."+string(rune('1'+i))))
-		if _, err := c.Join(basicJoin(key)); err != nil {
+		if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.9"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
-	peers, err := c.GetPeers(2)
+	peers, err := c.GetPeers(testCtx, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,28 +208,28 @@ func TestGeoMatchFiltersForeignPeers(t *testing.T) {
 	us2Host := e.newPeerHost(t, "66.24.0.2") // US prefix
 
 	cUS := e.dial(t, usHost)
-	if _, err := cUS.Join(basicJoin(key)); err != nil {
+	if _, err := cUS.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	cCN := e.dial(t, cnHost)
-	if _, err := cCN.Join(basicJoin(key)); err != nil {
+	if _, err := cCN.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	cUS2 := e.dial(t, us2Host)
-	w2, err := cUS2.Join(basicJoin(key))
+	w2, err := cUS2.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = w2
 
-	peers, err := cUS.GetPeers(10)
+	peers, err := cUS.GetPeers(testCtx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(peers) != 1 || peers[0].Country != "US" {
 		t.Fatalf("geo matching failed: %+v", peers)
 	}
-	peersCN, err := cCN.GetPeers(10)
+	peersCN, err := cCN.GetPeers(testCtx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,12 +242,12 @@ func TestRelayBetweenPeers(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	cA := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	wA, err := cA.Join(basicJoin(key))
+	wA, err := cA.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cB := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
-	wB, err := cB.Join(basicJoin(key))
+	wB, err := cB.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +279,7 @@ func TestStatsBillTheCustomer(t *testing.T) {
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
 	req := basicJoin(key)
 	req.Origin = "https://whatever.evil" // no allowlist: accepted
-	if _, err := c.Join(req); err != nil {
+	if _, err := c.Join(testCtx, req); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.SendStats(Stats{P2PDownBytes: 1000, P2PUpBytes: 500, CDNDownBytes: 200}); err != nil {
@@ -291,14 +295,14 @@ func TestHaveTracking(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Have([]int{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	// No response expected; just confirm the connection stays healthy.
-	if _, err := c.GetPeers(1); err != nil {
+	if _, err := c.GetPeers(testCtx, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -313,7 +317,7 @@ func TestPrivateTokenAuth(t *testing.T) {
 
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
 	req := JoinRequest{Token: tok, VideoURL: "https://cdn/v/bbb/master.m3u8", Video: "bbb", Rendition: "720p"}
-	if _, err := c.Join(req); err != nil {
+	if _, err := c.Join(testCtx, req); err != nil {
 		t.Fatal(err)
 	}
 
@@ -321,7 +325,7 @@ func TestPrivateTokenAuth(t *testing.T) {
 	c2 := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
 	bad := req
 	bad.VideoURL = "https://attacker/own.m3u8"
-	if _, err := c2.Join(bad); err == nil {
+	if _, err := c2.Join(testCtx, bad); err == nil {
 		t.Fatal("video-bound token must not validate for another URL")
 	}
 }
@@ -332,7 +336,7 @@ func TestNoAuthRequiredMode(t *testing.T) {
 		c.RequireAuth = false // Mango-style: no constraint
 	})
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(JoinRequest{Video: "x", Rendition: "r"}); err != nil {
+	if _, err := c.Join(testCtx, JoinRequest{Video: "x", Rendition: "r"}); err != nil {
 		t.Fatalf("unauthenticated join should pass in no-auth mode: %v", err)
 	}
 }
@@ -340,7 +344,7 @@ func TestNoAuthRequiredMode(t *testing.T) {
 func TestFirstMessageMustBeJoin(t *testing.T) {
 	e := newEnv(t, nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.GetPeers(1); err == nil {
+	if _, err := c.GetPeers(testCtx, 1); err == nil {
 		t.Fatal("pre-join request should fail")
 	}
 }
@@ -349,7 +353,7 @@ func TestDisconnectLeavesSwarm(t *testing.T) {
 	e := newEnv(t, nil)
 	key := e.keys.Issue("customer.com", nil)
 	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	if _, err := c.Join(basicJoin(key)); err != nil {
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
@@ -376,27 +380,27 @@ func TestGetSIMAndBlacklistFiltering(t *testing.T) {
 	key := e.keys.Issue("customer.com", nil)
 
 	cA := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
-	wA, err := cA.Join(basicJoin(key))
+	wA, err := cA.Join(testCtx, basicJoin(key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cB := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
-	if _, err := cB.Join(basicJoin(key)); err != nil {
+	if _, err := cB.Join(testCtx, basicJoin(key)); err != nil {
 		t.Fatal(err)
 	}
 
-	sim, err := cA.GetSIM(GetSIM{Key: media.SegmentKey{Video: "bbb", Rendition: "720p", Index: 0}})
+	sim, err := cA.GetSIM(testCtx, GetSIM{Key: media.SegmentKey{Video: "bbb", Rendition: "720p", Index: 0}})
 	if err != nil || !sim.Found || sim.Hash != "h" {
 		t.Fatalf("GetSIM: %+v %v", sim, err)
 	}
-	sim2, err := cA.GetSIM(GetSIM{Key: media.SegmentKey{Video: "other", Rendition: "720p", Index: 0}})
+	sim2, err := cA.GetSIM(testCtx, GetSIM{Key: media.SegmentKey{Video: "other", Rendition: "720p", Index: 0}})
 	if err != nil || sim2.Found {
 		t.Fatalf("unknown SIM should report not found: %+v %v", sim2, err)
 	}
 
 	// Blacklist A; B should no longer be offered A.
 	im.blacklisted[wA.PeerID] = true
-	peers, err := cB.GetPeers(10)
+	peers, err := cB.GetPeers(testCtx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

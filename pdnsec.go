@@ -62,8 +62,10 @@ type Testbed = analyzer.Testbed
 type TestbedConfig = analyzer.TestbedConfig
 
 // NewTestbed deploys a provider with a CDN and a video on a fresh
-// simulated network.
-func NewTestbed(cfg TestbedConfig) (*Testbed, error) { return analyzer.NewTestbed(cfg) }
+// simulated network. ctx bounds the deployment's background services.
+func NewTestbed(ctx context.Context, cfg TestbedConfig) (*Testbed, error) {
+	return analyzer.NewTestbed(ctx, cfg)
+}
 
 // Verdict is one security test's outcome.
 type Verdict = analyzer.Verdict

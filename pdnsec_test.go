@@ -59,7 +59,7 @@ func TestFacadeDetectCustomers(t *testing.T) {
 }
 
 func TestFacadeTestbedLifecycle(t *testing.T) {
-	tb, err := pdnsec.NewTestbed(pdnsec.TestbedConfig{Profile: pdnsec.Streamroot()})
+	tb, err := pdnsec.NewTestbed(context.Background(), pdnsec.TestbedConfig{Profile: pdnsec.Streamroot()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestFacadeTestbedLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := tb.RunViewer(tb.ViewerConfig(host, 1))
+	st, err := tb.RunViewer(context.Background(), tb.ViewerConfig(host, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
