@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-timeout 15m]
+//	experiments [-seed N] [-timeout 15m] [-trace FILE]
+//
+// -trace records each experiment section as a span; ".jsonl" files get
+// one trace event per line, anything else the Chrome trace-event JSON
+// array that ui.perfetto.dev loads directly. Tracing never changes the
+// report — the experiments read only their own injected clocks.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"github.com/stealthy-peers/pdnsec"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
 func main() {
@@ -26,14 +32,28 @@ func main() {
 func run() int {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	timeout := flag.Duration("timeout", 15*time.Minute, "overall timeout")
+	traceFile := flag.String("trace", "", "write a Perfetto-loadable trace of the run to FILE (.jsonl for line-delimited)")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil) // sections run in process time
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	if err := pdnsec.Reproduce(ctx, os.Stdout, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 1
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", tracer.Len(), *traceFile)
 	}
 	return 0
 }

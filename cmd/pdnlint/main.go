@@ -1,8 +1,9 @@
 // Command pdnlint runs the repo-specific static-analysis suite
 // (internal/lint) over the module: detrand, ctxflow, mutexspan,
-// errwrap, and goleak enforce the determinism, context-plumbing, and
-// concurrency invariants the parallel detector's byte-identical-tables
-// guarantee depends on. See docs/lint.md.
+// errwrap, goleak, and obsnames enforce the determinism,
+// context-plumbing, concurrency, and telemetry-naming invariants the
+// parallel detector's byte-identical-tables guarantee depends on. See
+// docs/lint.md.
 //
 // Usage:
 //
@@ -97,7 +98,7 @@ func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
 	for _, name := range strings.Split(only, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: detrand, ctxflow, mutexspan, errwrap, goleak)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: detrand, ctxflow, mutexspan, errwrap, goleak, obsnames)", name)
 		}
 		out = append(out, a)
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pdnscan [-seed N] [-sites N] [-apps N] [-keys]
-//	        [-workers N] [-checkpoint FILE] [-stats]
+//	        [-workers N] [-checkpoint FILE] [-stats] [-trace FILE]
 //
 // -sites/-apps size the non-PDN background population; -keys also
 // prints the API keys the §IV-B regex extraction recovered. The scan
@@ -15,7 +15,10 @@
 // (defaults to one per CPU and must be positive; the merged report is
 // identical at any width),
 // -checkpoint makes an interrupted scan resumable, and -stats prints
-// the engine's job counters and p50/p99 latency afterwards. Ctrl-C
+// the engine's job counters, latency quantiles (p50/p90/p99/max), and
+// jobs/sec afterwards. -trace records every dispatch job as a span:
+// ".jsonl" files get one trace event per line, anything else the Chrome
+// trace-event JSON array that ui.perfetto.dev loads directly. Ctrl-C
 // cancels the scan cleanly.
 package main
 
@@ -30,6 +33,7 @@ import (
 
 	"github.com/stealthy-peers/pdnsec"
 	"github.com/stealthy-peers/pdnsec/internal/dispatch"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
 func main() {
@@ -48,6 +52,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", runtime.NumCPU(), "scan worker pool size (must be positive)")
 	checkpoint := fs.String("checkpoint", "", "resumable scan state file (empty = no checkpointing)")
 	stats := fs.Bool("stats", false, "print dispatch counters and latency quantiles after the scan")
+	traceFile := fs.String("trace", "", "write a Perfetto-loadable trace of the scan to FILE (.jsonl for line-delimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,10 +68,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	metrics := dispatch.NewMetrics()
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil) // scan jobs run in process time
+	}
 	det, err := pdnsec.DetectCustomersParallel(ctx, *seed, *sites, *apps, pdnsec.DetectOptions{
 		Workers:    *workers,
 		Checkpoint: *checkpoint,
 		Metrics:    metrics,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "pdnscan: %v\n", err)
@@ -87,6 +97,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		fmt.Fprintf(stdout, "dispatch: %s\n", metrics.Snapshot())
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceFile); err != nil {
+			fmt.Fprintf(stderr, "pdnscan: trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace: %d events -> %s\n", tracer.Len(), *traceFile)
 	}
 	return 0
 }

@@ -5,19 +5,27 @@
 //
 // Usage:
 //
-//	pdnserve [-provider peer5] [-peers 4] [-segments 8]
+//	pdnserve [-provider peer5] [-peers 4] [-segments 8] [-metrics 127.0.0.1:9100]
+//
+// With -metrics, the process serves live Prometheus metrics on
+// /metrics, an expvar-style JSON dump on /debug/vars, and the standard
+// pprof handlers under /debug/pprof/ for the run's duration.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/stealthy-peers/pdnsec"
 	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
 )
 
@@ -25,10 +33,20 @@ func main() {
 	os.Exit(run())
 }
 
+// profileNames lists every built-in provider profile for usage errors.
+func profileNames() string {
+	names := make([]string, 0, len(pdnsec.AllProfiles()))
+	for _, p := range pdnsec.AllProfiles() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
 func run() int {
 	providerName := flag.String("provider", "peer5", "provider profile to deploy")
 	peers := flag.Int("peers", 4, "number of viewer peers")
 	segments := flag.Int("segments", 8, "segments per viewer")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 
 	var prof pdnsec.Provider
@@ -40,20 +58,56 @@ func run() int {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown provider %q\n", *providerName)
+		fmt.Fprintf(os.Stderr, "Usage: pdnserve [-provider NAME] [-peers N] [-segments N] [-metrics ADDR]\n")
+		fmt.Fprintf(os.Stderr, "unknown provider %q (have: %s)\n", *providerName, profileNames())
 		return 2
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
+	reg := obs.NewRegistry()
+
+	var metricsSrv *http.Server
+	var metricsWG sync.WaitGroup
+	if *metricsAddr != "" {
+		l, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listen: %v\n", err)
+			return 1
+		}
+		metricsSrv = &http.Server{Handler: obs.DebugMux(reg)}
+		metricsWG.Add(1)
+		go func() {
+			defer metricsWG.Done()
+			_ = metricsSrv.Serve(l)
+		}()
+		defer func() {
+			metricsSrv.Close()
+			metricsWG.Wait()
+		}()
+		fmt.Printf("metrics: http://%s/metrics\n", l.Addr())
+	}
+
 	video := analyzer.SmallVideo("bbb", *segments, 256<<10)
-	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{Profile: prof, Video: video})
+	tb, err := pdnsec.NewTestbed(ctx, pdnsec.TestbedConfig{Profile: prof, Video: video, Obs: reg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deploy: %v\n", err)
 		return 1
 	}
 	defer tb.Close()
+	// Swarm events stamp from the simulated network's clock, keeping the
+	// trace aligned with what peers experienced.
+	tb.Tracer = obs.NewTracer(tb.Net.Now)
+
+	if tb.Dep.Keys != nil {
+		reg.GaugeFunc("customer_p2p_bytes", "P2P bytes metered to the customer", func() float64 {
+			return float64(tb.Dep.Keys.Usage("customer.com").P2PBytes)
+		})
+		reg.GaugeFunc("customer_cdn_bytes", "CDN bytes metered to the customer", func() float64 {
+			return float64(tb.Dep.Keys.Usage("customer.com").CDNBytes)
+		})
+	}
 
 	fmt.Printf("deployed %s: signaling %v, stun %v, cdn %s\n",
 		prof.Name, tb.Dep.SignalAddr, tb.Dep.STUNAddr, tb.CDNBase)

@@ -21,6 +21,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/monitor"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
@@ -51,6 +52,14 @@ type TestbedConfig struct {
 	// Latency configures per-host access latency for timing-sensitive
 	// experiments.
 	Latency time.Duration
+	// Obs, when set, registers every testbed component's metrics in one
+	// shared registry (the aggregation cmd/pdnserve exposes live).
+	Obs *obs.Registry
+	// Tracer, when set, records swarm events across the deployment. The
+	// testbed never constructs one itself — the caller decides the clock
+	// domain (cmd/pdnserve builds it on tb.Net.Now, keeping this package
+	// clock-free and deterministic).
+	Tracer *obs.Tracer
 }
 
 // Testbed is a running PDN deployment plus helpers to place peers on it.
@@ -63,6 +72,8 @@ type Testbed struct {
 	Key     string // customer API key ("" for private providers)
 	GeoDB   *geoip.DB
 	Alloc   *geoip.Allocator
+	Obs     *obs.Registry
+	Tracer  *obs.Tracer
 
 	customerDomain string
 	latency        time.Duration
@@ -96,6 +107,12 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 	if cfg.Options.GeoDB == nil {
 		cfg.Options.GeoDB = db
 	}
+	if cfg.Options.Obs == nil {
+		cfg.Options.Obs = cfg.Obs
+	}
+	if cfg.Options.Tracer == nil {
+		cfg.Options.Tracer = cfg.Tracer
+	}
 
 	n := netsim.New(netsim.Config{})
 	tb := &Testbed{
@@ -103,6 +120,8 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 		Video:          cfg.Video,
 		GeoDB:          db,
 		Alloc:          geoip.NewAllocator(db, cfg.Options.Seed+1),
+		Obs:            cfg.Obs,
+		Tracer:         cfg.Tracer,
 		customerDomain: cfg.CustomerDomain,
 		latency:        cfg.Latency,
 	}
@@ -112,6 +131,7 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 		return nil, err
 	}
 	tb.CDN = cdn.New()
+	tb.CDN.Instrument(cfg.Obs)
 	tb.CDN.Register(cfg.Video)
 	if err := tb.CDN.Serve(cdnHost, 80); err != nil {
 		return nil, err
@@ -196,6 +216,8 @@ func (tb *Testbed) ViewerConfig(host *netsim.Host, seed int64) pdnclient.Config 
 		Video:      tb.Video.ID,
 		Rendition:  tb.Video.Renditions[0].Name,
 		Seed:       seed,
+		Obs:        tb.Obs,
+		Tracer:     tb.Tracer,
 	}
 	switch {
 	case tb.Key != "":

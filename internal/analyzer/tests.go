@@ -10,6 +10,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/mitm"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
@@ -42,8 +43,17 @@ type Verdict struct {
 	Detail     string `json:"detail"`
 }
 
-// RunRisk executes one named risk test against a provider profile.
+// RunRisk executes one named risk test against a provider profile. A
+// tracer carried in ctx (obs.WithTracer) records each test as a span;
+// the package itself never constructs tracers or reads clocks.
 func RunRisk(ctx context.Context, prof provider.Profile, risk string) (Verdict, error) {
+	span := obs.FromContext(ctx).Begin("analyzer_risk", obs.A("provider", prof.Name), obs.A("risk", risk))
+	v, err := runRisk(ctx, prof, risk)
+	span.End(obs.A("applicable", v.Applicable), obs.A("vulnerable", v.Vulnerable))
+	return v, err
+}
+
+func runRisk(ctx context.Context, prof provider.Profile, risk string) (Verdict, error) {
 	switch risk {
 	case RiskCrossDomain:
 		return CrossDomainTest(ctx, prof)
@@ -267,6 +277,8 @@ func PollutionTest(ctx context.Context, prof provider.Profile, sameSize bool, po
 		Rendition:     "360p",
 		Pollute:       pollute,
 		Segments:      video.Segments,
+		Obs:           tb.Obs,
+		Tracer:        tb.Tracer,
 	}
 	if tb.Key != "" {
 		params.APIKey = tb.Key
@@ -285,14 +297,14 @@ func PollutionTest(ctx context.Context, prof provider.Profile, sameSize bool, po
 		return v, err
 	}
 	vcfg := tb.ViewerConfig(victimHost, 99)
-	obs, err := attack.RunVictim(ctx, tb.Net, victimHost, tb.Dep.SignalAddr, tb.Dep.STUNAddr,
+	vic, err := attack.RunVictim(ctx, tb.Net, victimHost, tb.Dep.SignalAddr, tb.Dep.STUNAddr,
 		vcfg.CDNBase, vcfg.APIKey, vcfg.Origin, video, "360p", video.Segments, 99)
 	if err != nil {
 		return v, err
 	}
-	v.Vulnerable = len(obs.PollutedSegments) > 0
+	v.Vulnerable = len(vic.PollutedSegments) > 0
 	v.Detail = fmt.Sprintf("victim played %d polluted / %d P2P / %d total segments",
-		len(obs.PollutedSegments), obs.P2PSegments, obs.PlayedSegments)
+		len(vic.PollutedSegments), vic.P2PSegments, vic.PlayedSegments)
 	return v, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/mitm"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
@@ -197,6 +198,10 @@ type PollutionParams struct {
 	Pollute mitm.PolluteFunc
 	// Segments bounds the malicious peer's playback.
 	Segments int
+	// Obs and Tracer instrument the fake CDN and the malicious peer;
+	// nil disables.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // Pollution is a launched pollution attack.
@@ -213,6 +218,7 @@ type Pollution struct {
 // no knowledge of the PDN protocol at all.
 func LaunchPollution(ctx context.Context, p PollutionParams) (*Pollution, error) {
 	fake := mitm.NewFakeCDN(p.FakeCDNHost, p.RealCDNBase, p.Pollute)
+	fake.Instrument(p.Obs, p.Tracer)
 	if err := fake.Serve(p.FakeCDNHost, 80); err != nil {
 		return nil, err
 	}
@@ -231,6 +237,8 @@ func LaunchPollution(ctx context.Context, p PollutionParams) (*Pollution, error)
 		MaxSegments: p.Segments,
 		Linger:      5 * time.Minute,
 		Seed:        666,
+		Obs:         p.Obs,
+		Tracer:      p.Tracer,
 	})
 	if err != nil {
 		fake.Close()

@@ -22,6 +22,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/hls"
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
 // LiveWindow is the number of segments a live media playlist exposes.
@@ -35,6 +36,14 @@ type Server struct {
 	bytes   map[string]int64     // bytes served per video
 	reqs    map[string]int64     // requests per video
 	now     func() time.Time
+
+	segCache segMemo
+
+	reqsTotal  *obs.Counter
+	bytesTotal *obs.Counter
+	videoBytes *obs.CounterVec
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
 
 	httpSrv  *http.Server
 	listener *netsim.Listener
@@ -51,6 +60,16 @@ func New() *Server {
 		now:     time.Now,
 	}
 	return s
+}
+
+// Instrument registers the server's metrics in reg. Call before Serve;
+// nil reg is a no-op (handles stay nil-safe).
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.reqsTotal = reg.Counter("cdn_requests_total", "HTTP requests served by the CDN")
+	s.bytesTotal = reg.Counter("cdn_bytes_total", "bytes served by the CDN (billed to the customer)")
+	s.videoBytes = reg.CounterVec("cdn_video_bytes_total", "bytes served per video", "video")
+	s.cacheHits = reg.Counter("cdn_cache_hits_total", "segment responses satisfied from the edge cache")
+	s.cacheMiss = reg.Counter("cdn_cache_misses_total", "segment responses synthesized at the origin")
 }
 
 // SetClock overrides the live-edge clock (tests).
@@ -219,10 +238,19 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request, videoID, r
 		http.NotFound(w, r)
 		return
 	}
-	data, err := v.SegmentData(rendition, idx)
-	if err != nil {
-		http.NotFound(w, r)
-		return
+	key := media.SegmentKey{Video: videoID, Rendition: rendition, Index: idx}
+	data, ok := s.segCache.get(key)
+	if ok {
+		s.cacheHits.Inc()
+	} else {
+		s.cacheMiss.Inc()
+		var err error
+		data, err = v.SegmentData(rendition, idx)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		s.segCache.put(key, data)
 	}
 	s.account(videoID, s.write(w, "video/mp2t", data))
 }
@@ -273,9 +301,12 @@ func (s *Server) write(w http.ResponseWriter, contentType string, body []byte) i
 
 func (s *Server) account(videoID string, n int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.bytes[videoID] += n
 	s.reqs[videoID]++
+	s.mu.Unlock()
+	s.reqsTotal.Inc()
+	s.bytesTotal.Add(n)
+	s.videoBytes.With(videoID).Add(n)
 }
 
 // Serve starts the CDN's HTTP server on a simulated host and port.

@@ -1,0 +1,49 @@
+package cdn
+
+import (
+	"sync"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+)
+
+// segMemoLimit bounds the memo cache's payload bytes (~32 MiB). Segment
+// synthesis is deterministic, so eviction only costs recomputation —
+// the cache trades memory for the dominant per-request CPU cost without
+// ever changing a response byte.
+const segMemoLimit = 32 << 20
+
+// segMemo memoizes synthesized segment payloads with FIFO eviction.
+// The zero value is ready to use.
+type segMemo struct {
+	mu    sync.Mutex
+	data  map[media.SegmentKey][]byte
+	order []media.SegmentKey
+	size  int
+}
+
+func (c *segMemo) get(key media.SegmentKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.data[key]
+	return data, ok
+}
+
+func (c *segMemo) put(key media.SegmentKey, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.data == nil {
+		c.data = make(map[media.SegmentKey][]byte)
+	}
+	if _, ok := c.data[key]; ok {
+		return
+	}
+	for c.size+len(data) > segMemoLimit && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		c.size -= len(c.data[oldest])
+		delete(c.data, oldest)
+	}
+	c.data[key] = data
+	c.order = append(c.order, key)
+	c.size += len(data)
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/stealthy-peers/pdnsec/internal/corpus"
 	"github.com/stealthy-peers/pdnsec/internal/dispatch"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 )
 
@@ -39,6 +40,10 @@ type Options struct {
 	// live crawl's I/O profile is studied and benchmarked; it does not
 	// change any result.
 	SimulateRTT time.Duration
+	// Tracer, when set, records the scan's dispatch spans (run, per-job,
+	// retries). The detector itself stays clock-free; timestamps come
+	// from the tracer's own injected clock.
+	Tracer *obs.Tracer
 }
 
 // simulateFetches blocks for roundTrips×rtt or until ctx is done,
@@ -70,6 +75,7 @@ func ParallelPipeline(ctx context.Context, c *corpus.Corpus, profiles []provider
 		RateLimit:  opts.RateLimit,
 		Metrics:    opts.Metrics,
 		OnProgress: opts.OnProgress,
+		Tracer:     opts.Tracer,
 	}
 	if opts.Metrics == nil {
 		// Share one collector across both passes so a progress hook

@@ -23,6 +23,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
 // Job is one schedulable unit of work producing an R.
@@ -62,6 +64,10 @@ type Config struct {
 	// job settles (done, failed, or resumed). It may be called
 	// concurrently from multiple workers.
 	OnProgress func(Snapshot)
+	// Tracer, when set, records the run and each job's lifecycle
+	// (queue→attempt→retry→settle) as spans and events. Nil disables
+	// tracing at the cost of one branch per operation.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +123,7 @@ type task[R any] struct {
 // it returns the join of all per-job failures (nil if none). Partial
 // results are always returned — failed slots hold R's zero value.
 func (e *Engine[R]) Run(ctx context.Context, jobs []Job[R]) ([]R, error) {
+	run := e.cfg.Tracer.Begin("dispatch_run", obs.A("jobs", len(jobs)), obs.A("workers", e.cfg.Workers))
 	results := make([]R, len(jobs))
 	errs := make([]error, len(jobs))
 	q := newShardedQueue[task[R]](e.cfg.QueueShards, e.cfg.ShardDepth)
@@ -162,6 +169,8 @@ func (e *Engine[R]) Run(ctx context.Context, jobs []Job[R]) ([]R, error) {
 	wg.Wait()
 	<-feederDone
 
+	snap := e.metrics.Snapshot()
+	run.End(obs.A("done", snap.Done), obs.A("failed", snap.Failed), obs.A("resumed", snap.Resumed))
 	if err := ctx.Err(); err != nil {
 		return results, err
 	}
@@ -179,12 +188,16 @@ func (e *Engine[R]) domainOf(job Job[R]) string {
 // writing its private slots in results/errs (index-disjoint with every
 // other job, so no locking is needed).
 func (e *Engine[R]) execute(ctx context.Context, t task[R], results []R, errs []error) {
-	e.metrics.jobStart()
 	start := time.Now()
+	e.metrics.jobStart(start.UnixNano())
+	span := e.cfg.Tracer.Begin("dispatch_job", obs.A("key", t.job.Key))
 	var lastErr error
+	attempts := 0
 	for attempt := 1; attempt <= e.cfg.MaxAttempts; attempt++ {
+		attempts = attempt
 		if attempt > 1 {
 			e.metrics.addRetry()
+			e.cfg.Tracer.Event("dispatch_retry", obs.A("key", t.job.Key), obs.A("attempt", attempt))
 			if err := sleep(ctx, e.cfg.Backoff.delay(t.job.Key, attempt-1)); err != nil {
 				lastErr = err
 				break
@@ -206,7 +219,9 @@ func (e *Engine[R]) execute(ctx context.Context, t task[R], results []R, errs []
 					errs[t.idx] = cerr
 				}
 			}
-			e.metrics.jobEnd(time.Since(start), true)
+			end := time.Now()
+			e.metrics.jobEnd(end.Sub(start), true, end.UnixNano())
+			span.End(obs.A("ok", true), obs.A("attempts", attempts))
 			e.progress()
 			return
 		}
@@ -216,7 +231,9 @@ func (e *Engine[R]) execute(ctx context.Context, t task[R], results []R, errs []
 		}
 	}
 	errs[t.idx] = fmt.Errorf("dispatch: job %q: %w", t.job.Key, lastErr)
-	e.metrics.jobEnd(time.Since(start), false)
+	end := time.Now()
+	e.metrics.jobEnd(end.Sub(start), false, end.UnixNano())
+	span.End(obs.A("ok", false), obs.A("attempts", attempts))
 	e.progress()
 }
 

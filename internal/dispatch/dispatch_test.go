@@ -266,9 +266,9 @@ func TestQueueShardAffinity(t *testing.T) {
 func TestLatencyHistogramQuantiles(t *testing.T) {
 	m := NewMetrics()
 	for i := 0; i < 99; i++ {
-		m.observe(time.Millisecond)
+		m.Latency().Observe(time.Millisecond.Nanoseconds())
 	}
-	m.observe(time.Second)
+	m.Latency().Observe(time.Second.Nanoseconds())
 	p50, p99 := m.Quantile(0.50), m.Quantile(0.99)
 	if p50 < 800*time.Microsecond || p50 > 1200*time.Microsecond {
 		t.Fatalf("p50 = %v, want ~1ms", p50)

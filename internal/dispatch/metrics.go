@@ -2,24 +2,18 @@ package dispatch
 
 import (
 	"fmt"
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
-// latSubBits gives each power-of-two latency octave 2^latSubBits
-// sub-buckets, bounding the quantile error at ~1/2^latSubBits without
-// any locking on the record path.
-const latSubBits = 3
-
-// latBuckets covers durations from 1ns to beyond an hour.
-const latBuckets = 64 << latSubBits
-
 // Metrics collects a dispatch run's counters and job-latency
-// distribution. All methods are safe for concurrent use; a single
-// Metrics may be shared across engines to aggregate phases of one
-// logical scan (the detector shares one across its site and app
-// passes).
+// distribution (an obs.Histogram — the log-scale layout that used to
+// live here, now shared repo-wide). All methods are safe for concurrent
+// use; a single Metrics may be shared across engines to aggregate
+// phases of one logical scan (the detector shares one across its site
+// and app passes).
 type Metrics struct {
 	queued   atomic.Int64
 	resumed  atomic.Int64
@@ -28,34 +22,42 @@ type Metrics struct {
 	failed   atomic.Int64
 	retries  atomic.Int64
 
-	lat      [latBuckets]atomic.Int64
-	latCount atomic.Int64
+	lat *obs.Histogram
+
+	// startNS/endNS bracket the observed run for throughput: first
+	// job start to latest job end, wall-clock UnixNano.
+	startNS atomic.Int64
+	endNS   atomic.Int64
 }
 
 // NewMetrics returns an empty collector.
-func NewMetrics() *Metrics { return &Metrics{} }
+func NewMetrics() *Metrics { return &Metrics{lat: obs.NewHistogram()} }
 
 // Snapshot is a point-in-time view of a run's progress.
 type Snapshot struct {
-	Queued   int64 // jobs accepted into the queue
-	Resumed  int64 // jobs satisfied from the checkpoint
-	InFlight int64 // jobs currently executing
-	Done     int64 // jobs completed successfully
-	Failed   int64 // jobs that exhausted their attempts
-	Retries  int64 // extra attempts beyond each job's first
-	P50      time.Duration
-	P99      time.Duration
+	Queued     int64 // jobs accepted into the queue
+	Resumed    int64 // jobs satisfied from the checkpoint
+	InFlight   int64 // jobs currently executing
+	Done       int64 // jobs completed successfully
+	Failed     int64 // jobs that exhausted their attempts
+	Retries    int64 // extra attempts beyond each job's first
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	Max        time.Duration // exact worst-case job latency
+	Throughput float64       // settled jobs per second of observed run time
 }
 
 // String renders the snapshot as a one-line progress report.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("queued=%d resumed=%d inflight=%d done=%d failed=%d retries=%d p50=%v p99=%v",
-		s.Queued, s.Resumed, s.InFlight, s.Done, s.Failed, s.Retries, s.P50, s.P99)
+	return fmt.Sprintf("queued=%d resumed=%d inflight=%d done=%d failed=%d retries=%d p50=%v p90=%v p99=%v max=%v jobs/s=%.1f",
+		s.Queued, s.Resumed, s.InFlight, s.Done, s.Failed, s.Retries, s.P50, s.P90, s.P99, s.Max, s.Throughput)
 }
 
-// Snapshot captures the current counters and latency quantiles.
+// Snapshot captures the current counters, latency quantiles, and
+// throughput.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Queued:   m.queued.Load(),
 		Resumed:  m.resumed.Load(),
 		InFlight: m.inflight.Load(),
@@ -63,75 +65,47 @@ func (m *Metrics) Snapshot() Snapshot {
 		Failed:   m.failed.Load(),
 		Retries:  m.retries.Load(),
 		P50:      m.Quantile(0.50),
+		P90:      m.Quantile(0.90),
 		P99:      m.Quantile(0.99),
+		Max:      time.Duration(m.lat.Max()),
 	}
+	if start, end := m.startNS.Load(), m.endNS.Load(); start != 0 && end > start {
+		s.Throughput = float64(s.Done+s.Failed) / (float64(end-start) / float64(time.Second))
+	}
+	return s
 }
 
 // Quantile returns the q-th job-latency quantile (0 < q <= 1) from the
 // log-scale histogram; zero when nothing has completed.
 func (m *Metrics) Quantile(q float64) time.Duration {
-	total := m.latCount.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
-	for i := 0; i < latBuckets; i++ {
-		seen += m.lat[i].Load()
-		if seen >= target {
-			return latValue(i)
-		}
-	}
-	return latValue(latBuckets - 1)
+	return time.Duration(m.lat.Quantile(q))
 }
+
+// Latency exposes the underlying histogram so callers can register it
+// in an obs.Registry without double-recording.
+func (m *Metrics) Latency() *obs.Histogram { return m.lat }
 
 func (m *Metrics) addQueued(n int64)  { m.queued.Add(n) }
 func (m *Metrics) addResumed(n int64) { m.resumed.Add(n) }
 func (m *Metrics) addRetry()          { m.retries.Add(1) }
-func (m *Metrics) jobStart()          { m.inflight.Add(1) }
 
-func (m *Metrics) jobEnd(d time.Duration, ok bool) {
+func (m *Metrics) jobStart(nowNS int64) {
+	m.inflight.Add(1)
+	m.startNS.CompareAndSwap(0, nowNS)
+}
+
+func (m *Metrics) jobEnd(d time.Duration, ok bool, nowNS int64) {
 	m.inflight.Add(-1)
 	if ok {
 		m.done.Add(1)
 	} else {
 		m.failed.Add(1)
 	}
-	m.observe(d)
-}
-
-func (m *Metrics) observe(d time.Duration) {
-	m.lat[latIndex(uint64(d.Nanoseconds()))].Add(1)
-	m.latCount.Add(1)
-}
-
-// latIndex maps a nanosecond duration to its histogram bucket:
-// buckets are exact below 2^latSubBits and geometric above, with
-// 2^latSubBits sub-buckets per octave.
-func latIndex(ns uint64) int {
-	if ns < 1<<latSubBits {
-		return int(ns)
+	m.lat.Observe(d.Nanoseconds())
+	for {
+		cur := m.endNS.Load()
+		if nowNS <= cur || m.endNS.CompareAndSwap(cur, nowNS) {
+			return
+		}
 	}
-	e := bits.Len64(ns) - 1
-	sub := (ns >> uint(e-latSubBits)) & (1<<latSubBits - 1)
-	idx := (e-latSubBits+1)<<latSubBits | int(sub)
-	if idx >= latBuckets {
-		idx = latBuckets - 1
-	}
-	return idx
-}
-
-// latValue returns a bucket's representative (midpoint) duration.
-func latValue(idx int) time.Duration {
-	if idx < 1<<latSubBits {
-		return time.Duration(idx)
-	}
-	e := idx>>latSubBits + latSubBits - 1
-	sub := uint64(idx & (1<<latSubBits - 1))
-	width := uint64(1) << uint(e-latSubBits)
-	base := uint64(1)<<uint(e) | sub*width
-	return time.Duration(base + width/2)
 }

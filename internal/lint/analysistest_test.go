@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -24,10 +25,17 @@ func runAnalysisTest(t *testing.T, a *Analyzer, pkgdir string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), pkgdir)
+	// Testdata may import real repo packages (obsnames imports obs), in
+	// which case the module deps come back too; analyze only the target.
+	var pkg *Package
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.ImportPath, "testdata/src/"+pkgdir) {
+			pkg = p
+		}
 	}
-	pkg := pkgs[0]
+	if pkg == nil {
+		t.Fatalf("testdata package %s not among %d loaded packages", pkgdir, len(pkgs))
+	}
 
 	type want struct {
 		re      *regexp.Regexp

@@ -16,6 +16,7 @@ func TestAnalyzers(t *testing.T) {
 		{Mutexspan, "mutexspan"},
 		{Errwrap, "errwrap"},
 		{Goleak, "goleak"},
+		{Obsnames, "obsnames"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -27,7 +28,7 @@ func TestAnalyzers(t *testing.T) {
 // TestSuiteOrder pins the registry: CI output ordering and the
 // suppression namespace (pdnlint/<name>) both key off these names.
 func TestSuiteOrder(t *testing.T) {
-	want := []string{"detrand", "ctxflow", "mutexspan", "errwrap", "goleak"}
+	want := []string{"detrand", "ctxflow", "mutexspan", "errwrap", "goleak", "obsnames"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -2,9 +2,10 @@
 // invariants pdnsec's reproducibility guarantees rest on: no wall-clock
 // or global-rand reads in deterministic packages, context plumbed
 // through blocking paths, no mutexes held across blocking operations,
-// error chains preserved with %w, and no goroutine launched without a
-// cancellation or completion path. See docs/lint.md for the rules and
-// the suppression syntax.
+// error chains preserved with %w, no goroutine launched without a
+// cancellation or completion path, and telemetry names literal
+// snake_case. See docs/lint.md for the rules and the suppression
+// syntax.
 //
 // The package mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer / Pass / Diagnostic) on the standard library alone, so the
@@ -153,7 +154,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full pdnlint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Ctxflow, Mutexspan, Errwrap, Goleak}
+	return []*Analyzer{Detrand, Ctxflow, Mutexspan, Errwrap, Goleak, Obsnames}
 }
 
 // ---- shared type/AST helpers used by the analyzers ----

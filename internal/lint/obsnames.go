@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Obsnames enforces the telemetry naming contract: every metric or span
+// name handed to internal/obs — Registry constructors (Counter, Gauge,
+// GaugeFunc, Histogram, CounterVec) and Tracer span/event starts (Begin,
+// Event) — must be a literal snake_case string. Literal names keep the
+// metric namespace greppable (a dashboard query can be traced to its
+// source line) and stop dynamic names from exploding registry
+// cardinality; snake_case matches Prometheus exposition conventions.
+var Obsnames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "require literal snake_case names in internal/obs metric and span constructors",
+	Run:  runObsnames,
+}
+
+// obsNamedCalls are the internal/obs functions whose first argument is a
+// registry or trace name.
+var obsNamedCalls = map[string]bool{
+	"Counter":    true,
+	"Gauge":      true,
+	"GaugeFunc":  true,
+	"Histogram":  true,
+	"CounterVec": true,
+	"Begin":      true,
+	"Event":      true,
+}
+
+var snakeCaseName = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runObsnames(pass *Pass) error {
+	info := pass.Info()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeFunc(info, call)
+			if f == nil || !obsNamedCalls[f.Name()] ||
+				!strings.HasSuffix(funcPkgPath(f), "/internal/obs") {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"obs.%s name must be a literal string, not an expression", f.Name())
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true // not a string literal (type error elsewhere)
+			}
+			if !snakeCaseName.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"obs.%s name %q is not snake_case", f.Name(), name)
+			}
+			return true
+		})
+	}
+	return nil
+}

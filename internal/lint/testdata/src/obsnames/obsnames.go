@@ -1,0 +1,59 @@
+// Package obsnames is obsnames analyzer testdata. It imports the real
+// internal/obs package so the analyzer's package-path matching runs
+// against the same symbols production code uses.
+package obsnames
+
+import (
+	"fmt"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+)
+
+func literalSnakeCase(reg *obs.Registry, tr *obs.Tracer) {
+	reg.Counter("cdn_bytes_total", "bytes served") // allowed
+	reg.Gauge("swarm_peers", "current swarm size") // allowed
+	reg.GaugeFunc("cache_ratio", "hit ratio", func() float64 { return 0 })
+	reg.Histogram("segment_latency", "per-segment fetch latency")
+	reg.CounterVec("video_bytes_total", "bytes per video", "video")
+	tr.Begin("dispatch_job").End()
+	tr.Event("slow_start_exit")
+}
+
+func dynamicName(reg *obs.Registry, video string) {
+	reg.Counter("bytes_"+video, "per-video bytes") // want `obs.Counter name must be a literal string, not an expression`
+}
+
+func sprintfName(reg *obs.Registry, shard int) {
+	reg.Gauge(fmt.Sprintf("queue_%d", shard), "shard depth") // want `obs.Gauge name must be a literal string, not an expression`
+}
+
+func camelCase(reg *obs.Registry) {
+	reg.Counter("cdnBytesTotal", "bytes served") // want `obs.Counter name "cdnBytesTotal" is not snake_case`
+}
+
+func upperCase(reg *obs.Registry) {
+	reg.Histogram("Segment_Latency", "latency") // want `obs.Histogram name "Segment_Latency" is not snake_case`
+}
+
+func hyphenated(tr *obs.Tracer) {
+	tr.Event("slow-start-exit") // want `obs.Event name "slow-start-exit" is not snake_case`
+}
+
+func trailingUnderscore(tr *obs.Tracer) {
+	tr.Begin("dispatch_job_").End() // want `obs.Begin name "dispatch_job_" is not snake_case`
+}
+
+func variableName(reg *obs.Registry) {
+	const name = "ok_constant_but_not_literal"
+	reg.Counter(name, "help") // want `obs.Counter name must be a literal string, not an expression`
+}
+
+func otherPackagesUnaffected(video string) string {
+	// Name-shaped calls outside internal/obs are out of scope.
+	return fmt.Sprintf("bytes_%s", video)
+}
+
+func suppressed(reg *obs.Registry, video string) {
+	//lint:ignore pdnlint/obsnames testdata exercises the suppression path
+	reg.Counter("bytes_"+video, "per-video bytes")
+}

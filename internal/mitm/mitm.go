@@ -26,6 +26,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/hls"
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/wire"
 )
 
@@ -83,9 +84,18 @@ type FakeCDN struct {
 	pollute  PolluteFunc
 
 	substitutions atomic.Int64
+	subsMetric    *obs.Counter
+	tracer        *obs.Tracer
 
 	httpSrv *http.Server
 	srvWG   sync.WaitGroup
+}
+
+// Instrument registers the fake CDN's substitution counter and attaches
+// a tracer for per-substitution events. Nil arguments are no-ops.
+func (f *FakeCDN) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	f.subsMetric = reg.Counter("mitm_substitutions_total", "segment payloads replaced by the fake CDN")
+	f.tracer = tr
 }
 
 // NewFakeCDN constructs a fake CDN forwarding to upstream; outbound
@@ -146,6 +156,8 @@ func (f *FakeCDN) handle(w http.ResponseWriter, r *http.Request) {
 			if fake, polluted := f.pollute(key, body); polluted {
 				body = fake
 				f.substitutions.Add(1)
+				f.subsMetric.Inc()
+				f.tracer.Event("mitm_substitute", obs.A("video", key.Video), obs.A("idx", key.Index))
 			}
 		}
 	}
@@ -202,9 +214,19 @@ type SignalProxy struct {
 	upstream netip.AddrPort
 	rewrite  RewriteFunc
 
+	rewrites *obs.Counter
+	tracer   *obs.Tracer
+
 	listener *netsim.Listener
 	wg       sync.WaitGroup
 	done     chan struct{}
+}
+
+// Instrument registers the proxy's rewrite counter and attaches a
+// tracer for per-rewrite events. Nil arguments are no-ops.
+func (p *SignalProxy) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	p.rewrites = reg.Counter("mitm_rewrites_total", "signaling envelopes passed through the rewrite hook")
+	p.tracer = tr
 }
 
 // NewSignalProxy constructs a proxy dialing upstream from host.
@@ -276,6 +298,8 @@ func (p *SignalProxy) pipe(ctx context.Context, clientConn net.Conn) {
 			}
 			if p.rewrite != nil {
 				env = p.rewrite(fromClient, env)
+				p.rewrites.Inc()
+				p.tracer.Event("mitm_rewrite", obs.A("type", env.Type), obs.A("from_client", fromClient))
 			}
 			if err := dst.Write(env); err != nil {
 				src.Close()

@@ -167,10 +167,11 @@ type Sampler struct {
 	meter    *Meter
 	interval time.Duration
 
-	mu      sync.Mutex
-	samples []Sample
-	stop    chan struct{}
-	done    chan struct{}
+	mu       sync.Mutex
+	samples  []Sample
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewSampler creates a sampler over meter at the given interval.
@@ -194,7 +195,12 @@ func (s *Sampler) Start() {
 			case <-t.C:
 				samp := Sample{T: time.Now(), Usage: s.meter.Snapshot()}
 				s.mu.Lock()
-				s.samples = append(s.samples, samp)
+				// Coarse clocks can hand two ticks the same wall time;
+				// keep the series strictly increasing so rate math
+				// downstream never divides by a zero interval.
+				if n := len(s.samples); n == 0 || samp.T.After(s.samples[n-1].T) {
+					s.samples = append(s.samples, samp)
+				}
 				s.mu.Unlock()
 			case <-s.stop:
 				return
@@ -203,13 +209,10 @@ func (s *Sampler) Start() {
 	}()
 }
 
-// Stop halts sampling and waits for the sampler goroutine to exit.
+// Stop halts sampling and waits for the sampler goroutine to exit. It
+// is idempotent and safe to call from multiple goroutines.
 func (s *Sampler) Stop() {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
 }
 

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSamplerMonotonicUnderLoad hammers the meter from several
+// goroutines while a fast sampler records, then checks the series is
+// strictly increasing in time — no duplicate and no zero-interval
+// samples, which would break rate derivation downstream.
+func TestSamplerMonotonicUnderLoad(t *testing.T) {
+	m := NewMeter(DefaultCostModel(), nil)
+	s := NewSampler(m, time.Millisecond)
+	s.Start()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				m.OnPlayback(1)
+				m.OnDecrypt(1)
+				m.SetNeighbors(j % 5)
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+
+	samples := s.Samples()
+	if len(samples) == 0 {
+		t.Fatal("sampler collected no samples")
+	}
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].T.After(samples[i-1].T) {
+			t.Fatalf("sample %d at %v not after sample %d at %v",
+				i, samples[i].T, i-1, samples[i-1].T)
+		}
+	}
+	last := samples[len(samples)-1].Usage
+	if last.PlayBytes != 16000 {
+		t.Fatalf("final sample PlayBytes = %d, want 16000", last.PlayBytes)
+	}
+}
+
+// TestManySamplersConcurrently runs a sampler per peer the way the
+// testbed does, all at a 1ms interval, and checks every series
+// independently stays ordered and duplicate-free.
+func TestManySamplersConcurrently(t *testing.T) {
+	const peers = 6
+	meters := make([]*Meter, peers)
+	samplers := make([]*Sampler, peers)
+	for i := range meters {
+		meters[i] = NewMeter(DefaultCostModel(), nil)
+		samplers[i] = NewSampler(meters[i], time.Millisecond)
+		samplers[i].Start()
+	}
+
+	var wg sync.WaitGroup
+	for i := range meters {
+		wg.Add(1)
+		go func(m *Meter) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.OnPlayback(10)
+				m.OnHTTP(3)
+			}
+		}(meters[i])
+	}
+	wg.Wait()
+	time.Sleep(15 * time.Millisecond)
+
+	for i, s := range samplers {
+		s.Stop()
+		samples := s.Samples()
+		if len(samples) == 0 {
+			t.Fatalf("sampler %d collected no samples", i)
+		}
+		seen := make(map[int64]bool, len(samples))
+		for j, samp := range samples {
+			ns := samp.T.UnixNano()
+			if seen[ns] {
+				t.Fatalf("sampler %d: duplicate timestamp %v at index %d", i, samp.T, j)
+			}
+			seen[ns] = true
+			if j > 0 && !samp.T.After(samples[j-1].T) {
+				t.Fatalf("sampler %d: non-increasing timestamp at index %d", i, j)
+			}
+		}
+	}
+}
+
+// TestSamplerStopConcurrent checks Stop is safe to call from multiple
+// goroutines at once and that Samples can race with Stop.
+func TestSamplerStopConcurrent(t *testing.T) {
+	m := NewMeter(DefaultCostModel(), nil)
+	s := NewSampler(m, time.Millisecond)
+	s.Start()
+	time.Sleep(5 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Stop()
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Samples()
+		}()
+	}
+	wg.Wait()
+	if got := s.Samples(); len(got) != len(s.Samples()) {
+		t.Fatal("samples changed after Stop returned")
+	}
+}

@@ -121,6 +121,11 @@ type Network struct {
 	now func() time.Time // injectable clock for tests
 }
 
+// Now reads the network's clock. Components running on the simulated
+// network (and observability layered over them) stamp time through this
+// accessor so a test-injected clock governs everything consistently.
+func (n *Network) Now() time.Time { return n.now() }
+
 // punchWaiter is one side of a pending hole-punch rendezvous.
 type punchWaiter struct {
 	host  *Host

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges render
+// directly; histograms render as summaries (quantile series plus
+// _sum/_count), which is what a log-scale sketch can answer exactly.
+// The registry lock is held only while snapshotting handles, never
+// while writing to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.snapshot() {
+		if err := writePromEntry(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromEntry(w io.Writer, e *entry) error {
+	help := strings.ReplaceAll(strings.ReplaceAll(e.help, "\\", `\\`), "\n", `\n`)
+	switch e.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			e.name, help, e.name, e.name, e.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			e.name, help, e.name, e.name, e.gauge.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			e.name, help, e.name, e.name, e.gaugeFn())
+		return err
+	case kindHistogram:
+		h := e.histogram
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", e.name, help, e.name); err != nil {
+			return err
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", e.name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, h.Sum(), e.name, h.Count())
+		return err
+	case kindCounterVec:
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", e.name, help, e.name); err != nil {
+			return err
+		}
+		for _, lv := range e.vec.sorted() {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", e.name, e.vec.label, lv.value, lv.count); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// WriteJSON renders the registry as one flat expvar-style JSON object:
+// scalar metrics map to numbers, histograms to {p50,p90,p99,max,sum,
+// count} objects, counter families to {label: count} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	obj := make(map[string]any)
+	for _, e := range r.snapshot() {
+		switch e.kind {
+		case kindCounter:
+			obj[e.name] = e.counter.Value()
+		case kindGauge:
+			obj[e.name] = e.gauge.Value()
+		case kindGaugeFunc:
+			obj[e.name] = e.gaugeFn()
+		case kindHistogram:
+			h := e.histogram
+			obj[e.name] = map[string]int64{
+				"p50": h.Quantile(0.5), "p90": h.Quantile(0.9), "p99": h.Quantile(0.99),
+				"max": h.Max(), "sum": h.Sum(), "count": h.Count(),
+			}
+		case kindCounterVec:
+			children := make(map[string]int64)
+			for _, lv := range e.vec.sorted() {
+				children[lv.value] = lv.count
+			}
+			obj[e.name] = children
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}
+
+// Handler serves the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the expvar-style JSON dump.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// DebugMux builds the standard debug surface for a long-running
+// process: /metrics (Prometheus), /debug/vars (JSON), and the
+// net/http/pprof handlers under /debug/pprof/. Handlers are registered
+// explicitly so importing obs does not pollute http.DefaultServeMux.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", r.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

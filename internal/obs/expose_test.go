@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("cdn_bytes_total", "bytes served by the CDN").Add(1024)
+	r.Gauge("signal_swarm_peers", "connected peers").Set(12)
+	r.GaugeFunc("customer_cost", "billed cost", func() float64 { return 2.5 })
+	h := r.Histogram("job_latency_ns", "job latency")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	v := r.CounterVec("cdn_video_bytes_total", "per-video bytes", "video")
+	v.With("news").Add(10)
+	v.With("live").Add(20)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := populated().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cdn_bytes_total counter",
+		"cdn_bytes_total 1024",
+		"# TYPE signal_swarm_peers gauge",
+		"signal_swarm_peers 12",
+		"# TYPE customer_cost gauge",
+		"customer_cost 2.5",
+		"# TYPE job_latency_ns summary",
+		`job_latency_ns{quantile="0.5"}`,
+		`job_latency_ns{quantile="0.99"}`,
+		"job_latency_ns_count 100",
+		"# TYPE cdn_video_bytes_total counter",
+		`cdn_video_bytes_total{video="live"} 20`,
+		`cdn_video_bytes_total{video="news"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is stable, so a second render is byte-identical.
+	var sb2 strings.Builder
+	reg := populated()
+	_ = reg.WritePrometheus(&sb2)
+	var sb3 strings.Builder
+	_ = reg.WritePrometheus(&sb3)
+	if sb2.String() != sb3.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := populated().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &obj); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if obj["cdn_bytes_total"].(float64) != 1024 {
+		t.Fatalf("cdn_bytes_total = %v", obj["cdn_bytes_total"])
+	}
+	hist := obj["job_latency_ns"].(map[string]any)
+	if hist["count"].(float64) != 100 {
+		t.Fatalf("histogram count = %v", hist["count"])
+	}
+	vec := obj["cdn_video_bytes_total"].(map[string]any)
+	if vec["live"].(float64) != 20 {
+		t.Fatalf("vec live = %v", vec["live"])
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	mux := DebugMux(populated())
+	for path, want := range map[string]string{
+		"/metrics":    "cdn_bytes_total 1024",
+		"/debug/vars": `"signal_swarm_peers": 12`,
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("%s missing %q:\n%s", path, want, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: status %d", rec.Code)
+	}
+}

@@ -1,0 +1,240 @@
+// Package obs is the testbed's unified observability layer: a metrics
+// registry (counters, gauges, log-scale histograms) with Prometheus
+// text-format and expvar-style JSON exposition, and a lightweight span
+// tracer whose clock is injectable so deterministic packages stay
+// deterministic (netsim-domain spans stamp from netsim.Network's clock,
+// process-domain spans from time.Now).
+//
+// The package is engineered around two constraints. First, it must be
+// cheap enough to leave on: every hot-path instrument (Counter.Add,
+// Histogram.Observe, Span.End) is lock-free or a single short critical
+// section, and every handle is nil-safe — a component wired to a nil
+// *Registry or nil *Tracer pays one predictable branch per operation
+// and allocates nothing, so instrumentation does not fork the code
+// paths it observes. Second, it must not perturb experiment output:
+// nothing in obs feeds experiment results, and the tracer never reads
+// a clock the caller didn't hand it.
+//
+// Metric names are part of the repo's public monitoring surface and are
+// linted (pdnlint obsnames): names passed to the constructors below
+// must be literal snake_case strings. See docs/observability.md for the
+// naming conventions.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// kind discriminates registered metrics for exposition.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterVec
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind kind
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+	vec       *CounterVec
+}
+
+// Registry holds named metrics. Registration is idempotent by name:
+// asking for an existing name returns the existing handle, which is how
+// many peers sharing one registry aggregate into one set of counters.
+// All methods are safe for concurrent use and safe on a nil receiver
+// (they return nil handles whose operations no-op).
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// lookup returns the entry for name, creating it with make when absent.
+// It panics if the name is already registered with a different kind —
+// that is a programming error the first test run catches.
+func (r *Registry) lookup(name, help string, k kind, make func(*entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic("obs: metric " + name + " re-registered with a different kind")
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: k}
+	make(e)
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// Counter returns the named monotonically-increasing counter,
+// registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, func(e *entry) { e.counter = &Counter{} }).counter
+}
+
+// Gauge returns the named settable gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, func(e *entry) { e.gauge = &Gauge{} }).gauge
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at exposition
+// time. Use it to surface values a component already tracks (swarm
+// size, bytes served) without double-counting on the hot path. The
+// first registration of a name wins; later fns for the same name are
+// ignored, matching the shared-registry aggregation model.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindGaugeFunc, func(e *entry) { e.gaugeFn = fn })
+}
+
+// Histogram returns the named log-scale histogram, registering it on
+// first use. Values are int64 in whatever unit the name declares
+// (convention: _ns for durations, _bytes for sizes).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, func(e *entry) { e.histogram = NewHistogram() }).histogram
+}
+
+// CounterVec returns the named counter family partitioned by one label,
+// registering it on first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounterVec, func(e *entry) {
+		e.vec = &CounterVec{label: label, children: make(map[string]*Counter)}
+	}).vec
+}
+
+// snapshot copies the registered entries in registration order so
+// exposition can render without holding the registry lock.
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// Counter is a monotonically-increasing int64. The zero value is ready
+// to use; a nil *Counter no-ops, so callers can hold handles from a nil
+// registry without branching.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	label    string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use. Nil-safe.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// labelValue pairs one child's label value with its count, for
+// exposition.
+type labelValue struct {
+	value string
+	count int64
+}
+
+// sorted returns the children as (value, count) pairs in label order so
+// exposition output is stable.
+func (v *CounterVec) sorted() []labelValue {
+	v.mu.Lock()
+	out := make([]labelValue, 0, len(v.children))
+	for value, c := range v.children {
+		out = append(out, labelValue{value: value, count: c.Value()})
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}

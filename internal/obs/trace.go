@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one key/value annotation on a span or event.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// A constructs an Arg.
+func A(key string, value any) Arg { return Arg{Key: key, Value: value} }
+
+// traceShards bounds contention on the record path: spans land in a
+// round-robin shard, each with its own buffer and lock, approximating
+// per-goroutine buffering without goroutine identity.
+const traceShards = 16
+
+// Tracer records spans and instant events with a caller-injected clock.
+// A nil *Tracer no-ops on every method, so instrumented components can
+// carry the handle unconditionally. The clock choice is what keeps the
+// deterministic packages deterministic: components running on the
+// simulated network are handed a tracer built on netsim.Network's
+// clock, process-domain components one built on time.Now — the
+// packages themselves never read a clock.
+type Tracer struct {
+	now    func() time.Time
+	next   atomic.Uint64
+	shards [traceShards]traceShard
+}
+
+type traceShard struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one buffered record. phase follows the Chrome
+// trace-event convention: 'X' complete (duration) events, 'i' instants.
+type traceEvent struct {
+	name  string
+	phase byte
+	start int64 // clock reading at begin, UnixNano
+	dur   int64 // nanoseconds ('X' only)
+	tid   int   // buffer shard, stands in for a thread lane
+	args  []Arg
+}
+
+// NewTracer builds a tracer stamping from now; nil now means time.Now
+// (process-domain tracing).
+func NewTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now}
+}
+
+// Span is an open interval started by Begin. The zero Span (from a nil
+// tracer) is valid and End on it no-ops.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	args  []Arg
+}
+
+// Begin opens a span. The name must be a literal snake_case string
+// (enforced by pdnlint obsnames); variable detail goes in args.
+func (t *Tracer) Begin(name string, args ...Arg) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.now(), args: args}
+}
+
+// End closes the span, appending args to those given at Begin.
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	all := s.args
+	if len(args) > 0 {
+		all = append(append([]Arg(nil), s.args...), args...)
+	}
+	s.t.record(traceEvent{
+		name:  s.name,
+		phase: 'X',
+		start: s.start.UnixNano(),
+		dur:   end.Sub(s.start).Nanoseconds(),
+		args:  all,
+	})
+}
+
+// Event records an instant.
+func (t *Tracer) Event(name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(traceEvent{name: name, phase: 'i', start: t.now().UnixNano(), args: args})
+}
+
+func (t *Tracer) record(ev traceEvent) {
+	n := t.next.Add(1) % traceShards
+	ev.tid = int(n)
+	shard := &t.shards[n]
+	shard.mu.Lock()
+	shard.events = append(shard.events, ev)
+	shard.mu.Unlock()
+}
+
+// Len returns the number of buffered records.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += len(t.shards[i].events)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// drain copies all shards' events in start-time order.
+func (t *Tracer) drainSorted() []traceEvent {
+	var out []traceEvent
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		out = append(out, t.shards[i].events...)
+		t.shards[i].mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out
+}
+
+// argsJSON renders args as a JSON object, preserving order.
+func argsJSON(args []Arg) ([]byte, error) {
+	if len(args) == 0 {
+		return []byte("{}"), nil
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, err := json.Marshal(a.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(k)
+		b.WriteByte(':')
+		b.Write(v)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// chromeLine renders one event as a Chrome trace-event object with
+// microsecond timestamps relative to epoch (the earliest buffered
+// start).
+func chromeLine(ev traceEvent, epoch int64) ([]byte, error) {
+	args, err := argsJSON(ev.args)
+	if err != nil {
+		return nil, err
+	}
+	name, err := json.Marshal(ev.name)
+	if err != nil {
+		return nil, err
+	}
+	ts := (ev.start - epoch) / 1000
+	if ev.phase == 'X' {
+		return []byte(fmt.Sprintf(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":%s}`,
+			name, ts, ev.dur/1000, ev.tid, args)), nil
+	}
+	return []byte(fmt.Sprintf(`{"name":%s,"ph":"i","s":"g","ts":%d,"pid":1,"tid":%d,"args":%s}`,
+		name, ts, ev.tid, args)), nil
+}
+
+// WriteChrome emits the buffer as a Chrome trace-event JSON array,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	events := t.drainSorted()
+	var epoch int64
+	if len(events) > 0 {
+		epoch = events[0].start
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		line, err := chromeLine(ev, epoch)
+		if err != nil {
+			return err
+		}
+		if i < len(events)-1 {
+			line = append(line, ',')
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// WriteJSONL emits the buffer as one trace-event object per line —
+// greppable, streamable, and still Perfetto-loadable (Perfetto accepts
+// newline-separated trace events).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	events := t.drainSorted()
+	var epoch int64
+	if len(events) > 0 {
+		epoch = events[0].start
+	}
+	for _, ev := range events {
+		line, err := chromeLine(ev, epoch)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile flushes the buffer to path: ".jsonl" selects the JSONL
+// form, anything else the Chrome JSON array.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// tracerKey carries a Tracer through a context.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t. Deterministic packages
+// (analyzer, experiments) receive their tracer this way so their
+// exported signatures stay stable and they never construct clocks.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// FromContext returns the context's tracer, or nil — and nil is safe to
+// call Begin/Event on, so call sites need no guard.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic injectable clock advancing 1ms per read.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestTracerSpansAndEvents(t *testing.T) {
+	tr := NewTracer(newFakeClock().now)
+	sp := tr.Begin("dispatch_job", A("key", "k1"))
+	sp.End(A("ok", true))
+	tr.Event("stall", A("idx", 3))
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	events := tr.drainSorted()
+	if events[0].name != "dispatch_job" || events[0].phase != 'X' {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[0].dur != int64(time.Millisecond) {
+		t.Fatalf("span dur = %d, want 1ms", events[0].dur)
+	}
+	if len(events[0].args) != 2 || events[0].args[1].Key != "ok" {
+		t.Fatalf("span args = %+v", events[0].args)
+	}
+	if events[1].name != "stall" || events[1].phase != 'i' {
+		t.Fatalf("second event = %+v", events[1])
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x")
+	sp.End()
+	tr.Event("y")
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer buffered events")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var arr []any
+	if err := json.Unmarshal([]byte(sb.String()), &arr); err != nil || len(arr) != 0 {
+		t.Fatalf("nil tracer chrome output: %v %q", err, sb.String())
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	tr := NewTracer(newFakeClock().now)
+	for i := 0; i < 5; i++ {
+		sp := tr.Begin("segment", A("idx", i))
+		sp.End(A("source", "cdn"))
+	}
+	tr.Event("slow_start_exit")
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &arr); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(arr) != 6 {
+		t.Fatalf("events = %d, want 6", len(arr))
+	}
+	// Earliest event is the epoch: ts 0, relative µs thereafter.
+	if arr[0]["ts"].(float64) != 0 {
+		t.Fatalf("first ts = %v, want 0", arr[0]["ts"])
+	}
+	for _, ev := range arr {
+		switch ev["ph"] {
+		case "X":
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("span with non-positive dur: %v", ev)
+			}
+		case "i":
+			if ev["s"] != "g" {
+				t.Fatalf("instant without global scope: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+		if ev["pid"].(float64) != 1 {
+			t.Fatalf("pid = %v", ev["pid"])
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(newFakeClock().now)
+	tr.Begin("a").End()
+	tr.Event("b")
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+}
+
+func TestWriteFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(newFakeClock().now)
+	tr.Begin("a").End()
+	jsonl := filepath.Join(dir, "out.jsonl")
+	chrome := filepath.Join(dir, "out.json")
+	if err := tr.WriteFile(jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteFile(chrome); err != nil {
+		t.Fatal(err)
+	}
+	readFirst := func(path string) byte {
+		b, err := os.ReadFile(path)
+		if err != nil || len(b) == 0 {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return b[0]
+	}
+	if readFirst(jsonl) != '{' {
+		t.Error("jsonl file does not start with an object")
+	}
+	if readFirst(chrome) != '[' {
+		t.Error("chrome file does not start with an array")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(nil) // real clock: concurrency only, no determinism claim
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Begin("work", A("i", i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 800 {
+		t.Fatalf("Len = %d, want 800", got)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &arr); err != nil {
+		t.Fatalf("concurrent chrome output invalid: %v", err)
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned a tracer")
+	}
+	// Nil from an empty context must still be safe to use.
+	FromContext(context.Background()).Event("noop")
+	tr := NewTracer(newFakeClock().now)
+	ctx := WithTracer(context.Background(), tr)
+	FromContext(ctx).Event("carried")
+	if tr.Len() != 1 {
+		t.Fatal("event via context did not reach the tracer")
+	}
+}

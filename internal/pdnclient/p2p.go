@@ -142,6 +142,9 @@ func (nb *neighbor) serve(key media.SegmentKey) {
 		if data, ok := p.cache.get(key.Index); ok {
 			resp.Found = true
 			payload = data
+			p.metrics.cacheHits.Inc()
+		} else {
+			p.metrics.cacheMiss.Inc()
 		}
 	}
 	frame, err := encodeMsg(resp, payload)
@@ -155,6 +158,7 @@ func (nb *neighbor) serve(key media.SegmentKey) {
 		p.mu.Lock()
 		p.stats.P2PUpBytes += int64(len(payload))
 		p.mu.Unlock()
+		p.metrics.p2pUpBytes.Add(int64(len(payload)))
 	}
 }
 

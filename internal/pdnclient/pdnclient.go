@@ -38,6 +38,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/monitor"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -124,6 +125,13 @@ type Config struct {
 	// AdblockPlus filter lists doing exactly that against Douyu) — the
 	// video must keep playing either way.
 	GracefulDegrade bool
+	// Obs, when set, registers the peer's counters. Many peers sharing
+	// one registry aggregate into a single swarm-wide counter set.
+	Obs *obs.Registry
+	// Tracer, when set, records per-segment source decisions and
+	// playback events. Testbed peers receive a tracer stamping from the
+	// simulated network's clock.
+	Tracer *obs.Tracer
 }
 
 // Stats summarizes a peer's run.
@@ -138,12 +146,28 @@ type Stats struct {
 	Neighbors      int   `json:"neighbors"`
 }
 
+// peerMetrics holds the peer's counter handles; all are nil-safe, so a
+// peer built without a registry pays only the nil branch per event.
+type peerMetrics struct {
+	segsCDN        *obs.Counter
+	segsP2P        *obs.Counter
+	cdnBytes       *obs.Counter
+	p2pDownBytes   *obs.Counter
+	p2pUpBytes     *obs.Counter
+	imRejects      *obs.Counter
+	stalls         *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMiss      *obs.Counter
+	slowStartExits *obs.Counter
+}
+
 // Peer is a running PDN SDK instance.
 type Peer struct {
 	cfg      Config
 	identity *dtls.Identity
 	http     *http.Client
 	rng      *rand.Rand
+	metrics  peerMetrics
 
 	sig    *signal.Client
 	peerID string
@@ -167,6 +191,9 @@ type Peer struct {
 	// hashManifest holds the CDN-served per-segment hashes when
 	// VerifyHashManifest is on.
 	hashManifest map[string]string
+	// slowStartExited latches the first P2P-eligible segment so the
+	// slow-start exit is counted once per session.
+	slowStartExited bool
 
 	closed chan struct{}
 	wg     sync.WaitGroup
@@ -199,6 +226,19 @@ func New(cfg Config) (*Peer, error) {
 		offering:  make(map[string]bool),
 		played:    make(map[int]bool),
 		closed:    make(chan struct{}),
+	}
+	reg := cfg.Obs
+	p.metrics = peerMetrics{
+		segsCDN:        reg.Counter("pdn_segments_cdn_total", "segments played from the CDN"),
+		segsP2P:        reg.Counter("pdn_segments_p2p_total", "segments played from peers"),
+		cdnBytes:       reg.Counter("pdn_cdn_bytes_total", "bytes downloaded from the CDN"),
+		p2pDownBytes:   reg.Counter("pdn_p2p_down_bytes_total", "bytes downloaded from peers"),
+		p2pUpBytes:     reg.Counter("pdn_p2p_up_bytes_total", "bytes uploaded to peers"),
+		imRejects:      reg.Counter("pdn_im_rejects_total", "P2P segments rejected by integrity checking"),
+		stalls:         reg.Counter("pdn_stalls_total", "segments skipped as unfetchable"),
+		cacheHits:      reg.Counter("pdn_cache_hits_total", "neighbor requests served from the segment cache"),
+		cacheMiss:      reg.Counter("pdn_cache_misses_total", "neighbor requests the segment cache could not serve"),
+		slowStartExits: reg.Counter("pdn_slow_start_exits_total", "sessions that reached P2P eligibility"),
 	}
 	p.cache = newSegmentCache(cfg.CacheSegments, func(total int64) {
 		if cfg.Meter != nil {
@@ -404,6 +444,8 @@ func (p *Peer) playbackLoop(ctx context.Context) error {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
+				p.metrics.stalls.Inc()
+				p.cfg.Tracer.Event("stall", obs.A("video", p.cfg.Video), obs.A("idx", idx))
 				continue // skip unfetchable segment, as players do
 			}
 			progressed = true
@@ -485,9 +527,17 @@ func (p *Peer) hashManifestOK(key media.SegmentKey, data []byte) bool {
 // announces, and observes one segment.
 func (p *Peer) playSegment(ctx context.Context, idx int) error {
 	key := media.SegmentKey{Video: p.cfg.Video, Rendition: p.cfg.Rendition, Index: idx}
+	span := p.cfg.Tracer.Begin("segment", obs.A("video", key.Video), obs.A("idx", idx))
 	data, source, err := p.fetchSegment(ctx, key)
 	if err != nil {
+		span.End(obs.A("source", "none"))
 		return err
+	}
+	span.End(obs.A("source", source))
+	if source == SourceCDN {
+		p.metrics.segsCDN.Inc()
+	} else {
+		p.metrics.segsP2P.Inc()
 	}
 	if p.cfg.Meter != nil {
 		p.cfg.Meter.OnPlayback(len(data))
@@ -528,6 +578,14 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 		p.loadHashManifest(ctx)
 	}
 	if p2pAllowed {
+		p.mu.Lock()
+		first := !p.slowStartExited
+		p.slowStartExited = true
+		p.mu.Unlock()
+		if first {
+			p.metrics.slowStartExits.Inc()
+			p.cfg.Tracer.Event("slow_start_exit", obs.A("video", key.Video), obs.A("idx", key.Index))
+		}
 		p.maintainNeighbors(ctx)
 		if data, ok := p.fetchFromPeers(ctx, key); ok {
 			if !p.cfg.VerifyHashManifest || p.hashManifestOK(key, data) {
@@ -536,6 +594,8 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 			p.mu.Lock()
 			p.stats.IMRejected++
 			p.mu.Unlock()
+			p.metrics.imRejects.Inc()
+			p.cfg.Tracer.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
 		}
 	}
 	data, err := p.fetchFromCDN(ctx, key)
@@ -568,11 +628,14 @@ func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte
 			p.mu.Lock()
 			p.stats.IMRejected++
 			p.mu.Unlock()
+			p.metrics.imRejects.Inc()
+			p.cfg.Tracer.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
 			continue
 		}
 		p.mu.Lock()
 		p.stats.P2PDownBytes += int64(len(data))
 		p.mu.Unlock()
+		p.metrics.p2pDownBytes.Add(int64(len(data)))
 		return data, true
 	}
 	return nil, false
@@ -588,6 +651,7 @@ func (p *Peer) fetchFromCDN(ctx context.Context, key media.SegmentKey) ([]byte, 
 	p.mu.Lock()
 	p.stats.CDNBytes += int64(len(data))
 	p.mu.Unlock()
+	p.metrics.cdnBytes.Add(int64(len(data)))
 	if p.cfg.Meter != nil {
 		p.cfg.Meter.OnHTTP(len(data))
 	}

@@ -28,6 +28,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/geoip"
 	"github.com/stealthy-peers/pdnsec/internal/ice"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -248,6 +249,10 @@ type Options struct {
 	PolicyOverride *signal.Policy
 	// Seed drives peer matching.
 	Seed int64
+	// Obs and Tracer forward to the signaling server's instrumentation;
+	// nil disables it.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // Deploy starts the provider's signaling and STUN services on the given
@@ -287,6 +292,8 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 		GeoDB:       opts.GeoDB,
 		IM:          opts.IM,
 		Seed:        opts.Seed,
+		Obs:         opts.Obs,
+		Tracer:      opts.Tracer,
 	})
 	if err := srv.Serve(host, 443); err != nil {
 		return nil, fmt.Errorf("provider %s: %w", p.Name, err)

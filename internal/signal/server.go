@@ -15,6 +15,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/ice"
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/wire"
 )
 
@@ -61,11 +62,19 @@ type Config struct {
 	IM IMService
 	// Seed drives peer-matching randomness.
 	Seed int64
+	// Obs, when set, registers the server's counters and swarm-size
+	// gauge. Nil disables metrics at the cost of one branch per event.
+	Obs *obs.Registry
+	// Tracer, when set, records signaling events (join/match/relay/IM
+	// arbitration). The caller picks the clock domain — testbeds hand in
+	// a tracer built on the simulated network's clock.
+	Tracer *obs.Tracer
 }
 
 // Server is a running PDN signaling server.
 type Server struct {
-	cfg Config
+	cfg     Config
+	metrics serverMetrics
 
 	mu     sync.Mutex
 	nextID int
@@ -102,15 +111,42 @@ func (s *session) send(typ string, payload any) error {
 	return s.codec.Send(typ, payload)
 }
 
+// serverMetrics holds the server's counter handles. All handles are
+// nil-safe, so a server built without a registry pays only the nil
+// branch inside each operation.
+type serverMetrics struct {
+	joins         *obs.Counter
+	joinRejects   *obs.Counter
+	matchRequests *obs.Counter
+	peersMatched  *obs.Counter
+	relays        *obs.Counter
+	imReports     *obs.Counter
+	statsReports  *obs.Counter
+}
+
 // NewServer constructs a server with the given configuration.
 func NewServer(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		peers:  make(map[string]*session),
 		swarms: make(map[string]map[string]*session),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		done:   make(chan struct{}),
 	}
+	reg := cfg.Obs
+	s.metrics = serverMetrics{
+		joins:         reg.Counter("signal_joins_total", "peers admitted to a swarm"),
+		joinRejects:   reg.Counter("signal_join_rejects_total", "joins rejected at authentication"),
+		matchRequests: reg.Counter("signal_match_requests_total", "get-peers requests served"),
+		peersMatched:  reg.Counter("signal_peers_matched_total", "peer candidates handed out"),
+		relays:        reg.Counter("signal_relays_total", "SDP/ICE messages relayed between peers"),
+		imReports:     reg.Counter("signal_im_reports_total", "integrity-metadata reports arbitrated"),
+		statsReports:  reg.Counter("signal_stats_reports_total", "peer usage reports accounted"),
+	}
+	reg.GaugeFunc("signal_swarm_peers", "currently connected peers across all swarms", func() float64 {
+		return float64(s.PeerCount())
+	})
+	return s
 }
 
 // Serve starts accepting signaling connections on a simulated host/port.
@@ -180,11 +216,15 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	customer, err := s.authenticate(join)
 	if err != nil {
+		s.metrics.joinRejects.Inc()
+		s.cfg.Tracer.Event("signal_join_reject", obs.A("video", join.Video), obs.A("reason", err.Error()))
 		codec.Send(MsgError, ErrorInfo{Code: CodeAuthFailed, Message: err.Error()})
 		return
 	}
 
 	sess := s.register(codec, conn, join, customer)
+	s.metrics.joins.Inc()
+	s.cfg.Tracer.Event("signal_join", obs.A("peer", sess.id), obs.A("swarm", sess.swarmID))
 	defer s.unregister(sess)
 
 	if s.cfg.Keys != nil && customer != "" {
@@ -288,7 +328,11 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 			sess.send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: err.Error()})
 			return false
 		}
-		sess.send(MsgPeers, PeersResp{Peers: s.matchPeers(sess, req.Max)})
+		matched := s.matchPeers(sess, req.Max)
+		s.metrics.matchRequests.Inc()
+		s.metrics.peersMatched.Add(int64(len(matched)))
+		s.cfg.Tracer.Event("signal_match", obs.A("peer", sess.id), obs.A("matched", len(matched)))
+		sess.send(MsgPeers, PeersResp{Peers: matched})
 	case MsgHave:
 		var have Have
 		if err := env.Decode(&have); err != nil {
@@ -304,6 +348,7 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 		if err := env.Decode(&st); err != nil {
 			return false
 		}
+		s.metrics.statsReports.Inc()
 		if s.cfg.Keys != nil && sess.customer != "" {
 			s.cfg.Keys.RecordP2P(sess.customer, st.P2PDownBytes+st.P2PUpBytes)
 			s.cfg.Keys.RecordCDN(sess.customer, st.CDNDownBytes)
@@ -321,17 +366,22 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 			sess.send(MsgError, ErrorInfo{Code: CodeNotFound, Message: "peer " + rel.To})
 			return false
 		}
+		s.metrics.relays.Inc()
+		s.cfg.Tracer.Event("signal_relay", obs.A("from", rel.From), obs.A("to", rel.To))
 		target.send(MsgRelay, rel)
 	case MsgIMReport:
 		var rep IMReport
 		if err := env.Decode(&rep); err != nil {
 			return false
 		}
+		s.metrics.imReports.Inc()
 		if s.cfg.IM != nil {
 			if err := s.cfg.IM.Report(sess.id, rep.Key, rep.Hash); err != nil {
+				s.cfg.Tracer.Event("signal_im_report", obs.A("peer", sess.id), obs.A("blacklisted", true))
 				sess.send(MsgError, ErrorInfo{Code: CodeBlacklisted, Message: err.Error()})
 				return true
 			}
+			s.cfg.Tracer.Event("signal_im_report", obs.A("peer", sess.id), obs.A("blacklisted", false))
 		}
 	case MsgGetSIM:
 		var req GetSIM

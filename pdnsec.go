@@ -32,6 +32,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/analyzer"
 	"github.com/stealthy-peers/pdnsec/internal/detector"
 	"github.com/stealthy-peers/pdnsec/internal/experiments"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 )
 
@@ -109,8 +110,11 @@ func DetectCustomersParallel(ctx context.Context, seed int64, fillerSites, fille
 // Reproduce regenerates every table and figure and writes a combined
 // report to w. It is the engine behind cmd/experiments.
 func Reproduce(ctx context.Context, w io.Writer, seed int64) error {
+	tracer := obs.FromContext(ctx) // nil when the caller passed none
 	section := func(name string, body func() (string, error)) error {
+		span := tracer.Begin("experiment_section", obs.A("section", name))
 		text, err := body()
+		span.End(obs.A("ok", err == nil))
 		if err != nil {
 			return fmt.Errorf("pdnsec: %s: %w", name, err)
 		}
