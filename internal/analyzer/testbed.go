@@ -74,6 +74,10 @@ type Testbed struct {
 	Alloc   *geoip.Allocator
 	Obs     *obs.Registry
 	Tracer  *obs.Tracer
+	// CDNHost and SignalHost expose the infrastructure machines so chaos
+	// scenarios can impair or crash them.
+	CDNHost    *netsim.Host
+	SignalHost *netsim.Host
 
 	customerDomain string
 	latency        time.Duration
@@ -130,6 +134,7 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	tb.CDNHost = cdnHost
 	tb.CDN = cdn.New()
 	tb.CDN.Instrument(cfg.Obs)
 	tb.CDN.Register(cfg.Video)
@@ -144,6 +149,7 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 		tb.Close()
 		return nil, err
 	}
+	tb.SignalHost = sigHost
 	dep, err := provider.Deploy(ctx, cfg.Profile, sigHost, cfg.Options)
 	if err != nil {
 		tb.Close()

@@ -1,0 +1,206 @@
+// Package chaos turns the testbed into a fault-injection harness: it
+// schedules impairments (peer churn, partitions, CDN brownouts, wire
+// corruption) against a running swarm and checks that the properties
+// the paper's measurements rely on survive them — playback always
+// completes via CDN fallback, stalls stay bounded, and rejected
+// segments never enter a peer's upload cache.
+//
+// Scenarios are declarative fault schedules. An Engine unfolds a
+// schedule against a registered node roster, driving the netsim
+// impairment hooks, and records every injected fault in a JSONL event
+// log. The log is a pure function of (scenario, roster, seed): it
+// captures what was injected and when on the scenario clock, never
+// wall-clock timestamps or runtime reactions, so the same seed
+// reproduces a byte-identical log — the property the determinism suite
+// pins down and failure messages lean on ("rerun with this seed").
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Canonical roster names for the testbed's infrastructure machines.
+// Viewers use their own names (the swarm harness assigns "viewer-NN").
+const (
+	NodeCDN    = "cdn"
+	NodeSignal = "signal"
+)
+
+// FaultKind enumerates the injectable faults.
+type FaultKind string
+
+const (
+	// FaultKillFraction crashes a seeded random fraction of the killable
+	// roster (nodes registered with a Kill hook).
+	FaultKillFraction FaultKind = "kill_fraction"
+	// FaultKillNodes crashes explicitly named nodes.
+	FaultKillNodes FaultKind = "kill_nodes"
+	// FaultPartition cuts a node off from every other host.
+	FaultPartition FaultKind = "partition"
+	// FaultHeal reverses a partition.
+	FaultHeal FaultKind = "heal"
+	// FaultSlow sets a node's access latency and bandwidth cap
+	// (zero values restore full speed — a "brownout" ends with one).
+	FaultSlow FaultKind = "slow"
+	// FaultLinkLoss installs a directed per-link datagram loss rate.
+	FaultLinkLoss FaultKind = "link_loss"
+	// FaultCorrupt mangles stream chunks sent by a node.
+	FaultCorrupt FaultKind = "corrupt"
+	// FaultClearCorrupt removes a corruption rule.
+	FaultClearCorrupt FaultKind = "clear_corrupt"
+)
+
+// Step is one scheduled fault. At is an offset on the scenario clock
+// (from engine start), not a wall-clock time.
+type Step struct {
+	At    time.Duration
+	Fault FaultKind
+
+	// Parameters; which ones apply depends on Fault.
+	Frac     float64       // kill_fraction: fraction of killable nodes
+	Nodes    []string      // kill_nodes / partition / heal / slow / corrupt targets
+	From, To string        // link_loss endpoints (directed)
+	Prob     float64       // link_loss / corrupt probability
+	Truncate bool          // corrupt: truncate instead of flipping bytes
+	Latency  time.Duration // slow: access latency to set
+	RateBps  int64         // slow: bandwidth cap in bytes/sec (0 = unlimited)
+}
+
+// Scenario is a named, ordered fault schedule.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// KillFraction schedules crashing the given fraction of killable nodes
+// at the offset. Which nodes die is drawn from the engine's seeded RNG.
+func KillFraction(at time.Duration, frac float64) Step {
+	return Step{At: at, Fault: FaultKillFraction, Frac: frac}
+}
+
+// KillNodes schedules crashing the named nodes.
+func KillNodes(at time.Duration, names ...string) Step {
+	return Step{At: at, Fault: FaultKillNodes, Nodes: names}
+}
+
+// PartitionNode schedules cutting the named node off from the network.
+func PartitionNode(at time.Duration, name string) Step {
+	return Step{At: at, Fault: FaultPartition, Nodes: []string{name}}
+}
+
+// HealNode schedules reversing a PartitionNode.
+func HealNode(at time.Duration, name string) Step {
+	return Step{At: at, Fault: FaultHeal, Nodes: []string{name}}
+}
+
+// Slow schedules setting a node's access latency and bandwidth cap;
+// Slow(at, name, 0, 0) restores full speed.
+func Slow(at time.Duration, name string, latency time.Duration, rateBps int64) Step {
+	return Step{At: at, Fault: FaultSlow, Nodes: []string{name}, Latency: latency, RateBps: rateBps}
+}
+
+// LinkLoss schedules a directed per-link datagram loss probability;
+// p=0 restores the link, p=1 blackholes it.
+func LinkLoss(at time.Duration, from, to string, p float64) Step {
+	return Step{At: at, Fault: FaultLinkLoss, From: from, To: to, Prob: p}
+}
+
+// CorruptFrom schedules mangling each stream chunk the named node sends
+// with probability p (truncation instead of byte flips when truncate).
+func CorruptFrom(at time.Duration, name string, p float64, truncate bool) Step {
+	return Step{At: at, Fault: FaultCorrupt, Nodes: []string{name}, Prob: p, Truncate: truncate}
+}
+
+// ClearCorruptFrom schedules removing a CorruptFrom rule.
+func ClearCorruptFrom(at time.Duration, name string) Step {
+	return Step{At: at, Fault: FaultClearCorrupt, Nodes: []string{name}}
+}
+
+// PeerChurn is the "viewers close the tab" scenario: a fraction of the
+// swarm crashes at once mid-playback. Survivors must evict the dead
+// neighbors and finish via re-matching or CDN fallback.
+func PeerChurn(at time.Duration, frac float64) Scenario {
+	return Scenario{
+		Name:  "peer_churn",
+		Steps: []Step{KillFraction(at, frac)},
+	}
+}
+
+// SignalPartition blackholes the signaling server for a window. Peers
+// that joined keep playing (P2P with the neighbors they have, CDN
+// otherwise); their reconnect loops restore signaling after the heal.
+func SignalPartition(at, dur time.Duration) Scenario {
+	return Scenario{
+		Name: "signal_partition",
+		Steps: []Step{
+			PartitionNode(at, NodeSignal),
+			HealNode(at+dur, NodeSignal),
+		},
+	}
+}
+
+// CDNBrownout degrades the CDN origin (added latency + bandwidth cap)
+// for a window, then restores it. Playback must ride it out on the
+// swarm's caches without unbounded stalling.
+func CDNBrownout(at, dur, latency time.Duration, rateBps int64) Scenario {
+	return Scenario{
+		Name: "cdn_brownout",
+		Steps: []Step{
+			Slow(at, NodeCDN, latency, rateBps),
+			Slow(at+dur, NodeCDN, 0, 0),
+		},
+	}
+}
+
+// PollutedWire corrupts every stream chunk a node sends for a window —
+// the in-flight counterpart of the paper's pollution attack. DTLS
+// authentication turns corrupt P2P records into dead connections, so
+// the invariant under this scenario is eviction plus CDN fallback, not
+// poisoned caches.
+func PollutedWire(at, dur time.Duration, node string) Scenario {
+	return Scenario{
+		Name: "polluted_wire",
+		Steps: []Step{
+			CorruptFrom(at, node, 1, false),
+			ClearCorruptFrom(at+dur, node),
+		},
+	}
+}
+
+// Validate rejects malformed steps before a run starts (probabilities
+// out of range, missing targets, negative offsets).
+func (sc Scenario) Validate() error {
+	for i, st := range sc.Steps {
+		if st.At < 0 {
+			return fmt.Errorf("chaos: step %d: negative offset %v", i, st.At)
+		}
+		switch st.Fault {
+		case FaultKillFraction:
+			if !(st.Frac >= 0 && st.Frac <= 1) {
+				return fmt.Errorf("chaos: step %d: kill fraction %v outside [0,1]", i, st.Frac)
+			}
+		case FaultKillNodes, FaultPartition, FaultHeal, FaultSlow, FaultClearCorrupt:
+			if len(st.Nodes) == 0 {
+				return fmt.Errorf("chaos: step %d: %s needs target nodes", i, st.Fault)
+			}
+		case FaultLinkLoss:
+			if st.From == "" || st.To == "" {
+				return fmt.Errorf("chaos: step %d: link_loss needs from and to", i)
+			}
+			if !(st.Prob >= 0 && st.Prob <= 1) {
+				return fmt.Errorf("chaos: step %d: link_loss probability %v outside [0,1]", i, st.Prob)
+			}
+		case FaultCorrupt:
+			if len(st.Nodes) == 0 {
+				return fmt.Errorf("chaos: step %d: corrupt needs target nodes", i)
+			}
+			if !(st.Prob >= 0 && st.Prob <= 1) {
+				return fmt.Errorf("chaos: step %d: corrupt probability %v outside [0,1]", i, st.Prob)
+			}
+		default:
+			return fmt.Errorf("chaos: step %d: unknown fault %q", i, st.Fault)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import "fmt"
+
+// Invariants are the properties a scenario must not break. Each
+// shipped scenario asserts an explicit instance; the checker returns
+// human-readable violations that lead with the seed, because the seed
+// is the reproduction: rerunning the same scenario with it replays an
+// identical fault schedule.
+type Invariants struct {
+	// PlaybackCompletes demands every surviving viewer played the full
+	// VOD — the "CDN fallback always saves playback" property.
+	PlaybackCompletes bool
+	// MaxStalls bounds the swarm-wide pdn_stalls_total counter.
+	// Negative means unbounded.
+	MaxStalls int64
+	// NoPollutedCache demands every cached segment on every surviving
+	// viewer verifies against the ground-truth video — rejected or
+	// corrupt bytes must never enter the upload cache, or the swarm
+	// would relay pollution.
+	NoPollutedCache bool
+	// NoViewerErrors demands surviving viewers finished without error
+	// (graceful degradation, not hard failure).
+	NoViewerErrors bool
+	// Exempt names viewers excused from the completion/error/stall
+	// checks — e.g. the designated sick node whose own uplink a
+	// corruption scenario destroys. Cache integrity still applies to
+	// them: even a sick node must never cache polluted bytes.
+	Exempt []string
+}
+
+// Check evaluates the invariants against a run, returning one message
+// per violation (empty = all held).
+func (inv Invariants) Check(res *Result) []string {
+	var violations []string
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		violations = append(violations, fmt.Sprintf("scenario=%s seed=%d: %s", res.Scenario, res.Seed, msg))
+	}
+
+	exempt := make(map[string]bool, len(inv.Exempt))
+	for _, name := range inv.Exempt {
+		exempt[name] = true
+	}
+	for _, v := range res.Survivors() {
+		if inv.PlaybackCompletes && !exempt[v.Name] && v.Stats.SegmentsPlayed < res.Segments {
+			fail("%s played %d/%d segments", v.Name, v.Stats.SegmentsPlayed, res.Segments)
+		}
+		if inv.NoViewerErrors && !exempt[v.Name] && v.Err != nil {
+			fail("%s finished with error: %v", v.Name, v.Err)
+		}
+		if inv.NoPollutedCache && v.Peer != nil {
+			for _, idx := range v.Peer.CachedIndices() {
+				data, ok := v.Peer.CachedSegment(idx)
+				if !ok {
+					continue
+				}
+				if !res.Video.Verify(res.Rendition, idx, data) {
+					fail("%s caches polluted segment %d", v.Name, idx)
+				}
+			}
+		}
+	}
+	if inv.MaxStalls >= 0 {
+		if stalls := res.Counter("pdn_stalls_total"); stalls > inv.MaxStalls {
+			fail("pdn_stalls_total=%d exceeds bound %d", stalls, inv.MaxStalls)
+		}
+	}
+	return violations
+}

@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+)
+
+// SwarmConfig sizes the deployment a scenario runs against.
+type SwarmConfig struct {
+	// Viewers is the swarm size (default 4).
+	Viewers int
+	// Segments is the VOD length each viewer plays (default 6).
+	Segments int
+	// Seed drives everything random: provider matching, viewer neighbor
+	// selection, and the engine's fault targeting.
+	Seed int64
+	// Pace is each viewer's inter-segment delay (default 2ms) — it is
+	// what gives mid-playback faults a playback to land in.
+	Pace time.Duration
+	// IM deploys the §V-B integrity-checking defense.
+	IM bool
+	// HashManifest makes viewers verify every segment against the
+	// CDN-served hash list.
+	HashManifest bool
+	// SegBytes is the segment size (default 12 KiB).
+	SegBytes int
+}
+
+// ViewerResult is one viewer's outcome.
+type ViewerResult struct {
+	Name   string
+	Killed bool // crashed by the scenario; exempt from completion checks
+	Stats  pdnclient.Stats
+	Err    error
+	Peer   *pdnclient.Peer
+}
+
+// Result is everything a scenario run produced, for invariant checks
+// and reproduction: the seed, the JSONL fault log, the shared metrics
+// registry, and per-viewer outcomes.
+type Result struct {
+	Scenario  string
+	Seed      int64
+	Events    []Event
+	Log       []byte
+	Obs       *obs.Registry
+	Video     *media.Video
+	Rendition string
+	Segments  int
+	Viewers   []*ViewerResult
+}
+
+// Counter reads a counter from the swarm's shared registry (0 if the
+// counter never registered).
+func (r *Result) Counter(name string) int64 {
+	//lint:ignore pdnlint/obsnames read-side lookup of an already-registered counter; the literal names live at the registration sites
+	return r.Obs.Counter(name, "").Value()
+}
+
+// Survivors returns the viewers the scenario did not crash.
+func (r *Result) Survivors() []*ViewerResult {
+	out := make([]*ViewerResult, 0, len(r.Viewers))
+	for _, v := range r.Viewers {
+		if !v.Killed {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// viewerCountries spreads the swarm across the default geo plan.
+var viewerCountries = []string{"US", "DE", "FR", "GB", "JP", "BR", "IN", "CA"}
+
+// RunScenario deploys a fresh testbed, starts the swarm, unfolds the
+// scenario against it, and returns the outcome once every viewer run
+// ends. The returned error covers harness failures (deployment,
+// malformed scenario); swarm-level damage is the point and lands in
+// Result for the invariant checker.
+func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, error) {
+	if cfg.Viewers <= 0 {
+		cfg.Viewers = 4
+	}
+	if cfg.Segments <= 0 {
+		cfg.Segments = 6
+	}
+	if cfg.Pace <= 0 {
+		cfg.Pace = 2 * time.Millisecond
+	}
+	if cfg.SegBytes <= 0 {
+		cfg.SegBytes = 12 << 10
+	}
+	rctx, cancel := context.WithTimeout(ctx, 90*time.Second)
+	defer cancel()
+
+	video := analyzer.SmallVideo("chaos", cfg.Segments, cfg.SegBytes)
+	reg := obs.NewRegistry()
+	opts := provider.Options{Seed: cfg.Seed}
+	if cfg.IM {
+		pol := signal.DefaultPolicy()
+		pol.RequireIMChecking = true
+		opts.PolicyOverride = &pol
+		checker, err := defense.NewIMChecker(defense.IMConfig{
+			Reporters: 2,
+			FetchCDN: func(key media.SegmentKey) ([]byte, error) {
+				return video.SegmentData(key.Rendition, key.Index)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts.IM = checker
+	}
+	tb, err := analyzer.NewTestbed(rctx, analyzer.TestbedConfig{
+		Profile: provider.Peer5(),
+		Video:   video,
+		Obs:     reg,
+		Options: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	eng := NewEngine(tb.Net, cfg.Seed)
+	eng.Register(Node{Name: NodeCDN, Addr: tb.CDNHost.Addr(), Host: tb.CDNHost})
+	eng.Register(Node{Name: NodeSignal, Addr: tb.SignalHost.Addr(), Host: tb.SignalHost})
+
+	viewers := make([]*ViewerResult, cfg.Viewers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Viewers; i++ {
+		name := fmt.Sprintf("viewer-%02d", i)
+		host, err := tb.NewViewerHost(viewerCountries[i%len(viewerCountries)])
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, err
+		}
+		vcfg := tb.ViewerConfig(host, cfg.Seed+int64(i)+1)
+		vcfg.MaxSegments = cfg.Segments
+		vcfg.Pace = cfg.Pace
+		vcfg.GracefulDegrade = true
+		vcfg.VerifyHashManifest = cfg.HashManifest
+		peer, err := pdnclient.New(vcfg)
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, err
+		}
+		vctx, vcancel := context.WithCancel(rctx)
+		eng.Register(Node{Name: name, Addr: host.Addr(), Host: host, Kill: vcancel})
+		vr := &ViewerResult{Name: name, Peer: peer}
+		viewers[i] = vr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer vcancel()
+			vr.Stats, vr.Err = peer.Run(vctx)
+		}()
+	}
+
+	if err := eng.Run(rctx, sc); err != nil && rctx.Err() == nil {
+		cancel()
+		wg.Wait()
+		return nil, fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
+	}
+	wg.Wait()
+
+	killed := make(map[string]bool)
+	for _, name := range eng.Killed() {
+		killed[name] = true
+	}
+	for _, v := range viewers {
+		v.Killed = killed[v.Name]
+	}
+	return &Result{
+		Scenario:  sc.Name,
+		Seed:      cfg.Seed,
+		Events:    eng.Events(),
+		Log:       eng.LogBytes(),
+		Obs:       reg,
+		Video:     video,
+		Rendition: video.Renditions[0].Name,
+		Segments:  cfg.Segments,
+		Viewers:   viewers,
+	}, nil
+}

@@ -161,13 +161,16 @@ func (r *TURNRelay) handle(conn net.Conn) {
 	}()
 }
 
-// bridge pipes bytes both ways, counting them.
+// bridge pipes bytes both ways, counting them. When either direction
+// ends — a peer hung up or died — both conns are closed immediately so
+// the survivor sees the death instead of a half-open stream (and so
+// Close's wg.Wait cannot hang on an abandoned bridge).
 func (r *TURNRelay) bridge(a, b net.Conn) {
-	defer a.Close()
-	defer b.Close()
 	var wg sync.WaitGroup
 	copyCount := func(dst, src net.Conn) {
 		defer wg.Done()
+		defer a.Close()
+		defer b.Close()
 		buf := make([]byte, 64<<10)
 		for {
 			n, err := src.Read(buf)
@@ -178,9 +181,6 @@ func (r *TURNRelay) bridge(a, b net.Conn) {
 				}
 			}
 			if err != nil {
-				if err != io.EOF {
-					return
-				}
 				return
 			}
 		}

@@ -1,0 +1,195 @@
+package defense
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+)
+
+// relayEnv is the fixture for the disconnect table: a fresh network
+// with a serving relay and two peer hosts.
+type relayEnv struct {
+	net   *netsim.Network
+	relay *TURNRelay
+	addr  netip.AddrPort
+	a, b  *netsim.Host
+}
+
+func newRelayEnv(t *testing.T) *relayEnv {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	relayHost := n.MustHost(netip.MustParseAddr("50.50.50.50"))
+	relay := NewTURNRelay()
+	if err := relay.Serve(relayHost, 3479); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { relay.Close() })
+	return &relayEnv{
+		net:   n,
+		relay: relay,
+		addr:  netip.MustParseAddrPort("50.50.50.50:3479"),
+		a:     n.MustHost(netip.MustParseAddr("66.24.0.1")),
+		b:     n.MustHost(netip.MustParseAddr("36.96.0.1")),
+	}
+}
+
+// assertBridges proves the relay still pairs and pipes: a fresh pair in
+// the given room exchanges one payload each way.
+func assertBridges(t *testing.T, e *relayEnv, room string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cb, err := DialRelay(ctx, e.b, e.addr, room)
+		if err != nil {
+			t.Errorf("probe dial b: %v", err)
+			return
+		}
+		defer cb.Close()
+		buf := make([]byte, 16)
+		cb.SetReadDeadline(time.Now().Add(3 * time.Second))
+		if n, err := cb.Read(buf); err != nil || string(buf[:n]) != "ping" {
+			t.Errorf("probe read b: %v %q", err, buf[:n])
+			return
+		}
+		cb.Write([]byte("pong"))
+	}()
+	ca, err := DialRelay(ctx, e.a, e.addr, room)
+	if err != nil {
+		t.Fatalf("probe dial a: %v", err)
+	}
+	defer ca.Close()
+	if _, err := ca.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	ca.SetReadDeadline(time.Now().Add(3 * time.Second))
+	n, err := ca.Read(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("probe read a: %v %q", err, buf[:n])
+	}
+	wg.Wait()
+}
+
+// waitingConn polls until the relay has parked a first arrival for the
+// room, so a test can kill it at a known rendezvous state.
+func waitingConn(t *testing.T, r *TURNRelay, room string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		r.mu.Lock()
+		_, ok := r.waiting[room]
+		r.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("relay never parked a waiter for room %q", room)
+}
+
+// TestTURNRelayPeerDisconnects pins the relay's behavior when a peer
+// dies at each rendezvous stage. In every case the relay itself must
+// survive and keep pairing fresh rooms.
+func TestTURNRelayPeerDisconnects(t *testing.T) {
+	cases := []struct {
+		name string
+		// disrupt kills a peer at some stage and asserts the stage-local
+		// fallout. proveRoom is the room the usability probe then uses —
+		// reusing the disrupted room proves its state was reclaimed.
+		disrupt   func(t *testing.T, e *relayEnv)
+		proveRoom string
+	}{
+		{
+			name: "dies before pairing",
+			disrupt: func(t *testing.T, e *relayEnv) {
+				// First arrival announces the room and dies. The corpse
+				// sits in the waiting map until the next arrival pairs
+				// with it, fails, and flushes the room.
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				defer cancel()
+				conn, err := e.a.Dial(ctx, e.addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := writeFrame(conn, turnHello{Room: "doomed"}); err != nil {
+					t.Fatal(err)
+				}
+				waitingConn(t, e.relay, "doomed")
+				conn.Close()
+
+				// Second arrival meets the corpse: pairing either fails
+				// outright or yields a conn that dies on first read.
+				cb, err := DialRelay(ctx, e.b, e.addr, "doomed")
+				if err == nil {
+					cb.SetReadDeadline(time.Now().Add(2 * time.Second))
+					if _, rerr := cb.Read(make([]byte, 1)); rerr == nil {
+						t.Fatal("read from a corpse-paired conn succeeded")
+					}
+					cb.Close()
+				}
+			},
+			proveRoom: "doomed",
+		},
+		{
+			name: "dies mid bridge",
+			disrupt: func(t *testing.T, e *relayEnv) {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					cb, err := DialRelay(ctx, e.b, e.addr, "live")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer cb.Close()
+					buf := make([]byte, 16)
+					cb.SetReadDeadline(time.Now().Add(3 * time.Second))
+					if n, err := cb.Read(buf); err != nil || string(buf[:n]) != "ping" {
+						t.Errorf("bridge read: %v %q", err, buf[:n])
+						return
+					}
+					// The other side hangs up mid-relay: the survivor's
+					// next read must fail promptly (the bridge tears
+					// down both conns), not sit out the read deadline.
+					start := time.Now()
+					if _, err := cb.Read(buf); err == nil {
+						t.Error("read after peer death succeeded")
+					}
+					if time.Since(start) > 2*time.Second {
+						t.Error("survivor read waited out the deadline instead of failing on teardown")
+					}
+				}()
+				ca, err := DialRelay(ctx, e.a, e.addr, "live")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ca.Write([]byte("ping")); err != nil {
+					t.Fatal(err)
+				}
+				ca.Close()
+				<-done
+				if got := e.relay.RelayedBytes(); got != 4 {
+					t.Fatalf("relayed bytes = %d, want 4", got)
+				}
+			},
+			proveRoom: "fresh",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newRelayEnv(t)
+			tc.disrupt(t, e)
+			assertBridges(t, e, tc.proveRoom)
+		})
+	}
+}

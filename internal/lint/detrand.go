@@ -15,6 +15,7 @@ var deterministicPkgs = map[string]bool{
 	"experiments": true,
 	"provider":    true,
 	"analyzer":    true,
+	"chaos":       true,
 }
 
 // randAllowed are the math/rand package-level constructors that build

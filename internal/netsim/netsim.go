@@ -115,6 +115,10 @@ type Network struct {
 	lossMu sync.Mutex
 	rng    *rand.Rand
 
+	// imp is the programmable impairment engine (impair.go). Its zero
+	// value impairs nothing and costs one atomic load per hook.
+	imp impairments
+
 	punchMu      sync.Mutex
 	punchWaiters map[[2]netip.AddrPort]*punchWaiter
 
@@ -181,8 +185,13 @@ func punchKey(a, b netip.AddrPort) [2]netip.AddrPort {
 	return [2]netip.AddrPort{a, b}
 }
 
-// New creates an empty network with the given configuration.
+// New creates an empty network with the given configuration. It panics
+// if LossProb is outside [0,1) — a misconfigured loss process would
+// silently skew every experiment built on the network.
 func New(cfg Config) *Network {
+	if !(cfg.LossProb >= 0 && cfg.LossProb < 1) { // also rejects NaN
+		panic(fmt.Sprintf("netsim: Config.LossProb %v outside [0,1)", cfg.LossProb))
+	}
 	return &Network{
 		cfg:   cfg,
 		hosts: make(map[netip.Addr]*Host),
@@ -313,6 +322,7 @@ type Host struct {
 	mu        sync.Mutex
 	listeners map[uint16]*Listener
 	udpSocks  map[uint16]*packetConn
+	conns     map[*Conn]struct{} // established stream endpoints, for crash/partition severing
 	nextPort  uint16
 	taps      []Tap
 	closed    bool
@@ -405,7 +415,7 @@ func (h *Host) pathLatency(other *Host) time.Duration {
 	other.mu.Lock()
 	b := other.latency
 	other.mu.Unlock()
-	return a + b
+	return a + b + h.net.extraLatency(h.ip, other.ip)
 }
 
 // allocPortLocked returns a free ephemeral port. Caller holds h.mu.

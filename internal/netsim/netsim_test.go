@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/netip"
 	"os"
@@ -479,16 +480,48 @@ func TestLatency(t *testing.T) {
 }
 
 func TestPacketLoss(t *testing.T) {
-	n := New(Config{LossProb: 1.0})
+	// Config.LossProb is [0,1) by contract; total loss is expressed as a
+	// per-link override, which admits the closed upper bound.
+	n := New(Config{LossProb: 0.999999})
 	a := n.MustHost(mustAddr("10.0.0.1"))
 	b := n.MustHost(mustAddr("10.0.0.2"))
+	n.SetLinkLoss(a.Addr(), b.Addr(), 1)
 	pa, _ := a.ListenPacket(1000)
 	pb, _ := b.ListenPacket(1000)
 	pa.WriteToAddrPort([]byte("x"), mustAP("10.0.0.2:1000"))
 	pb.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
 	buf := make([]byte, 8)
 	if _, _, err := pb.ReadFromAddrPort(buf); err == nil {
-		t.Fatal("LossProb=1 should drop everything")
+		t.Fatal("link loss 1 should drop everything")
+	}
+}
+
+func TestConfigLossProbValidation(t *testing.T) {
+	cases := []struct {
+		p  float64
+		ok bool
+	}{
+		{0, true},
+		{0.5, true},
+		{0.999, true},
+		{1.0, false},
+		{-0.1, false},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if tc.ok && r != nil {
+					t.Errorf("LossProb=%v: unexpected panic %v", tc.p, r)
+				}
+				if !tc.ok && r == nil {
+					t.Errorf("LossProb=%v: expected New to panic", tc.p)
+				}
+			}()
+			New(Config{LossProb: tc.p})
+		}()
 	}
 }
 

@@ -97,13 +97,19 @@ func (pc *packetConn) WriteToAddrPort(b []byte, dst netip.AddrPort) (int, error)
 	}
 	pc.host.tap(pkt)
 
-	if pc.host.net.dropUDP() {
-		return len(b), nil
-	}
-
 	dstHost, dstPort, ok := pc.host.net.lookupUDP(pc.host, visibleSrc, dst)
 	if !ok {
 		return len(b), nil // unreachable: dropped
+	}
+	if pc.host.net.blockedPath(pc.host.ip, dstHost.ip) {
+		return len(b), nil // partitioned: dropped, like a routing blackhole
+	}
+	if drop, overridden := pc.host.net.dropImpaired(pc.host.ip, dstHost.ip); overridden {
+		if drop {
+			return len(b), nil
+		}
+	} else if pc.host.net.dropUDP() {
+		return len(b), nil
 	}
 	dstHost.mu.Lock()
 	sock := dstHost.udpSocks[dstPort]

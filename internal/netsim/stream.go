@@ -87,8 +87,14 @@ func (l *Listener) AddrPort() netip.AddrPort {
 // Dial opens a simulated TCP connection from this host to dst. The
 // context bounds connection establishment only.
 func (h *Host) Dial(ctx context.Context, dst netip.AddrPort) (*Conn, error) {
+	if h.Closed() {
+		return nil, fmt.Errorf("netsim: dial %v: %w", dst, ErrClosed)
+	}
 	dstHost, dstPort, ok := h.net.lookupTCP(h, dst)
 	if !ok {
+		return nil, fmt.Errorf("netsim: dial %v: %w", dst, ErrUnreachable)
+	}
+	if h.net.blockedPath(h.ip, dstHost.ip) {
 		return nil, fmt.Errorf("netsim: dial %v: %w", dst, ErrUnreachable)
 	}
 	dstHost.mu.Lock()
@@ -154,6 +160,8 @@ func (h *Host) Dial(ctx context.Context, dst netip.AddrPort) (*Conn, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	h.registerConn(local)
+	dstHost.registerConn(remote)
 	return local, nil
 }
 
@@ -187,6 +195,8 @@ func Pair(a, b *Host, aVis, bVis netip.AddrPort) (*Conn, *Conn) {
 	}
 	ca.peer = cb
 	cb.peer = ca
+	a.registerConn(ca)
+	b.registerConn(cb)
 	return ca, cb
 }
 
@@ -259,8 +269,14 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if isClosedChan(c.writeDL.wait()) {
 		return 0, os.ErrDeadlineExceeded
 	}
+	if c.host.net.blockedPath(c.host.ip, c.peerHost.ip) {
+		// A partition installed concurrently with establishment; severing
+		// handles existing conns, this guards the race.
+		return 0, ErrUnreachable
+	}
 
 	chunk := append([]byte(nil), b...)
+	chunk = c.host.net.mangleStream(c.host.ip, chunk)
 	c.host.shapeUp(len(chunk))
 	if lat := c.host.pathLatency(c.peerHost); lat > 0 {
 		time.Sleep(lat)
@@ -304,6 +320,7 @@ func (c *Conn) closeSide() {
 	case <-c.closed:
 	default:
 		close(c.closed)
+		c.host.unregisterConn(c)
 	}
 }
 

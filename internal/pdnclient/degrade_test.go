@@ -1,0 +1,101 @@
+package pdnclient
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+)
+
+// TestStallCounterWhenCDNVanishes drives the stall path directly: the
+// CDN disappears after the first segment plays, every remaining fetch
+// fails fast, and pdn_stalls_total records each skipped segment.
+func TestStallCounterWhenCDNVanishes(t *testing.T) {
+	video := smallVideo("bbb", 4)
+	tb := newTestbed(t, provider.Peer5(), video)
+	reg := obs.NewRegistry()
+
+	cfg := tb.peerConfig(t)
+	cfg.DisableP2P = true // isolate the player's CDN path
+	cfg.Obs = reg
+	cdnIP := netip.MustParseAddr("93.184.216.34")
+	var once sync.Once
+	cfg.OnSegment = func(k media.SegmentKey, data []byte, source string) {
+		once.Do(func() { tb.net.Isolate(cdnIP) })
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := p.Run(ctx); err == nil {
+		t.Fatal("playlist refetch against a vanished CDN should fail the run")
+	}
+	if got := reg.Counter("pdn_stalls_total", "").Value(); got != 3 {
+		t.Fatalf("pdn_stalls_total = %d, want 3 (segments 1..3 unfetchable)", got)
+	}
+	if got := reg.Counter("pdn_segments_cdn_total", "").Value(); got != 1 {
+		t.Fatalf("pdn_segments_cdn_total = %d, want 1", got)
+	}
+}
+
+// TestIMRejectFallsBackToCDN asserts the rejection→fallback pipeline on
+// the counters themselves: a polluted seeder feeds bad bytes, the hash
+// manifest rejects them (pdn_im_rejects_total), every reject re-fetches
+// from the CDN (pdn_cdn_fallbacks_total), and playback still completes
+// with clean segments only.
+func TestIMRejectFallsBackToCDN(t *testing.T) {
+	video := smallVideo("bbb", 6)
+	tb := newTestbed(t, provider.Peer5(), video)
+	stop := pollutedSeeder(t, tb, []int{3, 4})
+	defer stop()
+	reg := obs.NewRegistry()
+
+	cfg := tb.peerConfig(t)
+	cfg.VerifyHashManifest = true
+	cfg.Obs = reg
+	var mu sync.Mutex
+	corrupt := 0
+	cfg.OnSegment = func(k media.SegmentKey, data []byte, source string) {
+		if !video.Verify(k.Rendition, k.Index, data) {
+			mu.Lock()
+			corrupt++
+			mu.Unlock()
+		}
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := p.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsPlayed != 6 {
+		t.Fatalf("victim should complete playback via CDN fallback: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if corrupt != 0 {
+		t.Fatalf("%d corrupt segments reached playback", corrupt)
+	}
+	rejects := reg.Counter("pdn_im_rejects_total", "").Value()
+	fallbacks := reg.Counter("pdn_cdn_fallbacks_total", "").Value()
+	if rejects == 0 {
+		t.Fatalf("polluted P2P bytes never rejected (stats %+v)", st)
+	}
+	if fallbacks < rejects {
+		t.Fatalf("pdn_cdn_fallbacks_total = %d < pdn_im_rejects_total = %d: a reject did not fall back", fallbacks, rejects)
+	}
+	if got := reg.Counter("pdn_stalls_total", "").Value(); got != 0 {
+		t.Fatalf("pdn_stalls_total = %d, want 0 (fallback must prevent stalls)", got)
+	}
+}

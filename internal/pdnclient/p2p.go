@@ -3,12 +3,14 @@ package pdnclient
 import (
 	"context"
 	"encoding/json"
+	"sync/atomic"
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/defense"
 	"github.com/stealthy-peers/pdnsec/internal/dtls"
 	"github.com/stealthy-peers/pdnsec/internal/ice"
 	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -64,9 +66,10 @@ type neighbor struct {
 	conn *dtls.Conn
 	peer *Peer
 
-	reqMu   chan struct{} // capacity-1 semaphore: one outstanding want
-	respCh  chan p2pFrame // segment responses
-	closedC chan struct{}
+	reqMu    chan struct{} // capacity-1 semaphore: one outstanding want
+	respCh   chan p2pFrame // segment responses
+	closedC  chan struct{}
+	evicting atomic.Bool // latches the first eviction so it counts once
 }
 
 type p2pFrame struct {
@@ -99,9 +102,32 @@ func (nb *neighbor) close() {
 	nb.peer.removeNeighbor(nb.id)
 }
 
+// evict closes a neighbor presumed dead — failed send, request
+// timeout, or a broken read loop — and counts the eviction unless the
+// connection was already closed deliberately or the peer itself is
+// shutting down. The next maintainNeighbors pass re-matches a
+// replacement, so churned peers stop blocking segment fetches.
+func (nb *neighbor) evict(reason string) {
+	if !nb.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	select {
+	case <-nb.closedC:
+		return // closed on purpose (policy drop or teardown): not a death
+	default:
+	}
+	select {
+	case <-nb.peer.closed:
+	default:
+		nb.peer.metrics.neighborsEvicted.Inc()
+		nb.peer.cfg.Tracer.Event("neighbor_evict", obs.A("neighbor", nb.id), obs.A("reason", reason))
+	}
+	nb.close()
+}
+
 // readLoop serves inbound requests and routes responses.
 func (nb *neighbor) readLoop() {
-	defer nb.close()
+	defer nb.evict("conn_broken")
 	for {
 		frame, err := nb.conn.Recv()
 		if err != nil {
@@ -178,6 +204,7 @@ func (nb *neighbor) request(ctx context.Context, key media.SegmentKey) ([]byte, 
 		return nil, false
 	}
 	if err := nb.conn.Send(frame); err != nil {
+		nb.evict("send_failed")
 		return nil, false
 	}
 	timer := time.NewTimer(requestTimeout)
@@ -189,6 +216,7 @@ func (nb *neighbor) request(ctx context.Context, key media.SegmentKey) ([]byte, 
 		}
 		return resp.payload, true
 	case <-timer.C:
+		nb.evict("request_timeout")
 		return nil, false
 	case <-ctx.Done():
 		return nil, false
@@ -288,6 +316,9 @@ func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
 	var answer signal.ConnectOffer
 	select {
 	case answer = <-answerCh:
+		if answer.Fingerprint == "" {
+			return // target vanished before answering
+		}
 	case <-cctx.Done():
 		return
 	}
@@ -339,6 +370,20 @@ func (p *Peer) handleRelay(rel signal.Relay) {
 	}
 }
 
+// abortAnswerWait wakes a pending connect attempt whose target the
+// server reported gone. Closing the waiter delivers a zero
+// ConnectOffer, which the initiator treats as "peer vanished" — no
+// more burning the full connect timeout on churned-out candidates.
+func (p *Peer) abortAnswerWait(peerID string) {
+	p.mu.Lock()
+	ch := p.answerWaiters[peerID]
+	delete(p.answerWaiters, peerID)
+	p.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
 // expectAnswer registers a waiter for the peer's answer.
 func (p *Peer) expectAnswer(from string) chan signal.ConnectOffer {
 	ch := make(chan signal.ConnectOffer, 1)
@@ -371,6 +416,9 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 		}
 		select {
 		case answer := <-answerCh:
+			if answer.Fingerprint == "" {
+				return // target vanished before answering
+			}
 			theirFP = answer.Fingerprint
 		case <-ctx.Done():
 			return

@@ -149,16 +149,20 @@ type Stats struct {
 // peerMetrics holds the peer's counter handles; all are nil-safe, so a
 // peer built without a registry pays only the nil branch per event.
 type peerMetrics struct {
-	segsCDN        *obs.Counter
-	segsP2P        *obs.Counter
-	cdnBytes       *obs.Counter
-	p2pDownBytes   *obs.Counter
-	p2pUpBytes     *obs.Counter
-	imRejects      *obs.Counter
-	stalls         *obs.Counter
-	cacheHits      *obs.Counter
-	cacheMiss      *obs.Counter
-	slowStartExits *obs.Counter
+	segsCDN          *obs.Counter
+	segsP2P          *obs.Counter
+	cdnBytes         *obs.Counter
+	p2pDownBytes     *obs.Counter
+	p2pUpBytes       *obs.Counter
+	imRejects        *obs.Counter
+	stalls           *obs.Counter
+	cacheHits        *obs.Counter
+	cacheMiss        *obs.Counter
+	slowStartExits   *obs.Counter
+	cdnFallbacks     *obs.Counter
+	neighborsEvicted *obs.Counter
+	sigReconnects    *obs.Counter
+	sigReconnectFail *obs.Counter
 }
 
 // Peer is a running PDN SDK instance.
@@ -229,16 +233,20 @@ func New(cfg Config) (*Peer, error) {
 	}
 	reg := cfg.Obs
 	p.metrics = peerMetrics{
-		segsCDN:        reg.Counter("pdn_segments_cdn_total", "segments played from the CDN"),
-		segsP2P:        reg.Counter("pdn_segments_p2p_total", "segments played from peers"),
-		cdnBytes:       reg.Counter("pdn_cdn_bytes_total", "bytes downloaded from the CDN"),
-		p2pDownBytes:   reg.Counter("pdn_p2p_down_bytes_total", "bytes downloaded from peers"),
-		p2pUpBytes:     reg.Counter("pdn_p2p_up_bytes_total", "bytes uploaded to peers"),
-		imRejects:      reg.Counter("pdn_im_rejects_total", "P2P segments rejected by integrity checking"),
-		stalls:         reg.Counter("pdn_stalls_total", "segments skipped as unfetchable"),
-		cacheHits:      reg.Counter("pdn_cache_hits_total", "neighbor requests served from the segment cache"),
-		cacheMiss:      reg.Counter("pdn_cache_misses_total", "neighbor requests the segment cache could not serve"),
-		slowStartExits: reg.Counter("pdn_slow_start_exits_total", "sessions that reached P2P eligibility"),
+		segsCDN:          reg.Counter("pdn_segments_cdn_total", "segments played from the CDN"),
+		segsP2P:          reg.Counter("pdn_segments_p2p_total", "segments played from peers"),
+		cdnBytes:         reg.Counter("pdn_cdn_bytes_total", "bytes downloaded from the CDN"),
+		p2pDownBytes:     reg.Counter("pdn_p2p_down_bytes_total", "bytes downloaded from peers"),
+		p2pUpBytes:       reg.Counter("pdn_p2p_up_bytes_total", "bytes uploaded to peers"),
+		imRejects:        reg.Counter("pdn_im_rejects_total", "P2P segments rejected by integrity checking"),
+		stalls:           reg.Counter("pdn_stalls_total", "segments skipped as unfetchable"),
+		cacheHits:        reg.Counter("pdn_cache_hits_total", "neighbor requests served from the segment cache"),
+		cacheMiss:        reg.Counter("pdn_cache_misses_total", "neighbor requests the segment cache could not serve"),
+		slowStartExits:   reg.Counter("pdn_slow_start_exits_total", "sessions that reached P2P eligibility"),
+		cdnFallbacks:     reg.Counter("pdn_cdn_fallbacks_total", "P2P-eligible segments that fell back to the CDN"),
+		neighborsEvicted: reg.Counter("pdn_neighbors_evicted_total", "neighbors dropped as dead or unresponsive"),
+		sigReconnects:    reg.Counter("pdn_signal_reconnects_total", "signaling sessions re-established after a drop"),
+		sigReconnectFail: reg.Counter("pdn_signal_reconnect_failures_total", "failed signaling reconnect attempts"),
 	}
 	p.cache = newSegmentCache(cfg.CacheSegments, func(total int64) {
 		if cfg.Meter != nil {
@@ -274,6 +282,16 @@ func (p *Peer) Stats() Stats {
 // Fingerprint returns the peer's DTLS certificate fingerprint.
 func (p *Peer) Fingerprint() string { return p.identity.Fingerprint() }
 
+// CachedIndices returns the segment indices currently held in the
+// upload cache, sorted ascending. Chaos invariant checks use it to
+// audit what a peer would serve.
+func (p *Peer) CachedIndices() []int { return p.cache.indices() }
+
+// CachedSegment returns the cached bytes for a segment index, if held.
+// The returned slice is the cache's own backing array; callers must not
+// mutate it.
+func (p *Peer) CachedSegment(idx int) ([]byte, bool) { return p.cache.get(idx) }
+
 // Run plays the configured stream until it finishes, MaxSegments is
 // reached, or ctx is cancelled. It returns the final stats.
 func (p *Peer) Run(ctx context.Context) (Stats, error) {
@@ -294,6 +312,13 @@ func (p *Peer) Run(ctx context.Context) (Stats, error) {
 	}
 	if p.cfg.Meter != nil {
 		p.cfg.Meter.SetPDNLoaded(!p.cfg.DisableP2P)
+	}
+	if !p.cfg.DisableP2P {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.reconnectLoop(ctx)
+		}()
 	}
 	if p.cfg.StatsInterval > 0 && !p.cfg.DisableP2P {
 		p.wg.Add(1)
@@ -348,6 +373,7 @@ func (p *Peer) join(ctx context.Context) error {
 		return err
 	}
 	sig.OnRelay(p.handleRelay)
+	sig.OnPeerGone(p.abortAnswerWait)
 	w, err := sig.Join(ctx, signal.JoinRequest{
 		APIKey:      p.cfg.APIKey,
 		Origin:      p.cfg.Origin,
@@ -365,11 +391,106 @@ func (p *Peer) join(ctx context.Context) error {
 		return err
 	}
 	p.mu.Lock()
+	select {
+	case <-p.closed:
+		// Teardown raced the (re)join: it already closed whatever client
+		// it could see, so this one is ours to clean up.
+		p.mu.Unlock()
+		sig.Close()
+		return ErrPeerClosed
+	default:
+	}
+	old := p.sig
 	p.sig = sig
 	p.peerID = w.PeerID
 	p.policy = w.Policy
 	p.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
 	return nil
+}
+
+// ErrPeerClosed reports that the peer shut down while an operation was
+// in flight.
+var ErrPeerClosed = errors.New("pdnclient: peer closed")
+
+// Reconnect tuning: a dropped signaling session is retried with capped
+// exponential backoff. Bounded attempts keep a dead provider from
+// pinning goroutines forever — after giving up the peer keeps playing
+// from the CDN with whatever neighbors survive.
+const (
+	reconnectBaseBackoff = 50 * time.Millisecond
+	reconnectMaxBackoff  = time.Second
+	reconnectMaxAttempts = 6
+)
+
+// reconnectLoop watches the signaling connection and re-establishes it
+// when it drops — the hardening the chaos scenarios exercise by
+// partitioning the signal server mid-session. Runs until the peer
+// closes, ctx ends, or a reconnect round exhausts its attempts.
+func (p *Peer) reconnectLoop(ctx context.Context) {
+	for {
+		p.mu.Lock()
+		sig := p.sig
+		p.mu.Unlock()
+		if sig == nil {
+			return
+		}
+		select {
+		case <-sig.Done():
+		case <-p.closed:
+			return
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case <-p.closed:
+			return
+		default:
+		}
+		if !p.rejoin(ctx) {
+			return
+		}
+	}
+}
+
+// rejoin re-dials and re-joins the signaling server with capped
+// backoff, then re-announces the cache so the swarm can match against
+// this peer again. Reports whether the session was restored.
+func (p *Peer) rejoin(ctx context.Context) bool {
+	backoff := reconnectBaseBackoff
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-time.After(backoff):
+		case <-p.closed:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+		if err := p.join(ctx); err == nil {
+			p.metrics.sigReconnects.Inc()
+			p.cfg.Tracer.Event("signal_reconnect", obs.A("attempt", attempt))
+			p.mu.Lock()
+			sig := p.sig
+			p.mu.Unlock()
+			if sig != nil {
+				if have := p.cache.indices(); len(have) > 0 {
+					sig.Have(have)
+				}
+			}
+			return true
+		}
+		p.metrics.sigReconnectFail.Inc()
+		if attempt >= reconnectMaxAttempts {
+			p.cfg.Tracer.Event("signal_reconnect_giveup", obs.A("attempts", attempt))
+			return false
+		}
+		backoff *= 2
+		if backoff > reconnectMaxBackoff {
+			backoff = reconnectMaxBackoff
+		}
+	}
 }
 
 // learnExpectedSize derives the consistency baseline from the master
@@ -597,6 +718,8 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 			p.metrics.imRejects.Inc()
 			p.cfg.Tracer.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
 		}
+		p.metrics.cdnFallbacks.Inc()
+		p.cfg.Tracer.Event("cdn_fallback", obs.A("video", key.Video), obs.A("idx", key.Index))
 	}
 	data, err := p.fetchFromCDN(ctx, key)
 	if err != nil {

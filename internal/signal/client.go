@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strings"
 	"sync"
 
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
@@ -33,12 +34,14 @@ type Client struct {
 
 	reqMu sync.Mutex // serializes request/response exchanges
 
-	mu       sync.Mutex
-	respCh   chan wire.Envelope
-	relayFn  func(Relay)
-	closed   bool
-	closeErr error
-	done     chan struct{}
+	mu         sync.Mutex
+	respCh     chan wire.Envelope
+	relayFn    func(Relay)
+	peerGoneFn func(string)
+	pending    bool // a roundTrip awaits a response
+	closed     bool
+	closeErr   error
+	done       chan struct{}
 }
 
 // Dial connects to a PDN server from the given simulated host.
@@ -62,6 +65,30 @@ func (c *Client) OnRelay(fn func(Relay)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.relayFn = fn
+}
+
+// OnPeerGone installs the handler invoked when the server reports that
+// a peer this client tried to relay to no longer exists. The SDK uses
+// it to abort connection attempts at churned-out peers immediately
+// instead of waiting out the answer timeout.
+func (c *Client) OnPeerGone(fn func(peerID string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerGoneFn = fn
+}
+
+// Done returns a channel closed when the connection to the server ends
+// — whether by Close, a server-side disconnect, or a network failure.
+// Reconnect logic (pdnclient's rejoin-with-backoff) watches it to
+// detect signaling loss without polling.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err reports why the connection ended (io.EOF for an orderly remote
+// close). It returns nil while the client is still connected.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeErr
 }
 
 // readLoop pumps inbound envelopes: relays go to the handler, responses
@@ -89,11 +116,30 @@ func (c *Client) readLoop() {
 			}
 			continue
 		}
+		if env.Type == MsgError {
+			c.mu.Lock()
+			pending := c.pending
+			fn := c.peerGoneFn
+			c.mu.Unlock()
+			// An error with no request in flight answers a one-way
+			// message. A not_found relay error names a vanished peer —
+			// surface it so connect attempts stop waiting for its answer.
+			if !pending {
+				var info ErrorInfo
+				if err := env.Decode(&info); err == nil && info.Code == CodeNotFound {
+					if id, ok := strings.CutPrefix(info.Message, "peer "); ok {
+						if fn != nil {
+							fn(id)
+						}
+						continue
+					}
+				}
+			}
+		}
 		select {
 		case c.respCh <- env:
 		default:
-			// Unsolicited response (e.g. error after a one-way message);
-			// drop rather than block the loop.
+			// Unsolicited response; drop rather than block the loop.
 		}
 	}
 }
@@ -108,6 +154,14 @@ func (c *Client) roundTrip(ctx context.Context, typ string, payload any) (wire.E
 	case <-c.respCh:
 	default:
 	}
+	c.mu.Lock()
+	c.pending = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.pending = false
+		c.mu.Unlock()
+	}()
 	if err := c.codec.Send(typ, payload); err != nil {
 		return wire.Envelope{}, err
 	}

@@ -1,0 +1,90 @@
+package signal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPeerDisconnect pins what the server does when a peer drops in the
+// middle of the matchmaking/relay flow: the session is unregistered
+// (mid-match: it stops being offered as a candidate) and relays aimed
+// at it come back as not_found, which the client surfaces through
+// OnPeerGone so connect attempts abort instead of timing out.
+func TestPeerDisconnect(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(t *testing.T, cA *Client, goneID string, gone <-chan string)
+	}{
+		{
+			name: "mid-match: departed peer leaves the candidate pool",
+			check: func(t *testing.T, cA *Client, goneID string, gone <-chan string) {
+				waitFor(t, 2*time.Second, func() bool {
+					peers, err := cA.GetPeers(testCtx, 10)
+					return err == nil && len(peers) == 0
+				})
+			},
+		},
+		{
+			name: "mid-relay: relay to departed peer fires OnPeerGone",
+			check: func(t *testing.T, cA *Client, goneID string, gone <-chan string) {
+				// Ensure the server has processed the disconnect before
+				// relaying, so not_found is deterministic.
+				waitFor(t, 2*time.Second, func() bool {
+					peers, err := cA.GetPeers(testCtx, 10)
+					return err == nil && len(peers) == 0
+				})
+				if err := cA.Relay(goneID, RelayOffer, ConnectOffer{Fingerprint: "fpA"}); err != nil {
+					t.Fatal(err)
+				}
+				select {
+				case id := <-gone:
+					if id != goneID {
+						t.Fatalf("OnPeerGone(%q), want %q", id, goneID)
+					}
+				case <-time.After(2 * time.Second):
+					t.Fatal("OnPeerGone never fired for relay to departed peer")
+				}
+				// The unsolicited error must not poison request/response
+				// pairing: a normal round trip still works.
+				if _, err := cA.GetPeers(testCtx, 10); err != nil {
+					t.Fatalf("round trip after unsolicited error: %v", err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEnv(t, nil)
+			key := e.keys.Issue("customer.com", nil)
+
+			cA := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+			if _, err := cA.Join(testCtx, basicJoin(key)); err != nil {
+				t.Fatal(err)
+			}
+			gone := make(chan string, 1)
+			cA.OnPeerGone(func(id string) {
+				select {
+				case gone <- id:
+				default:
+				}
+			})
+
+			cB := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
+			wB, err := cB.Join(testCtx, basicJoin(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// B is matched to A while alive, then drops.
+			peers, err := cA.GetPeers(testCtx, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(peers) != 1 || peers[0].ID != wB.PeerID {
+				t.Fatalf("want B as the sole candidate, got %+v", peers)
+			}
+			cB.Close()
+
+			tc.check(t, cA, wB.PeerID, gone)
+		})
+	}
+}
