@@ -91,8 +91,9 @@ func main() {
 	var (
 		scenario = flag.String("scenario", "peer_churn", "scenario to run (see -list)")
 		seed     = flag.Int64("seed", 0, "fault schedule seed (0 = derive from the clock; the value used is always printed)")
-		viewers  = flag.Int("viewers", 5, "swarm size")
+		viewers  = flag.Int("viewers", 5, "swarm size (up to 10k; raise -shards to match)")
 		segments = flag.Int("segments", 5, "VOD length each viewer plays")
+		shards   = flag.Int("shards", 0, "signaling server lock stripes (0 = single-stripe seed layout; 16 suits 10k-viewer swarms)")
 		out      = flag.String("out", "", "write the JSONL fault log to this file (default: stdout)")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 	)
@@ -121,7 +122,9 @@ func main() {
 	}
 	fmt.Printf("chaos: scenario=%s seed=%d viewers=%d segments=%d\n", *scenario, *seed, *viewers, *segments)
 
-	res, err := chaos.RunScenario(context.Background(), sp.cfg(*seed, *viewers, *segments), sp.sc())
+	cfg := sp.cfg(*seed, *viewers, *segments)
+	cfg.Shards = *shards
+	res, err := chaos.RunScenario(context.Background(), cfg, sp.sc())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: harness failure (seed=%d): %v\n", *seed, err)
 		os.Exit(2)

@@ -1,0 +1,122 @@
+// Command swarmload drives a simulated PDN deployment with thousands of
+// peers — the signaling-plane scale test. It ramps a virtual-peer tier
+// speaking the real signal protocol, churns a fraction out, runs full
+// pdnclient viewers alongside, and checks the swarm-scale invariants:
+// bounded match latency, zero lost relay messages, and a sane
+// CDN-fallback ratio. The seed is the reproduction.
+//
+// Usage:
+//
+//	go run ./cmd/swarmload -swarms 4 -peers 2500 -seed 1
+//	go run ./cmd/swarmload -swarms 2 -peers 500 -out BENCH_swarm.json -merge joinmatch.json
+//
+// With -out it writes the BENCH_swarm.json benchmark baseline; -merge
+// folds in the join_match section that the signal package's
+// TestJoinMatchRegression emits via PDNSEC_BENCH_OUT.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/swarmload"
+)
+
+// benchFile is the BENCH_swarm.json layout. The join_match section is
+// produced by the signal package's regression test and passes through
+// here opaquely.
+type benchFile struct {
+	Schema    string            `json:"schema"`
+	JoinMatch json.RawMessage   `json:"join_match,omitempty"`
+	Swarmload *swarmload.Report `json:"swarmload"`
+}
+
+const schemaName = "pdnsec-bench-swarm/1"
+
+func main() {
+	var (
+		swarms      = flag.Int("swarms", 4, "number of load swarms")
+		peers       = flag.Int("peers", 2500, "virtual peers per swarm")
+		seed        = flag.Int64("seed", 1, "seed for matching, arrivals, and churn")
+		shards      = flag.Int("shards", 16, "signaling-server shard count")
+		churn       = flag.Float64("churn", 0.2, "fraction of virtual peers that leave mid-run (negative = none)")
+		rounds      = flag.Int("rounds", 2, "relay waves per survivor")
+		full        = flag.Int("full", 4, "full pdnclient viewers (negative = none)")
+		segments    = flag.Int("segments", 6, "VOD length the full viewers play")
+		p99max      = flag.Duration("p99max", 750*time.Millisecond, "match-latency p99 budget")
+		fallbackmax = flag.Float64("fallbackmax", 0.75, "CDN-fallback ratio cap")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "whole-run deadline")
+		out         = flag.String("out", "", "write BENCH_swarm.json-shaped results to this file")
+		merge       = flag.String("merge", "", "join_match JSON (from PDNSEC_BENCH_OUT) to fold into -out")
+	)
+	flag.Parse()
+
+	fullViewers := *full
+	if fullViewers < 0 {
+		fullViewers = -1 // Config uses negative for "none"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	fmt.Printf("swarmload: swarms=%d peers=%d seed=%d shards=%d churn=%.2f\n",
+		*swarms, *peers, *seed, *shards, *churn)
+	rep, err := swarmload.Run(ctx, swarmload.Config{
+		Swarms:           *swarms,
+		PeersPerSwarm:    *peers,
+		Seed:             *seed,
+		Shards:           *shards,
+		Churn:            *churn,
+		Rounds:           *rounds,
+		FullViewers:      fullViewers,
+		Segments:         *segments,
+		MatchP99Max:      *p99max,
+		MaxFallbackRatio: *fallbackmax,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swarmload: harness failure (seed=%d): %v\n", *seed, err)
+		os.Exit(2)
+	}
+
+	file := benchFile{Schema: schemaName, Swarmload: rep}
+	if *merge != "" {
+		raw, err := os.ReadFile(*merge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swarmload: read -merge file: %v\n", err)
+			os.Exit(2)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "swarmload: -merge file %s is not valid JSON\n", *merge)
+			os.Exit(2)
+		}
+		file.JoinMatch = json.RawMessage(raw)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swarmload: marshal report: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "swarmload: write %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+	}
+	os.Stdout.Write(data)
+
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "swarmload: VIOLATION "+v)
+		}
+		fmt.Fprintf(os.Stderr, "swarmload: rerun: go run ./cmd/swarmload -swarms %d -peers %d -seed %d -shards %d\n",
+			*swarms, *peers, *seed, *shards)
+		os.Exit(1)
+	}
+	fmt.Println("swarmload: all invariants held")
+}

@@ -34,6 +34,10 @@ type SwarmConfig struct {
 	HashManifest bool
 	// SegBytes is the segment size (default 12 KiB).
 	SegBytes int
+	// Shards stripes the signaling server's swarm state. Zero keeps the
+	// single-stripe layout; large-swarm scenarios (-viewers up to 10k)
+	// want 16.
+	Shards int
 }
 
 // ViewerResult is one viewer's outcome.
@@ -104,7 +108,7 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 
 	video := analyzer.SmallVideo("chaos", cfg.Segments, cfg.SegBytes)
 	reg := obs.NewRegistry()
-	opts := provider.Options{Seed: cfg.Seed}
+	opts := provider.Options{Seed: cfg.Seed, Shards: cfg.Shards}
 	if cfg.IM {
 		pol := signal.DefaultPolicy()
 		pol.RequireIMChecking = true

@@ -188,6 +188,9 @@ func isBlockingCall(info *types.Info, call *ast.CallExpr) bool {
 
 // propagateBlocking closes the blocking set over same-package static
 // calls: a function calling a blocking same-package function blocks.
+// `go f(args)` is excluded — f blocks the new goroutine, not the
+// spawner — but its arguments still count, since they are evaluated on
+// the spawning goroutine.
 func propagateBlocking(info *types.Info, decls map[*types.Func]*ast.FuncDecl, blocking map[*types.Func]bool) {
 	for changed := true; changed; {
 		changed = false
@@ -195,26 +198,31 @@ func propagateBlocking(info *types.Info, decls map[*types.Func]*ast.FuncDecl, bl
 			if blocking[f] {
 				continue
 			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var visit func(n ast.Node) bool
+			visit = func(n ast.Node) bool {
 				if blocking[f] {
 					return false
 				}
-				if _, isLit := n.(*ast.FuncLit); isLit {
+				switch n := n.(type) {
+				case *ast.FuncLit:
 					return false
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if callee := calleeFunc(info, call); callee != nil && blocking[callee] {
-					// Calls that already receive this function's context
-					// still count: the rule is about offering callers a
-					// context at the exported boundary.
-					blocking[f] = true
-					changed = true
+				case *ast.GoStmt:
+					for _, arg := range n.Call.Args {
+						ast.Inspect(arg, visit)
+					}
+					return false
+				case *ast.CallExpr:
+					if callee := calleeFunc(info, n); callee != nil && blocking[callee] {
+						// Calls that already receive this function's context
+						// still count: the rule is about offering callers a
+						// context at the exported boundary.
+						blocking[f] = true
+						changed = true
+					}
 				}
 				return true
-			})
+			}
+			ast.Inspect(fd.Body, visit)
 		}
 	}
 }

@@ -16,6 +16,7 @@ var deterministicPkgs = map[string]bool{
 	"provider":    true,
 	"analyzer":    true,
 	"chaos":       true,
+	"swarmload":   true,
 }
 
 // randAllowed are the math/rand package-level constructors that build

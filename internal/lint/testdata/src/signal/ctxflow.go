@@ -90,3 +90,29 @@ func (s *server) Spawn(ctx context.Context) {
 		}
 	}()
 }
+
+// StartWorkers only spawns named workers; drain blocks the new
+// goroutines, not StartWorkers itself — the transitive pass must not
+// follow a go statement's callee.
+func (s *server) StartWorkers(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.drain()
+	}
+}
+
+func (s *server) drain() {
+	defer s.wg.Done()
+	for range s.jobs {
+	}
+}
+
+// SpawnEager evaluates a blocking argument before launching the
+// goroutine, so it blocks the caller and must still be flagged.
+func (s *server) SpawnEager() { // want `exported SpawnEager blocks .* but takes no context\.Context`
+	go s.discard(s.takeOne())
+}
+
+func (s *server) discard(int) {}
+
+func (s *server) takeOne() int { return <-s.jobs }

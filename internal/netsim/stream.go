@@ -39,9 +39,12 @@ func (h *Host) Listen(port uint16) (*Listener, error) {
 		return nil, fmt.Errorf("netsim: listen %v:%d: %w", h.ip, port, ErrPortInUse)
 	}
 	l := &Listener{
-		host:   h,
-		port:   port,
-		accept: make(chan *Conn),
+		host: h,
+		port: port,
+		// The accept queue is the SYN backlog: under a join storm
+		// (swarmload ramps thousands of dials at one server) dialers park
+		// here instead of serializing on the Accept loop's pace.
+		accept: make(chan *Conn, 64),
 		done:   make(chan struct{}),
 	}
 	h.listeners[port] = l

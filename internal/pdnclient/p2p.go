@@ -370,6 +370,20 @@ func (p *Peer) handleRelay(rel signal.Relay) {
 	}
 }
 
+// onPeerGone handles a server departure notice: abort any pending
+// connect attempt at the vanished peer, and evict it from the neighbor
+// set so segment requests stop routing to a dead connection before the
+// transport notices on its own.
+func (p *Peer) onPeerGone(peerID string) {
+	p.abortAnswerWait(peerID)
+	p.mu.Lock()
+	nb := p.neighbors[peerID]
+	p.mu.Unlock()
+	if nb != nil {
+		nb.evict("peer_gone")
+	}
+}
+
 // abortAnswerWait wakes a pending connect attempt whose target the
 // server reported gone. Closing the waiter delivers a zero
 // ConnectOffer, which the initiator treats as "peer vanished" — no

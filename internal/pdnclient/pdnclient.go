@@ -373,7 +373,7 @@ func (p *Peer) join(ctx context.Context) error {
 		return err
 	}
 	sig.OnRelay(p.handleRelay)
-	sig.OnPeerGone(p.abortAnswerWait)
+	sig.OnPeerGone(p.onPeerGone)
 	w, err := sig.Join(ctx, signal.JoinRequest{
 		APIKey:      p.cfg.APIKey,
 		Origin:      p.cfg.Origin,

@@ -249,6 +249,9 @@ type Options struct {
 	PolicyOverride *signal.Policy
 	// Seed drives peer matching.
 	Seed int64
+	// Shards stripes the signaling server's swarm state (see
+	// signal.Config.Shards). Zero keeps the single-stripe layout.
+	Shards int
 	// Obs and Tracer forward to the signaling server's instrumentation;
 	// nil disables it.
 	Obs    *obs.Registry
@@ -292,6 +295,7 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 		GeoDB:       opts.GeoDB,
 		IM:          opts.IM,
 		Seed:        opts.Seed,
+		Shards:      opts.Shards,
 		Obs:         opts.Obs,
 		Tracer:      opts.Tracer,
 	})

@@ -1,0 +1,177 @@
+package signal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// The benchmark population: 4 swarms of 2500 peers — the 10k-peer
+// topology the acceptance run (cmd/swarmload -swarms 4 -peers 2500)
+// sizes the signaling plane for. Each op is one get-peers request.
+// The seed path pays a full room scan + shuffle per op under one
+// global lock, so its cost scales with room size; the sharded path
+// pays O(max) sampling under a per-shard lock regardless of room size.
+const (
+	benchSwarms       = 4
+	benchPeersPerRoom = 2500
+	benchMatchMax     = 8
+)
+
+// benchConn is a no-op net.Conn so sessions can be registered without
+// a network; matching never touches the connection.
+type benchConn struct{}
+
+func (benchConn) Read(p []byte) (int, error)       { return 0, io.EOF }
+func (benchConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (benchConn) Close() error                     { return nil }
+func (benchConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (benchConn) RemoteAddr() net.Addr             { return &net.TCPAddr{IP: net.IPv4(66, 24, 0, 1)} }
+func (benchConn) SetDeadline(time.Time) error      { return nil }
+func (benchConn) SetReadDeadline(time.Time) error  { return nil }
+func (benchConn) SetWriteDeadline(time.Time) error { return nil }
+
+// newBenchServer registers the benchmark population directly (no
+// sockets) and returns the sessions to issue match requests from.
+func newBenchServer(b *testing.B, shards int) (*Server, []*session) {
+	b.Helper()
+	s := NewServer(Config{Policy: DefaultPolicy(), Seed: 1, Shards: shards})
+	b.Cleanup(func() { s.Close() })
+	sessions := make([]*session, 0, benchSwarms*benchPeersPerRoom)
+	codec := wire.NewCodec(benchConn{})
+	for sw := 0; sw < benchSwarms; sw++ {
+		for i := 0; i < benchPeersPerRoom; i++ {
+			join := JoinRequest{Video: fmt.Sprintf("v%02d", sw), Rendition: "720p", Fingerprint: "fp"}
+			sessions = append(sessions, s.register(codec, benchConn{}, join, ""))
+		}
+	}
+	return s, sessions
+}
+
+// BenchmarkSignalJoinMatch measures match throughput for the
+// single-lock seed path (seedlock) against the sharded server. The
+// recorded acceptance number is shards=16 ops/sec over seedlock
+// ops/sec (see TestJoinMatchRegression).
+func BenchmarkSignalJoinMatch(b *testing.B) {
+	for _, name := range []string{"seedlock", "shards=1", "shards=16"} {
+		b.Run(name, func(b *testing.B) { runJoinMatchVariant(b, name) })
+	}
+}
+
+// JoinMatchBench is the benchmark section of BENCH_swarm.json.
+type JoinMatchBench struct {
+	SeedlockOpsPerSec float64 `json:"seedlock_ops_per_sec"`
+	Shards1OpsPerSec  float64 `json:"shards1_ops_per_sec"`
+	Shards16OpsPerSec float64 `json:"shards16_ops_per_sec"`
+	Speedup16         float64 `json:"speedup_16shard_vs_seedlock"`
+}
+
+// benchSwarmFile mirrors the committed BENCH_swarm.json layout (the
+// swarmload section is produced by cmd/swarmload).
+type benchSwarmFile struct {
+	Schema    string          `json:"schema"`
+	JoinMatch *JoinMatchBench `json:"join_match"`
+}
+
+// TestJoinMatchRegression is the benchmark-regression gate. It is not
+// part of tier-1 (set PDNSEC_BENCH=1 to run it, as the CI bench job
+// does): it re-measures BenchmarkSignalJoinMatch, requires the sharded
+// server to hold ≥3× the single-lock baseline's throughput, and fails
+// if the speedup regressed more than 20% against the committed
+// BENCH_swarm.json. With PDNSEC_BENCH_OUT set it writes the fresh
+// numbers for cmd/swarmload -merge to fold into the CI artifact.
+func TestJoinMatchRegression(t *testing.T) {
+	if os.Getenv("PDNSEC_BENCH") == "" {
+		t.Skip("benchmark regression gate; set PDNSEC_BENCH=1 to run")
+	}
+	measure := func(run func(b *testing.B)) float64 {
+		res := testing.Benchmark(run)
+		return float64(res.N) / res.T.Seconds()
+	}
+	var cur JoinMatchBench
+	benchRuns := map[string]*float64{
+		"seedlock":  &cur.SeedlockOpsPerSec,
+		"shards=1":  &cur.Shards1OpsPerSec,
+		"shards=16": &cur.Shards16OpsPerSec,
+	}
+	names := []string{"seedlock", "shards=1", "shards=16"}
+	for _, name := range names {
+		name := name
+		*benchRuns[name] = measure(func(b *testing.B) {
+			runJoinMatchVariant(b, name)
+		})
+		t.Logf("%s: %.0f ops/sec", name, *benchRuns[name])
+	}
+	cur.Speedup16 = cur.Shards16OpsPerSec / cur.SeedlockOpsPerSec
+	t.Logf("speedup shards=16 vs seedlock: %.2fx", cur.Speedup16)
+	if cur.Speedup16 < 3 {
+		t.Errorf("sharded throughput %.2fx the single-lock baseline, want >= 3x", cur.Speedup16)
+	}
+
+	if base := loadBaseline(t); base != nil && base.JoinMatch != nil {
+		floor := base.JoinMatch.Speedup16 * 0.8
+		if cur.Speedup16 < floor {
+			t.Errorf("speedup %.2fx regressed >20%% against committed baseline %.2fx",
+				cur.Speedup16, base.JoinMatch.Speedup16)
+		}
+	}
+
+	if out := os.Getenv("PDNSEC_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runJoinMatchVariant runs one named sub-benchmark body directly.
+func runJoinMatchVariant(b *testing.B, name string) {
+	switch name {
+	case "seedlock":
+		ref := newSeedRef(1)
+		ids := make([]string, 0, benchSwarms*benchPeersPerRoom)
+		for sw := 0; sw < benchSwarms; sw++ {
+			for i := 0; i < benchPeersPerRoom; i++ {
+				ids = append(ids, ref.join(fmt.Sprintf("v%02d/720p", sw), ""))
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ref.getPeers(ids[i%len(ids)], benchMatchMax)
+		}
+	case "shards=1", "shards=16":
+		shards := 1
+		if name == "shards=16" {
+			shards = 16
+		}
+		s, sessions := newBenchServer(b, shards)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.matchPeers(sessions[i%len(sessions)], benchMatchMax)
+		}
+	}
+}
+
+// loadBaseline reads the committed BENCH_swarm.json (nil when absent,
+// e.g. before the first baseline lands).
+func loadBaseline(t *testing.T) *benchSwarmFile {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_swarm.json")
+	if err != nil {
+		return nil
+	}
+	var f benchSwarmFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("committed BENCH_swarm.json is invalid: %v", err)
+	}
+	return &f
+}

@@ -42,6 +42,25 @@ type Client struct {
 	closed     bool
 	closeErr   error
 	done       chan struct{}
+
+	// Relay and peer-gone callbacks run on a dedicated dispatcher
+	// goroutine fed by this unbounded queue, never on the read loop.
+	// A callback that re-enters the client (pdnclient's eviction path
+	// issues a GetPeers) therefore cannot deadlock: the read loop stays
+	// free to pump the response the re-entrant call waits for. The
+	// queue must be unbounded — were the read loop to block appending
+	// while the dispatcher sat inside a re-entrant round trip, the
+	// original deadlock would be back.
+	evMu     sync.Mutex
+	evBuf    []clientEvent
+	evNotify chan struct{}
+}
+
+// clientEvent is one queued asynchronous callback: a relayed peer
+// message, or a peer-departure notice (gone set).
+type clientEvent struct {
+	relay Relay
+	gone  string
 }
 
 // Dial connects to a PDN server from the given simulated host.
@@ -51,11 +70,13 @@ func Dial(ctx context.Context, host *netsim.Host, server netip.AddrPort) (*Clien
 		return nil, fmt.Errorf("signal: dial %v: %w", server, err)
 	}
 	c := &Client{
-		codec:  wire.NewCodec(conn),
-		respCh: make(chan wire.Envelope, 1),
-		done:   make(chan struct{}),
+		codec:    wire.NewCodec(conn),
+		respCh:   make(chan wire.Envelope, 1),
+		done:     make(chan struct{}),
+		evNotify: make(chan struct{}, 1),
 	}
 	go c.readLoop()
+	go c.dispatchLoop()
 	return c, nil
 }
 
@@ -107,32 +128,30 @@ func (c *Client) readLoop() {
 		if env.Type == MsgRelay {
 			var rel Relay
 			if err := env.Decode(&rel); err == nil {
-				c.mu.Lock()
-				fn := c.relayFn
-				c.mu.Unlock()
-				if fn != nil {
-					fn(rel)
+				c.pushEvent(clientEvent{relay: rel})
+			}
+			continue
+		}
+		if env.Type == MsgPeerGone {
+			var pg PeerGone
+			if err := env.Decode(&pg); err == nil {
+				for _, id := range pg.Peers {
+					c.pushEvent(clientEvent{gone: id})
 				}
 			}
 			continue
 		}
 		if env.Type == MsgError {
-			c.mu.Lock()
-			pending := c.pending
-			fn := c.peerGoneFn
-			c.mu.Unlock()
-			// An error with no request in flight answers a one-way
-			// message. A not_found relay error names a vanished peer —
-			// surface it so connect attempts stop waiting for its answer.
-			if !pending {
-				var info ErrorInfo
-				if err := env.Decode(&info); err == nil && info.Code == CodeNotFound {
-					if id, ok := strings.CutPrefix(info.Message, "peer "); ok {
-						if fn != nil {
-							fn(id)
-						}
-						continue
-					}
+			// A not_found relay error names a vanished peer. No
+			// request/response exchange ever answers with one (only
+			// one-way relays do), so it is always an asynchronous
+			// departure notice — even when a round trip is in flight,
+			// it must not be mistaken for that request's response.
+			var info ErrorInfo
+			if err := env.Decode(&info); err == nil && info.Code == CodeNotFound {
+				if id, ok := strings.CutPrefix(info.Message, "peer "); ok {
+					c.pushEvent(clientEvent{gone: id})
+					continue
 				}
 			}
 		}
@@ -140,6 +159,61 @@ func (c *Client) readLoop() {
 		case c.respCh <- env:
 		default:
 			// Unsolicited response; drop rather than block the loop.
+		}
+	}
+}
+
+// pushEvent queues an asynchronous callback for the dispatcher. The
+// read loop never blocks here.
+func (c *Client) pushEvent(ev clientEvent) {
+	c.evMu.Lock()
+	c.evBuf = append(c.evBuf, ev)
+	c.evMu.Unlock()
+	select {
+	case c.evNotify <- struct{}{}:
+	default:
+	}
+}
+
+// takeEvents swaps out everything queued since the last call.
+func (c *Client) takeEvents() []clientEvent {
+	c.evMu.Lock()
+	evs := c.evBuf
+	c.evBuf = nil
+	c.evMu.Unlock()
+	return evs
+}
+
+// dispatchLoop runs relay and peer-gone callbacks off the read loop.
+// The read loop queues its last events before closing done, so the
+// final drain after done observes everything.
+func (c *Client) dispatchLoop() {
+	for {
+		c.runEvents(c.takeEvents())
+		select {
+		case <-c.evNotify:
+		case <-c.done:
+			c.runEvents(c.takeEvents())
+			return
+		}
+	}
+}
+
+// runEvents invokes the installed handlers for a drained batch.
+func (c *Client) runEvents(evs []clientEvent) {
+	for _, ev := range evs {
+		c.mu.Lock()
+		relayFn, goneFn := c.relayFn, c.peerGoneFn
+		c.mu.Unlock()
+		switch {
+		case ev.gone != "":
+			if goneFn != nil {
+				goneFn(ev.gone)
+			}
+		default:
+			if relayFn != nil {
+				relayFn(ev.relay)
+			}
 		}
 	}
 }

@@ -33,6 +33,10 @@ const (
 	MsgGetSIM   = "get_sim"
 	MsgSIM      = "sim"
 	MsgBye      = "bye"
+	// MsgPeerGone is a server push: the listed peers left their swarm.
+	// It is sent only to peers the departed peer was advertised to, and
+	// the server coalesces simultaneous departures into one frame.
+	MsgPeerGone = "peer_gone"
 )
 
 // Error codes returned in ErrorInfo.
@@ -174,6 +178,12 @@ const (
 type ConnectOffer struct {
 	Fingerprint string          `json:"fingerprint"`
 	Candidates  []ice.Candidate `json:"candidates"`
+}
+
+// PeerGone lists peers that left the swarm, pushed to the peers they
+// had been matched with so connection attempts stop waiting for them.
+type PeerGone struct {
+	Peers []string `json:"peers"`
 }
 
 // IMReport carries a peer's integrity metadata for a CDN-downloaded

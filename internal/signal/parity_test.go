@@ -1,0 +1,302 @@
+package signal
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+)
+
+// parityTrace is everything observable a workload run produces:
+// assigned peer IDs, every match response in request order, the
+// multiset of delivered relays, and per-client departure notices.
+type parityTrace struct {
+	ids      []string
+	matches1 [][]string
+	matches2 [][]string
+	relays   map[string]int // "from->to#seq" -> delivery count
+	gone     map[string][]string
+}
+
+// parityClient wraps a client with recording handlers.
+type parityClient struct {
+	c  *Client
+	id string
+
+	mu     sync.Mutex
+	relays []string
+	gone   map[string]bool
+}
+
+func (pc *parityClient) install() {
+	pc.c.OnRelay(func(rel Relay) {
+		pc.mu.Lock()
+		pc.relays = append(pc.relays, rel.From+"->"+pc.id+"#"+string(rel.Payload))
+		pc.mu.Unlock()
+	})
+	pc.c.OnPeerGone(func(id string) {
+		pc.mu.Lock()
+		pc.gone[id] = true
+		pc.mu.Unlock()
+	})
+}
+
+func (pc *parityClient) relayCount() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.relays)
+}
+
+// runParityWorkload drives one fixed, sequentially-executed workload —
+// joins across three swarms, two match rounds, a churn wave between
+// them, then seq-numbered relays along the second round's matches —
+// against a server with the given shard count.
+func runParityWorkload(t *testing.T, shards int) (*parityTrace, *obs.Registry) {
+	t.Helper()
+	const (
+		swarms   = 3
+		peers    = 36
+		matchMax = 5
+	)
+	reg := obs.NewRegistry()
+	n := netsim.New(netsim.Config{Seed: 9})
+	host := n.MustHost(netip.MustParseAddr(serverIP))
+	srv := NewServer(Config{Policy: DefaultPolicy(), Seed: 7, Shards: shards, Obs: reg})
+	if err := srv.Serve(host, 443); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := netip.MustParseAddrPort(serverIP + ":443")
+
+	tr := &parityTrace{relays: make(map[string]int), gone: make(map[string][]string)}
+	clients := make([]*parityClient, peers)
+	for i := 0; i < peers; i++ {
+		h := n.MustHost(netip.AddrFrom4([4]byte{66, 24, byte(shards), byte(i + 1)}))
+		c, err := Dial(testCtx, h, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		w, err := c.Join(testCtx, JoinRequest{
+			Video:       fmt.Sprintf("v%d", i%swarms),
+			Rendition:   "r",
+			Fingerprint: fmt.Sprintf("fp%02d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.ids = append(tr.ids, w.PeerID)
+		pc := &parityClient{c: c, id: w.PeerID, gone: make(map[string]bool)}
+		pc.install()
+		clients[i] = pc
+	}
+
+	match := func(dst *[][]string) {
+		for i, pc := range clients {
+			if pc == nil {
+				continue
+			}
+			infos, err := pc.c.GetPeers(testCtx, matchMax)
+			if err != nil {
+				t.Fatalf("peer %d: %v", i, err)
+			}
+			ids := make([]string, len(infos))
+			for k, in := range infos {
+				ids[k] = in.ID
+			}
+			*dst = append(*dst, ids)
+		}
+	}
+	match(&tr.matches1)
+
+	// Churn wave: every third peer leaves. Each departure is awaited
+	// before the next so the server's pool mutations are ordered — that
+	// ordering, not the shard count, is what matching depends on.
+	for i := 1; i < peers; i += 3 {
+		pc := clients[i]
+		clients[i] = nil
+		pc.c.Close()
+		video := fmt.Sprintf("v%d", i%swarms)
+		want := srv.SwarmSize(video, "r") - 1
+		waitFor(t, 2*time.Second, func() bool { return srv.SwarmSize(video, "r") == want })
+	}
+
+	match(&tr.matches2)
+
+	// Relay wave: every survivor sends one seq-numbered frame to each of
+	// its second-round matches. All targets are alive, so every relay
+	// must be delivered exactly once.
+	seq := 0
+	sent := 0
+	for k, pc := range clients {
+		if pc == nil {
+			continue
+		}
+		ids := tr.matches2[survivorIndex(clients, k)]
+		for _, to := range ids {
+			if err := pc.c.Relay(to, "parity", seq); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+			sent++
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		got := 0
+		for _, pc := range clients {
+			if pc != nil {
+				got += pc.relayCount()
+			}
+		}
+		return got >= sent
+	})
+	for _, pc := range clients {
+		if pc == nil {
+			continue
+		}
+		pc.mu.Lock()
+		for _, key := range pc.relays {
+			tr.relays[key]++
+		}
+		ids := make([]string, 0, len(pc.gone))
+		for id := range pc.gone {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		tr.gone[pc.id] = ids
+		pc.mu.Unlock()
+	}
+	if got := len(tr.relays); got != sent {
+		t.Fatalf("shards=%d: %d distinct relays delivered, want %d", shards, got, sent)
+	}
+	for key, count := range tr.relays {
+		if count != 1 {
+			t.Fatalf("shards=%d: relay %s delivered %d times", shards, key, count)
+		}
+	}
+	return tr, reg
+}
+
+// survivorIndex maps a clients-slice index onto its row in the
+// second-round match table (which only has survivor rows).
+func survivorIndex(clients []*parityClient, idx int) int {
+	row := 0
+	for i := 0; i < idx; i++ {
+		if clients[i] != nil {
+			row++
+		}
+	}
+	return row
+}
+
+// TestShardingParity drives the identical seeded workload against
+// servers with 1, 4, and 16 shards and requires byte-identical pairing
+// decisions, exactly-once relay delivery, and the same relay
+// accounting — the property that makes the shard count a pure
+// performance knob. It also validates every response against the
+// single-lock reference implementation's eligibility oracle.
+func TestShardingParity(t *testing.T) {
+	traces := make(map[int]*parityTrace)
+	for _, shards := range []int{1, 4, 16} {
+		tr, reg := runParityWorkload(t, shards)
+		traces[shards] = tr
+
+		sent := int64(len(tr.relays))
+		if got := reg.Counter("signal_relays_total", "").Value(); got != sent {
+			t.Errorf("shards=%d: signal_relays_total = %d, want %d", shards, got, sent)
+		}
+		if got := reg.Counter("signal_relays_delivered_total", "").Value(); got != sent {
+			t.Errorf("shards=%d: signal_relays_delivered_total = %d, want %d", shards, got, sent)
+		}
+		if got := reg.Counter("signal_relay_drops_total", "").Value(); got != 0 {
+			t.Errorf("shards=%d: signal_relay_drops_total = %d, want 0", shards, got)
+		}
+		if got := reg.Counter("signal_peer_gone_total", "").Value(); got == 0 {
+			t.Errorf("shards=%d: no departure notices were queued", shards)
+		}
+	}
+
+	base := traces[1]
+	for _, shards := range []int{4, 16} {
+		tr := traces[shards]
+		if !reflect.DeepEqual(tr.ids, base.ids) {
+			t.Errorf("shards=%d: assigned IDs diverge from single-shard run", shards)
+		}
+		if !reflect.DeepEqual(tr.matches1, base.matches1) {
+			t.Errorf("shards=%d: first-round pairings diverge:\n%v\nvs\n%v", shards, tr.matches1, base.matches1)
+		}
+		if !reflect.DeepEqual(tr.matches2, base.matches2) {
+			t.Errorf("shards=%d: post-churn pairings diverge:\n%v\nvs\n%v", shards, tr.matches2, base.matches2)
+		}
+		if !reflect.DeepEqual(tr.relays, base.relays) {
+			t.Errorf("shards=%d: delivered relay multiset diverges", shards)
+		}
+		if !reflect.DeepEqual(tr.gone, base.gone) {
+			t.Errorf("shards=%d: departure notices diverge:\n%v\nvs\n%v", shards, tr.gone, base.gone)
+		}
+	}
+
+	checkAgainstOracle(t, base)
+}
+
+// checkAgainstOracle replays the workload's membership changes on the
+// seed-path reference and verifies every recorded match response obeys
+// its semantics: right count, eligible members only, no self, no dups.
+func checkAgainstOracle(t *testing.T, tr *parityTrace) {
+	t.Helper()
+	const (
+		swarms   = 3
+		peers    = 36
+		matchMax = 5
+	)
+	ref := newSeedRef(7)
+	for i := 0; i < peers; i++ {
+		if id := ref.join(fmt.Sprintf("v%d/r", i%swarms), ""); id != tr.ids[i] {
+			t.Fatalf("oracle assigned %s, server assigned %s", id, tr.ids[i])
+		}
+	}
+	verify := func(requester string, got []string) {
+		t.Helper()
+		elig := ref.eligible(requester)
+		want := len(elig)
+		if want > matchMax {
+			want = matchMax
+		}
+		if len(got) != want {
+			t.Errorf("%s matched %d peers, oracle says min(%d, %d)", requester, len(got), matchMax, len(elig))
+		}
+		seen := make(map[string]bool)
+		for _, id := range got {
+			if id == requester {
+				t.Errorf("%s was matched with itself", requester)
+			}
+			if !elig[id] {
+				t.Errorf("%s was handed ineligible peer %s", requester, id)
+			}
+			if seen[id] {
+				t.Errorf("%s was handed %s twice in one response", requester, id)
+			}
+			seen[id] = true
+		}
+	}
+	for i := 0; i < peers; i++ {
+		verify(tr.ids[i], tr.matches1[i])
+	}
+	for i := 1; i < peers; i += 3 {
+		ref.leave(tr.ids[i])
+	}
+	row := 0
+	for i := 0; i < peers; i++ {
+		if i%3 == 1 {
+			continue
+		}
+		verify(tr.ids[i], tr.matches2[row])
+		row++
+	}
+}

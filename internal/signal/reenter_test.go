@@ -1,0 +1,90 @@
+package signal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCallbackReentry pins the deadlock fix for callbacks that call
+// back into the client. Callbacks used to run on the read loop; a
+// callback issuing a round trip (as pdnclient's eviction/re-match path
+// does) then waited on a response only the read loop could deliver —
+// a self-deadlock. Callbacks now run on a dedicated dispatcher fed by
+// an unbounded queue, so a re-entrant round trip completes.
+func TestCallbackReentry(t *testing.T) {
+	t.Run("OnPeerGone re-enters GetPeers", func(t *testing.T) {
+		e := newEnv(t, nil)
+		key := e.keys.Issue("customer.com", nil)
+
+		cA := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+		if _, err := cA.Join(testCtx, basicJoin(key)); err != nil {
+			t.Fatal(err)
+		}
+		result := make(chan error, 1)
+		cA.OnPeerGone(func(id string) {
+			_, err := cA.GetPeers(testCtx, 5)
+			select {
+			case result <- err:
+			default:
+			}
+		})
+
+		cB := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
+		if _, err := cB.Join(testCtx, basicJoin(key)); err != nil {
+			t.Fatal(err)
+		}
+		// Matching advertises B to A, so B's departure notifies A.
+		if _, err := cA.GetPeers(testCtx, 5); err != nil {
+			t.Fatal(err)
+		}
+		cB.Close()
+
+		select {
+		case err := <-result:
+			if err != nil {
+				t.Fatalf("re-entrant GetPeers from OnPeerGone: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("re-entrant GetPeers from OnPeerGone deadlocked")
+		}
+	})
+
+	t.Run("OnRelay re-enters Relay", func(t *testing.T) {
+		e := newEnv(t, nil)
+		key := e.keys.Issue("customer.com", nil)
+
+		cA := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+		wA, err := cA.Join(testCtx, basicJoin(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cB := e.dial(t, e.newPeerHost(t, "66.24.0.2"))
+		wB, err := cB.Join(testCtx, basicJoin(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A answers every relay by relaying back; B records the echo.
+		cA.OnRelay(func(rel Relay) {
+			cA.Relay(rel.From, "echo", "pong")
+		})
+		echoed := make(chan string, 1)
+		cB.OnRelay(func(rel Relay) {
+			select {
+			case echoed <- rel.Kind:
+			default:
+			}
+		})
+		if err := cB.Relay(wA.PeerID, "ping", "hello"); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case kind := <-echoed:
+			if kind != "echo" {
+				t.Fatalf("echo kind = %q", kind)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("relay echo never arrived (B=%s)", wB.PeerID)
+		}
+	})
+}

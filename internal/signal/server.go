@@ -3,11 +3,13 @@ package signal
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"net/netip"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/auth"
@@ -60,8 +62,22 @@ type Config struct {
 	GeoDB *geoip.DB
 	// IM enables peer-assisted integrity checking.
 	IM IMService
-	// Seed drives peer-matching randomness.
+	// Seed drives peer-matching randomness. Matching draws from a
+	// per-swarm generator seeded from (Seed, swarm ID), so a swarm's
+	// pairing sequence does not depend on the shard count.
 	Seed int64
+	// Shards stripes the swarm/candidate-pool state across this many
+	// locks (keyed by swarm ID). Zero or one keeps the single-stripe
+	// layout; 10k-peer deployments want 16.
+	Shards int
+	// DeliveryWorkers bounds the pool that writes queued outbound
+	// messages (match responses, relays, peer-gone notices). Zero picks
+	// a default proportional to Shards.
+	DeliveryWorkers int
+	// QueueDepth caps each shard's outbound queue; producers block when
+	// their shard's queue is full (backpressure, never message loss).
+	// Zero defaults to 4096.
+	QueueDepth int
 	// Obs, when set, registers the server's counters and swarm-size
 	// gauge. Nil disables metrics at the cost of one branch per event.
 	Obs *obs.Registry
@@ -76,15 +92,18 @@ type Server struct {
 	cfg     Config
 	metrics serverMetrics
 
-	mu     sync.Mutex
-	nextID int
-	peers  map[string]*session
-	swarms map[string]map[string]*session // swarmID -> peerID -> session
-	rng    *rand.Rand
+	nextID atomic.Int64
+	shards []*shard
+	dir    peerDir
+
+	deliverCh chan deliverJob
 
 	listener *netsim.Listener
 	done     chan struct{}
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // accept loop + per-connection handlers
+	flushWg  sync.WaitGroup // per-shard flushers
+	workerWg sync.WaitGroup // delivery workers
+	closed   sync.Once
 }
 
 // session is the server's view of one connected peer.
@@ -97,6 +116,21 @@ type session struct {
 	country     string
 	addr        netip.Addr
 	cellular    bool
+
+	// shard owns this session's swarm; everything below that isn't
+	// guarded by sess.mu is guarded by shard.mu.
+	shard *shard
+	// swarm and poolIdx locate the session in its candidate pool
+	// (swarm nil once unregistered).
+	swarm   *swarm
+	poolIdx int
+	// advertisedTo holds the sessions this peer was handed to as a
+	// match candidate — the exact audience for its departure notice.
+	// advertised is the reverse index, so a departing watcher unhooks
+	// itself. Both sides of every edge live in the same swarm, hence
+	// under the same shard lock.
+	advertisedTo map[string]*session
+	advertised   map[string]*session
 
 	mu    sync.Mutex
 	codec *wire.Codec
@@ -115,37 +149,74 @@ func (s *session) send(typ string, payload any) error {
 // nil-safe, so a server built without a registry pays only the nil
 // branch inside each operation.
 type serverMetrics struct {
-	joins         *obs.Counter
-	joinRejects   *obs.Counter
-	matchRequests *obs.Counter
-	peersMatched  *obs.Counter
-	relays        *obs.Counter
-	imReports     *obs.Counter
-	statsReports  *obs.Counter
+	joins           *obs.Counter
+	joinRejects     *obs.Counter
+	matchRequests   *obs.Counter
+	peersMatched    *obs.Counter
+	relays          *obs.Counter
+	relaysDelivered *obs.Counter
+	relayDrops      *obs.Counter
+	peerGone        *obs.Counter
+	imReports       *obs.Counter
+	statsReports    *obs.Counter
+	batchSize       *obs.Histogram
 }
 
-// NewServer constructs a server with the given configuration.
+// NewServer constructs a server with the given configuration and starts
+// its delivery pipeline (stopped by Close).
 func NewServer(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.DeliveryWorkers <= 0 {
+		cfg.DeliveryWorkers = 2 * cfg.Shards
+		if cfg.DeliveryWorkers > 32 {
+			cfg.DeliveryWorkers = 32
+		}
+	}
 	s := &Server{
-		cfg:    cfg,
-		peers:  make(map[string]*session),
-		swarms: make(map[string]map[string]*session),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		done:   make(chan struct{}),
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		deliverCh: make(chan deliverJob, cfg.Shards),
+		done:      make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			swarms: make(map[string]*swarm),
+			q:      newOutQueue(cfg.QueueDepth),
+		}
 	}
 	reg := cfg.Obs
 	s.metrics = serverMetrics{
-		joins:         reg.Counter("signal_joins_total", "peers admitted to a swarm"),
-		joinRejects:   reg.Counter("signal_join_rejects_total", "joins rejected at authentication"),
-		matchRequests: reg.Counter("signal_match_requests_total", "get-peers requests served"),
-		peersMatched:  reg.Counter("signal_peers_matched_total", "peer candidates handed out"),
-		relays:        reg.Counter("signal_relays_total", "SDP/ICE messages relayed between peers"),
-		imReports:     reg.Counter("signal_im_reports_total", "integrity-metadata reports arbitrated"),
-		statsReports:  reg.Counter("signal_stats_reports_total", "peer usage reports accounted"),
+		joins:           reg.Counter("signal_joins_total", "peers admitted to a swarm"),
+		joinRejects:     reg.Counter("signal_join_rejects_total", "joins rejected at authentication"),
+		matchRequests:   reg.Counter("signal_match_requests_total", "get-peers requests served"),
+		peersMatched:    reg.Counter("signal_peers_matched_total", "peer candidates handed out"),
+		relays:          reg.Counter("signal_relays_total", "SDP/ICE messages relayed between peers"),
+		relaysDelivered: reg.Counter("signal_relays_delivered_total", "relayed messages written to their target"),
+		relayDrops:      reg.Counter("signal_relay_drops_total", "accepted relays lost to a dead target or shutdown"),
+		peerGone:        reg.Counter("signal_peer_gone_total", "departure notices queued to watching peers"),
+		imReports:       reg.Counter("signal_im_reports_total", "integrity-metadata reports arbitrated"),
+		statsReports:    reg.Counter("signal_stats_reports_total", "peer usage reports accounted"),
+		batchSize:       reg.Histogram("signal_match_batch_size", "outbound messages drained per delivery tick"),
 	}
 	reg.GaugeFunc("signal_swarm_peers", "currently connected peers across all swarms", func() float64 {
 		return float64(s.PeerCount())
 	})
+	reg.GaugeFunc("signal_shard_depth", "outbound messages queued across all shards", func() float64 {
+		return float64(s.queueDepth())
+	})
+	s.flushWg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go s.flushLoop(sh)
+	}
+	s.workerWg.Add(cfg.DeliveryWorkers)
+	for i := 0; i < cfg.DeliveryWorkers; i++ {
+		go s.deliverLoop()
+	}
 	return s
 }
 
@@ -161,22 +232,24 @@ func (s *Server) Serve(host *netsim.Host, port uint16) error {
 	return nil
 }
 
-// Close stops the server and disconnects all peers.
+// Close stops the server and disconnects all peers. Shutdown order
+// matters: closing peer codecs unwinds the connection handlers, the
+// flushers then drain and exit on done, and only after the last
+// flusher is gone is the worker channel closed.
 func (s *Server) Close() error {
-	select {
-	case <-s.done:
-	default:
+	s.closed.Do(func() {
 		close(s.done)
-	}
-	if s.listener != nil {
-		s.listener.Close()
-	}
-	s.mu.Lock()
-	for _, p := range s.peers {
-		p.codec.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		for _, sess := range s.dir.all() {
+			sess.codec.Close()
+		}
+		s.wg.Wait()
+		s.flushWg.Wait()
+		close(s.deliverCh)
+		s.workerWg.Wait()
+	})
 	return nil
 }
 
@@ -271,48 +344,78 @@ func (s *Server) authenticate(join JoinRequest) (string, error) {
 	}
 }
 
-// register adds the peer to its swarm.
+// register adds the peer to its swarm's candidate pool and the global
+// relay directory.
 func (s *Server) register(codec *wire.Codec, conn net.Conn, join JoinRequest, customer string) *session {
 	addr := remoteAddr(conn)
 	country := ""
 	if s.cfg.GeoDB != nil && addr.IsValid() {
 		country = s.cfg.GeoDB.Lookup(addr).Country
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
 	sess := &session{
-		id:          "p" + strconv.Itoa(s.nextID),
-		customer:    customer,
-		swarmID:     join.Video + "/" + join.Rendition,
-		fingerprint: join.Fingerprint,
-		candidates:  append([]ice.Candidate(nil), join.Candidates...),
-		country:     country,
-		addr:        addr,
-		cellular:    join.Cellular,
-		codec:       codec,
-		have:        make(map[int]bool),
-		joinT:       time.Now(),
+		id:           "p" + strconv.FormatInt(s.nextID.Add(1), 10),
+		customer:     customer,
+		swarmID:      join.Video + "/" + join.Rendition,
+		fingerprint:  join.Fingerprint,
+		candidates:   append([]ice.Candidate(nil), join.Candidates...),
+		country:      country,
+		addr:         addr,
+		cellular:     join.Cellular,
+		advertisedTo: make(map[string]*session),
+		advertised:   make(map[string]*session),
+		codec:        codec,
+		have:         make(map[int]bool),
+		joinT:        time.Now(),
 	}
-	s.peers[sess.id] = sess
-	sw, ok := s.swarms[sess.swarmID]
+	sh := s.shardFor(sess.swarmID)
+	sess.shard = sh
+	sh.mu.Lock()
+	sw, ok := sh.swarms[sess.swarmID]
 	if !ok {
-		sw = make(map[string]*session)
-		s.swarms[sess.swarmID] = sw
+		sw = &swarm{
+			id:  sess.swarmID,
+			rng: rand.New(rand.NewSource(swarmSeed(s.cfg.Seed, sess.swarmID))),
+		}
+		sh.swarms[sess.swarmID] = sw
 	}
-	sw[sess.id] = sess
+	sess.swarm = sw
+	sess.poolIdx = len(sw.members)
+	sw.members = append(sw.members, sess)
+	sh.mu.Unlock()
+	s.dir.put(sess)
 	return sess
 }
 
+// unregister removes the peer and queues coalesced departure notices to
+// every still-connected peer it was advertised to.
 func (s *Server) unregister(sess *session) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.peers, sess.id)
-	if sw, ok := s.swarms[sess.swarmID]; ok {
-		delete(sw, sess.id)
-		if len(sw) == 0 {
-			delete(s.swarms, sess.swarmID)
+	s.dir.del(sess.id)
+	sh := sess.shard
+	sh.mu.Lock()
+	if sw := sess.swarm; sw != nil {
+		last := len(sw.members) - 1
+		sw.members[sess.poolIdx] = sw.members[last]
+		sw.members[sess.poolIdx].poolIdx = sess.poolIdx
+		sw.members = sw.members[:last]
+		sess.swarm = nil
+		if len(sw.members) == 0 {
+			delete(sh.swarms, sw.id)
 		}
+	}
+	watchers := make([]*session, 0, len(sess.advertisedTo))
+	for _, w := range sess.advertisedTo {
+		watchers = append(watchers, w)
+		delete(w.advertised, sess.id)
+	}
+	sess.advertisedTo = nil
+	for _, c := range sess.advertised {
+		delete(c.advertisedTo, sess.id)
+	}
+	sess.advertised = nil
+	sh.mu.Unlock()
+	for _, w := range watchers {
+		s.enqueue(sh, outMsg{sess: w, typ: MsgPeerGone, payload: PeerGone{Peers: []string{sess.id}}})
+		s.metrics.peerGone.Inc()
 	}
 	if s.cfg.Keys != nil && sess.customer != "" {
 		s.cfg.Keys.RecordViewerTime(sess.customer, time.Since(sess.joinT))
@@ -325,14 +428,14 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 	case MsgGetPeers:
 		var req GetPeersReq
 		if err := env.Decode(&req); err != nil {
-			sess.send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: err.Error()})
+			s.enqueue(sess.shard, outMsg{sess: sess, typ: MsgError, payload: ErrorInfo{Code: CodeBadRequest, Message: err.Error()}})
 			return false
 		}
 		matched := s.matchPeers(sess, req.Max)
 		s.metrics.matchRequests.Inc()
 		s.metrics.peersMatched.Add(int64(len(matched)))
 		s.cfg.Tracer.Event("signal_match", obs.A("peer", sess.id), obs.A("matched", len(matched)))
-		sess.send(MsgPeers, PeersResp{Peers: matched})
+		s.enqueue(sess.shard, outMsg{sess: sess, typ: MsgPeers, payload: PeersResp{Peers: matched}})
 	case MsgHave:
 		var have Have
 		if err := env.Decode(&have); err != nil {
@@ -359,16 +462,14 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 			return false
 		}
 		rel.From = sess.id
-		s.mu.Lock()
-		target := s.peers[rel.To]
-		s.mu.Unlock()
+		target := s.dir.get(rel.To)
 		if target == nil {
-			sess.send(MsgError, ErrorInfo{Code: CodeNotFound, Message: "peer " + rel.To})
+			s.enqueue(sess.shard, outMsg{sess: sess, typ: MsgError, payload: ErrorInfo{Code: CodeNotFound, Message: "peer " + rel.To}})
 			return false
 		}
 		s.metrics.relays.Inc()
 		s.cfg.Tracer.Event("signal_relay", obs.A("from", rel.From), obs.A("to", rel.To))
-		target.send(MsgRelay, rel)
+		s.enqueue(target.shard, outMsg{sess: target, typ: MsgRelay, payload: rel})
 	case MsgIMReport:
 		var rep IMReport
 		if err := env.Decode(&rep); err != nil {
@@ -405,54 +506,134 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 
 // matchPeers selects up to max swarm-mates for the requester, applying
 // the geo-matching policy when enabled and skipping blacklisted peers.
+//
+// Selection is a partial Fisher–Yates over the swarm's candidate pool
+// with inline eligibility rejection: each step swaps a uniformly-drawn
+// remaining member into position and keeps it if eligible, so the
+// result is a uniform k-subset of the eligible peers in O(k) expected
+// draws — against the seed path's full scan + shuffle per request,
+// which is what capped swarms at a few hundred peers.
 func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 	if max <= 0 {
 		max = s.cfg.Policy.MaxNeighbors
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sw := s.swarms[sess.swarmID]
-	cands := make([]*session, 0, len(sw))
-	for id, p := range sw {
-		if id == sess.id {
-			continue
-		}
-		if s.cfg.Policy.GeoMatchCountry && p.country != sess.country {
-			continue
-		}
-		if s.cfg.IM != nil && s.cfg.IM.Blacklisted(id) {
-			continue
-		}
-		cands = append(cands, p)
+	sh := sess.shard
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sw := sess.swarm
+	if sw == nil {
+		return nil
 	}
-	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	if len(cands) > max {
-		cands = cands[:max]
-	}
-	out := make([]PeerInfo, 0, len(cands))
-	for _, p := range cands {
+	n := len(sw.members)
+	out := make([]PeerInfo, 0, max)
+	for i := 0; i < n && len(out) < max; i++ {
+		j := i + sw.rng.Intn(n-i)
+		sw.members[i], sw.members[j] = sw.members[j], sw.members[i]
+		sw.members[i].poolIdx = i
+		sw.members[j].poolIdx = j
+		cand := sw.members[i]
+		if cand == sess {
+			continue
+		}
+		if s.cfg.Policy.GeoMatchCountry && cand.country != sess.country {
+			continue
+		}
+		if s.cfg.IM != nil && s.cfg.IM.Blacklisted(cand.id) {
+			continue
+		}
 		out = append(out, PeerInfo{
-			ID:          p.id,
-			Fingerprint: p.fingerprint,
-			Candidates:  append([]ice.Candidate(nil), p.candidates...),
-			Country:     p.country,
+			ID:          cand.id,
+			Fingerprint: cand.fingerprint,
+			Candidates:  append([]ice.Candidate(nil), cand.candidates...),
+			Country:     cand.country,
 		})
+		cand.advertisedTo[sess.id] = sess
+		sess.advertised[cand.id] = cand
 	}
 	return out
 }
 
 // PeerCount reports the number of connected peers (tests/monitoring).
 func (s *Server) PeerCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.peers)
+	return s.dir.count()
 }
 
 // SwarmSize reports the population of one swarm.
 func (s *Server) SwarmSize(video, rendition string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.swarms[video+"/"+rendition])
+	swarmID := video + "/" + rendition
+	sh := s.shardFor(swarmID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sw, ok := sh.swarms[swarmID]; ok {
+		return len(sw.members)
+	}
+	return 0
+}
+
+// peerDir is the lock-striped global peer directory relays resolve
+// against — the only cross-swarm lookup in the server.
+type peerDir struct {
+	stripes [16]struct {
+		mu sync.RWMutex
+		m  map[string]*session
+	}
+}
+
+func (d *peerDir) stripe(id string) *struct {
+	mu sync.RWMutex
+	m  map[string]*session
+} {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &d.stripes[h.Sum32()%uint32(len(d.stripes))]
+}
+
+func (d *peerDir) put(sess *session) {
+	st := d.stripe(sess.id)
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[string]*session)
+	}
+	st.m[sess.id] = sess
+	st.mu.Unlock()
+}
+
+func (d *peerDir) del(id string) {
+	st := d.stripe(id)
+	st.mu.Lock()
+	delete(st.m, id)
+	st.mu.Unlock()
+}
+
+func (d *peerDir) get(id string) *session {
+	st := d.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.m[id]
+}
+
+func (d *peerDir) count() int {
+	total := 0
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.RLock()
+		total += len(st.m)
+		st.mu.RUnlock()
+	}
+	return total
+}
+
+func (d *peerDir) all() []*session {
+	var out []*session
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.mu.RLock()
+		for _, sess := range st.m {
+			out = append(out, sess)
+		}
+		st.mu.RUnlock()
+	}
+	return out
 }
 
 // remoteAddr extracts the peer's IP from the connection.

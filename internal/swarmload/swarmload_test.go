@@ -1,0 +1,148 @@
+package swarmload
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSwarmloadSmoke runs a small seeded load and requires every
+// invariant to hold — the tier-1 guard that the generator itself works.
+func TestSwarmloadSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Swarms:        2,
+		PeersPerSwarm: 60,
+		Seed:          1,
+		Shards:        4,
+		FullViewers:   3,
+		Segments:      4,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.RelaysSent == 0 {
+		t.Error("no relays were generated")
+	}
+	if rep.Churned == 0 {
+		t.Error("no churn was generated")
+	}
+	if rep.ViewersDone != 3 {
+		t.Errorf("viewers done = %d, want 3", rep.ViewersDone)
+	}
+}
+
+// TestRunRejectsCancelledContext pins harness-error behavior: a dead
+// context must surface as an error, not a report full of violations.
+func TestRunRejectsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Swarms: 1, PeersPerSwarm: 4, FullViewers: -1}); err == nil {
+		t.Fatal("Run with a cancelled context returned nil error")
+	}
+}
+
+// BenchmarkSwarmload1k measures whole-run throughput at the CI smoke
+// scale: 1k virtual peers across 2 swarms plus the default viewer band.
+// The reported metric is virtual peers ramped+measured per second.
+func BenchmarkSwarmload1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		rep, err := Run(ctx, Config{
+			Swarms:        2,
+			PeersPerSwarm: 500,
+			Seed:          1,
+			FullViewers:   2,
+			Segments:      4,
+		})
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Violations) > 0 {
+			b.Fatalf("violations: %v", rep.Violations)
+		}
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "peers/s")
+}
+
+// TestSwarmloadRegression is the swarmload half of the
+// benchmark-regression gate (PDNSEC_BENCH=1, as the CI bench job sets).
+// It runs the 1k-peer configuration, requires a clean invariant sheet,
+// and fails if match p99 regressed more than 20% past the committed
+// BENCH_swarm.json baseline's budget headroom.
+func TestSwarmloadRegression(t *testing.T) {
+	if os.Getenv("PDNSEC_BENCH") == "" {
+		t.Skip("benchmark regression gate; set PDNSEC_BENCH=1 to run")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Swarms:        2,
+		PeersPerSwarm: 500,
+		Seed:          1,
+		FullViewers:   2,
+		Segments:      4,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("join p99 %.2fms, match p50 %.2fms, p99 %.2fms, relays %d/%d",
+		rep.JoinP99Ms, rep.MatchP50Ms, rep.MatchP99Ms, rep.RelaysReceived, rep.RelaysSent)
+
+	if base := loadBaseline(t); base != nil {
+		// Hardware varies between the baseline recorder and this runner,
+		// so the gate is generous: 1.2x the committed p99, floored at a
+		// quarter of the absolute budget so a tiny baseline can't make
+		// scheduler jitter a failure.
+		limit := base.MatchP99Ms * 1.2
+		if floor := 750.0 / 4; limit < floor {
+			limit = floor
+		}
+		if rep.MatchP99Ms > limit {
+			t.Errorf("match p99 %.2fms regressed >20%% against committed baseline %.2fms",
+				rep.MatchP99Ms, base.MatchP99Ms)
+		}
+	}
+
+	if out := os.Getenv("PDNSEC_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// benchFile mirrors the committed BENCH_swarm.json layout.
+type benchFile struct {
+	Swarmload *Report `json:"swarmload"`
+}
+
+// loadBaseline reads the committed baseline's swarmload section (nil
+// when absent, e.g. before the first baseline lands).
+func loadBaseline(t *testing.T) *Report {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_swarm.json")
+	if err != nil {
+		return nil
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("committed BENCH_swarm.json is invalid: %v", err)
+	}
+	return f.Swarmload
+}

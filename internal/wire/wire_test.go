@@ -141,3 +141,59 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConcurrentWriterStress hammers one codec from many writers — the
+// shape the batched signaling server produces, where a delivery-worker
+// pool fans bundles onto shared per-session codecs. Each frame must
+// arrive intact (no interleaved framing) and writer-FIFO: the write
+// mutex serializes whole frames, so per-writer sequence numbers must
+// come out strictly ascending even though writers race.
+func TestConcurrentWriterStress(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewCodec(a), NewCodec(b)
+	const (
+		writers        = 8
+		framesPerGorot = 400
+	)
+	type stressPayload struct {
+		Writer int `json:"writer"`
+		Seq    int `json:"seq"`
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := 0; seq < framesPerGorot; seq++ {
+				if err := ca.Send("stress", stressPayload{Writer: w, Seq: seq}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	next := make([]int, writers)
+	for i := 0; i < writers*framesPerGorot; i++ {
+		e, err := cb.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var p stressPayload
+		if err := e.Decode(&p); err != nil {
+			t.Fatalf("frame %d corrupted: %v", i, err)
+		}
+		if p.Writer < 0 || p.Writer >= writers {
+			t.Fatalf("frame %d names unknown writer %d", i, p.Writer)
+		}
+		if p.Seq != next[p.Writer] {
+			t.Fatalf("writer %d: got seq %d, want %d (frames reordered or lost)", p.Writer, p.Seq, next[p.Writer])
+		}
+		next[p.Writer]++
+	}
+	wg.Wait()
+	for w, n := range next {
+		if n != framesPerGorot {
+			t.Errorf("writer %d: %d/%d frames arrived", w, n, framesPerGorot)
+		}
+	}
+}
