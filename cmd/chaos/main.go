@@ -8,6 +8,7 @@
 // Usage:
 //
 //	go run ./cmd/chaos -scenario peer_churn -seed 7 -out faults.jsonl
+//	go run ./cmd/chaos -scenario signal_crash -servers 3 -seed 7
 //	go run ./cmd/chaos -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -26,9 +28,12 @@ import (
 // must uphold — the same pairings the internal/chaos tests assert.
 type spec struct {
 	about string
-	cfg   func(seed int64, viewers, segments int) chaos.SwarmConfig
-	sc    func() chaos.Scenario
-	inv   func(res *chaos.Result) chaos.Invariants
+	// minServers is the smallest -servers value the scenario makes
+	// sense at (zero = any).
+	minServers int
+	cfg        func(seed int64, viewers, segments int) chaos.SwarmConfig
+	sc         func() chaos.Scenario
+	inv        func(res *chaos.Result) chaos.Invariants
 }
 
 func plainConfig(seed int64, viewers, segments int) chaos.SwarmConfig {
@@ -56,6 +61,28 @@ var specs = map[string]spec{
 		cfg:   plainConfig,
 		sc:    func() chaos.Scenario { return chaos.SignalPartition(20*time.Millisecond, 150*time.Millisecond) },
 		inv:   strictInvariants,
+	},
+	"signal_crash": {
+		about:      "crash the plane member owning the swarm; viewers re-bootstrap (needs -servers >= 3)",
+		minServers: 3,
+		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {
+			// "chaos-fed" hashes to s2 on the 3-server ring, so the
+			// scenario can name its victim deterministically.
+			// 20ms pace keeps viewers alive past the post-crash
+			// rejoin (first attempt ~70ms after the kill) even on
+			// slow runners.
+			return chaos.SwarmConfig{
+				Viewers:  viewers,
+				Segments: segments,
+				Seed:     seed,
+				Pace:     20 * time.Millisecond,
+				VideoID:  "chaos-fed",
+			}
+		},
+		sc: func() chaos.Scenario {
+			return chaos.SignalCrash(20*time.Millisecond, chaos.NodeSignal+"-2")
+		},
+		inv: strictInvariants,
 	},
 	"cdn_brownout": {
 		about: "degrade CDN latency and bandwidth for a window; no hard stalls",
@@ -88,16 +115,25 @@ var specs = map[string]spec{
 }
 
 func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scenario = flag.String("scenario", "peer_churn", "scenario to run (see -list)")
-		seed     = flag.Int64("seed", 0, "fault schedule seed (0 = derive from the clock; the value used is always printed)")
-		viewers  = flag.Int("viewers", 5, "swarm size (up to 10k; raise -shards to match)")
-		segments = flag.Int("segments", 5, "VOD length each viewer plays")
-		shards   = flag.Int("shards", 0, "signaling server lock stripes (0 = single-stripe seed layout; 16 suits 10k-viewer swarms)")
-		out      = flag.String("out", "", "write the JSONL fault log to this file (default: stdout)")
-		list     = flag.Bool("list", false, "list scenarios and exit")
+		scenario = fs.String("scenario", "peer_churn", "scenario to run (see -list)")
+		seed     = fs.Int64("seed", 0, "fault schedule seed (0 = derive from the clock; the value used is always printed)")
+		viewers  = fs.Int("viewers", 5, "swarm size (must be >= 1; up to 10k — raise -shards to match)")
+		segments = fs.Int("segments", 5, "VOD length each viewer plays (must be >= 1)")
+		shards   = fs.Int("shards", 0, "signaling server lock stripes (0 = single-stripe seed layout; 16 suits 10k-viewer swarms)")
+		servers  = fs.Int("servers", 1, "federated signaling servers (must be >= 1; 1 = classic single server)")
+		out      = fs.String("out", "", "write the JSONL fault log to this file (default: stdout)")
+		list     = fs.Bool("list", false, "list scenarios and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	names := make([]string, 0, len(specs))
 	for name := range specs {
@@ -107,36 +143,53 @@ func main() {
 
 	if *list {
 		for _, name := range names {
-			fmt.Printf("%-18s %s\n", name, specs[name].about)
+			fmt.Fprintf(stdout, "%-18s %s\n", name, specs[name].about)
 		}
-		return
+		return 0
+	}
+	if *viewers < 1 || *segments < 1 {
+		fmt.Fprintf(stderr, "chaos: -viewers and -segments must be >= 1 (got -viewers=%d -segments=%d)\n", *viewers, *segments)
+		fs.Usage()
+		return 2
+	}
+	if *servers < 1 {
+		fmt.Fprintf(stderr, "chaos: -servers must be >= 1 (got -servers=%d)\n", *servers)
+		fs.Usage()
+		return 2
 	}
 	sp, ok := specs[*scenario]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "chaos: unknown scenario %q (have %v)\n", *scenario, names)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "chaos: unknown scenario %q (have %v)\n", *scenario, names)
+		return 2
+	}
+	if sp.minServers > 1 && *servers < sp.minServers {
+		fmt.Fprintf(stderr, "chaos: scenario %s needs -servers >= %d (got %d)\n", *scenario, sp.minServers, *servers)
+		fs.Usage()
+		return 2
 	}
 	if *seed == 0 {
 		//lint:ignore pdnlint/detrand rotating the seed is the point of the default; the value is printed below, and passing it back replays the identical schedule
 		*seed = time.Now().UnixNano()
 	}
-	fmt.Printf("chaos: scenario=%s seed=%d viewers=%d segments=%d\n", *scenario, *seed, *viewers, *segments)
+	fmt.Fprintf(stdout, "chaos: scenario=%s seed=%d viewers=%d segments=%d servers=%d\n",
+		*scenario, *seed, *viewers, *segments, *servers)
 
 	cfg := sp.cfg(*seed, *viewers, *segments)
 	cfg.Shards = *shards
-	res, err := chaos.RunScenario(context.Background(), cfg, sp.sc())
+	cfg.Servers = *servers
+	res, err := chaos.RunScenario(ctx, cfg, sp.sc())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chaos: harness failure (seed=%d): %v\n", *seed, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "chaos: harness failure (seed=%d): %v\n", *seed, err)
+		return 2
 	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, res.Log, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "chaos: write log: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "chaos: write log: %v\n", err)
+			return 2
 		}
 	} else {
-		os.Stdout.Write(res.Log)
+		stdout.Write(res.Log)
 	}
 
 	survivors := res.Survivors()
@@ -146,18 +199,19 @@ func main() {
 			completed++
 		}
 	}
-	fmt.Printf("chaos: events=%d killed=%d survivors=%d completed=%d cdn_fallbacks=%d stalls=%d evictions=%d reconnects=%d\n",
+	fmt.Fprintf(stdout, "chaos: events=%d killed=%d survivors=%d completed=%d cdn_fallbacks=%d stalls=%d evictions=%d reconnects=%d\n",
 		len(res.Events), len(res.Viewers)-len(survivors), len(survivors), completed,
 		res.Counter("pdn_cdn_fallbacks_total"), res.Counter("pdn_stalls_total"),
 		res.Counter("pdn_neighbors_evicted_total"), res.Counter("pdn_signal_reconnects_total"))
 
 	if violations := sp.inv(res).Check(res); len(violations) > 0 {
 		for _, v := range violations {
-			fmt.Fprintln(os.Stderr, "chaos: VIOLATION "+v)
+			fmt.Fprintln(stderr, "chaos: VIOLATION "+v)
 		}
-		fmt.Fprintf(os.Stderr, "chaos: rerun: go run ./cmd/chaos -scenario %s -seed %d -viewers %d -segments %d\n",
-			*scenario, *seed, *viewers, *segments)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "chaos: rerun: go run ./cmd/chaos -scenario %s -seed %d -viewers %d -segments %d -servers %d\n",
+			*scenario, *seed, *viewers, *segments, *servers)
+		return 1
 	}
-	fmt.Println("chaos: all invariants held")
+	fmt.Fprintln(stdout, "chaos: all invariants held")
+	return 0
 }

@@ -9,10 +9,15 @@
 //
 //	go run ./cmd/swarmload -swarms 4 -peers 2500 -seed 1
 //	go run ./cmd/swarmload -swarms 2 -peers 500 -out BENCH_swarm.json -merge joinmatch.json
+//	go run ./cmd/swarmload -swarms 40 -peers 2500 -servers 3 -out BENCH_federation.json
 //
 // With -out it writes the BENCH_swarm.json benchmark baseline; -merge
 // folds in the join_match section that the signal package's
-// TestJoinMatchRegression emits via PDNSEC_BENCH_OUT.
+// TestJoinMatchRegression emits via PDNSEC_BENCH_OUT. With -servers > 1
+// the run is federated and -out writes the BENCH_federation.json
+// layout instead (the report lands in the swarmload_100k or
+// swarmload_10k section by size; -merge preserves the other section
+// from a previous baseline).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -35,39 +41,74 @@ type benchFile struct {
 	Swarmload *swarmload.Report `json:"swarmload"`
 }
 
-const schemaName = "pdnsec-bench-swarm/1"
+// fedBenchFile is the BENCH_federation.json layout: one section per
+// committed scale point, so the 100k baseline and the CI-sized 10k
+// baseline live in one artifact.
+type fedBenchFile struct {
+	Schema       string            `json:"schema"`
+	Swarmload100 *swarmload.Report `json:"swarmload_100k,omitempty"`
+	Swarmload10  *swarmload.Report `json:"swarmload_10k,omitempty"`
+}
+
+const (
+	schemaName    = "pdnsec-bench-swarm/1"
+	fedSchemaName = "pdnsec-bench-federation/1"
+	// fed100kFloor is the virtual-peer count at which a federated run
+	// counts as the 100k baseline rather than the smoke-sized one.
+	fed100kFloor = 100000
+)
 
 func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swarmload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		swarms      = flag.Int("swarms", 4, "number of load swarms")
-		peers       = flag.Int("peers", 2500, "virtual peers per swarm")
-		seed        = flag.Int64("seed", 1, "seed for matching, arrivals, and churn")
-		shards      = flag.Int("shards", 16, "signaling-server shard count")
-		churn       = flag.Float64("churn", 0.2, "fraction of virtual peers that leave mid-run (negative = none)")
-		rounds      = flag.Int("rounds", 2, "relay waves per survivor")
-		full        = flag.Int("full", 4, "full pdnclient viewers (negative = none)")
-		segments    = flag.Int("segments", 6, "VOD length the full viewers play")
-		p99max      = flag.Duration("p99max", 750*time.Millisecond, "match-latency p99 budget")
-		fallbackmax = flag.Float64("fallbackmax", 0.75, "CDN-fallback ratio cap")
-		timeout     = flag.Duration("timeout", 10*time.Minute, "whole-run deadline")
-		out         = flag.String("out", "", "write BENCH_swarm.json-shaped results to this file")
-		merge       = flag.String("merge", "", "join_match JSON (from PDNSEC_BENCH_OUT) to fold into -out")
+		swarms      = fs.Int("swarms", 4, "number of load swarms (must be >= 1)")
+		peers       = fs.Int("peers", 2500, "virtual peers per swarm (must be >= 1)")
+		seed        = fs.Int64("seed", 1, "seed for matching, arrivals, and churn")
+		shards      = fs.Int("shards", 16, "signaling-server shard count")
+		servers     = fs.Int("servers", 1, "federated signaling servers (must be >= 1; 1 = classic single server)")
+		churn       = fs.Float64("churn", 0.2, "fraction of virtual peers that leave mid-run (negative = none)")
+		rounds      = fs.Int("rounds", 2, "relay waves per survivor")
+		full        = fs.Int("full", 4, "full pdnclient viewers (negative = none)")
+		segments    = fs.Int("segments", 6, "VOD length the full viewers play")
+		p99max      = fs.Duration("p99max", 750*time.Millisecond, "match-latency p99 budget")
+		fallbackmax = fs.Float64("fallbackmax", 0.75, "CDN-fallback ratio cap")
+		timeout     = fs.Duration("timeout", 10*time.Minute, "whole-run deadline")
+		out         = fs.String("out", "", "write benchmark-baseline results to this file")
+		merge       = fs.String("merge", "", "prior baseline JSON to fold into -out (join_match file, or a BENCH_federation.json when -servers > 1)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *swarms < 1 || *peers < 1 {
+		fmt.Fprintf(stderr, "swarmload: -swarms and -peers must be >= 1 (got -swarms=%d -peers=%d)\n", *swarms, *peers)
+		fs.Usage()
+		return 2
+	}
+	if *servers < 1 {
+		fmt.Fprintf(stderr, "swarmload: -servers must be >= 1 (got -servers=%d)\n", *servers)
+		fs.Usage()
+		return 2
+	}
 
 	fullViewers := *full
 	if fullViewers < 0 {
 		fullViewers = -1 // Config uses negative for "none"
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
-	fmt.Printf("swarmload: swarms=%d peers=%d seed=%d shards=%d churn=%.2f\n",
-		*swarms, *peers, *seed, *shards, *churn)
+	fmt.Fprintf(stdout, "swarmload: swarms=%d peers=%d seed=%d shards=%d servers=%d churn=%.2f\n",
+		*swarms, *peers, *seed, *shards, *servers, *churn)
 	rep, err := swarmload.Run(ctx, swarmload.Config{
 		Swarms:           *swarms,
 		PeersPerSwarm:    *peers,
 		Seed:             *seed,
 		Shards:           *shards,
+		Servers:          *servers,
 		Churn:            *churn,
 		Rounds:           *rounds,
 		FullViewers:      fullViewers,
@@ -75,48 +116,94 @@ func main() {
 		MatchP99Max:      *p99max,
 		MaxFallbackRatio: *fallbackmax,
 		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
+			fmt.Fprintf(stdout, format+"\n", args...)
 		},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "swarmload: harness failure (seed=%d): %v\n", *seed, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "swarmload: harness failure (seed=%d): %v\n", *seed, err)
+		return 2
 	}
 
-	file := benchFile{Schema: schemaName, Swarmload: rep}
-	if *merge != "" {
-		raw, err := os.ReadFile(*merge)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "swarmload: read -merge file: %v\n", err)
-			os.Exit(2)
-		}
-		if !json.Valid(raw) {
-			fmt.Fprintf(os.Stderr, "swarmload: -merge file %s is not valid JSON\n", *merge)
-			os.Exit(2)
-		}
-		file.JoinMatch = json.RawMessage(raw)
+	var data []byte
+	if *servers > 1 {
+		data, err = marshalFed(rep, *merge)
+	} else {
+		data, err = marshalSwarm(rep, *merge)
 	}
-	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "swarmload: marshal report: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "swarmload: %v\n", err)
+		return 2
 	}
-	data = append(data, '\n')
 	if *out != "" {
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "swarmload: write %s: %v\n", *out, err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "swarmload: write %s: %v\n", *out, err)
+			return 2
 		}
 	}
-	os.Stdout.Write(data)
+	stdout.Write(data)
 
 	if len(rep.Violations) > 0 {
 		for _, v := range rep.Violations {
-			fmt.Fprintln(os.Stderr, "swarmload: VIOLATION "+v)
+			fmt.Fprintln(stderr, "swarmload: VIOLATION "+v)
 		}
-		fmt.Fprintf(os.Stderr, "swarmload: rerun: go run ./cmd/swarmload -swarms %d -peers %d -seed %d -shards %d\n",
-			*swarms, *peers, *seed, *shards)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "swarmload: rerun: go run ./cmd/swarmload -swarms %d -peers %d -seed %d -shards %d -servers %d\n",
+			*swarms, *peers, *seed, *shards, *servers)
+		return 1
 	}
-	fmt.Println("swarmload: all invariants held")
+	fmt.Fprintln(stdout, "swarmload: all invariants held")
+	return 0
+}
+
+// marshalSwarm renders the single-server BENCH_swarm.json layout,
+// folding in a join_match section when -merge names one.
+func marshalSwarm(rep *swarmload.Report, merge string) ([]byte, error) {
+	file := benchFile{Schema: schemaName, Swarmload: rep}
+	if merge != "" {
+		raw, err := os.ReadFile(merge)
+		if err != nil {
+			return nil, fmt.Errorf("read -merge file: %w", err)
+		}
+		if !json.Valid(raw) {
+			return nil, fmt.Errorf("-merge file %s is not valid JSON", merge)
+		}
+		file.JoinMatch = json.RawMessage(raw)
+	}
+	return marshal(file)
+}
+
+// marshalFed renders the BENCH_federation.json layout. The fresh
+// report lands in the section its scale selects; when -merge names a
+// previous baseline, the other section is carried over so one run
+// never erases the other scale point.
+func marshalFed(rep *swarmload.Report, merge string) ([]byte, error) {
+	file := fedBenchFile{Schema: fedSchemaName}
+	if merge != "" {
+		raw, err := os.ReadFile(merge)
+		if err != nil {
+			return nil, fmt.Errorf("read -merge file: %w", err)
+		}
+		var prev fedBenchFile
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return nil, fmt.Errorf("-merge file %s: %w", merge, err)
+		}
+		if prev.Schema != fedSchemaName {
+			return nil, fmt.Errorf("-merge file %s has schema %q, want %q", merge, prev.Schema, fedSchemaName)
+		}
+		file = prev
+		file.Schema = fedSchemaName
+	}
+	if rep.VirtualPeers >= fed100kFloor {
+		file.Swarmload100 = rep
+	} else {
+		file.Swarmload10 = rep
+	}
+	return marshal(file)
+}
+
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("marshal report: %w", err)
+	}
+	return append(data, '\n'), nil
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadCounts(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		diag string
+	}{
+		{[]string{"-swarms", "0"}, "-swarms and -peers must be >= 1"},
+		{[]string{"-peers", "-5"}, "-swarms and -peers must be >= 1"},
+		{[]string{"-swarms", "-1", "-peers", "0"}, "-swarms and -peers must be >= 1"},
+		{[]string{"-servers", "0"}, "-servers must be >= 1"},
+		{[]string{"-servers", "-3"}, "-servers must be >= 1"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), tc.args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want usage error 2", tc.args, code)
+		}
+		if !strings.Contains(errOut.String(), tc.diag) {
+			t.Errorf("run(%v) stderr missing diagnosis %q:\n%s", tc.args, tc.diag, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "Usage") {
+			t.Errorf("run(%v) should print usage, got:\n%s", tc.args, errOut.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag exit = %d, want 2", code)
+	}
+}
+
+// TestRunFederatedWritesFedBaseline runs a tiny federated load and
+// checks the BENCH_federation.json layout end to end, including the
+// -merge path preserving the section the fresh run does not produce.
+func TestRunFederatedWritesFedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "fed.json")
+
+	var out, errOut strings.Builder
+	args := []string{"-swarms", "1", "-peers", "4", "-servers", "2", "-seed", "1",
+		"-shards", "2", "-full", "-1", "-churn", "-1", "-rounds", "1", "-out", outFile}
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file fedBenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != fedSchemaName {
+		t.Errorf("schema = %q, want %q", file.Schema, fedSchemaName)
+	}
+	if file.Swarmload10 == nil || file.Swarmload100 != nil {
+		t.Fatalf("4-peer run must land in swarmload_10k only: %s", raw)
+	}
+	if file.Swarmload10.Servers != 2 {
+		t.Errorf("report servers = %d, want 2", file.Swarmload10.Servers)
+	}
+
+	// Seed the merge source with a fake 100k section and re-run: the
+	// fresh 10k report must replace its section without erasing the
+	// other scale point.
+	prev := file
+	fake := *file.Swarmload10
+	fake.VirtualPeers = 123456
+	prev.Swarmload100 = &fake
+	seeded, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeFile := filepath.Join(dir, "prev.json")
+	if err := os.WriteFile(mergeFile, seeded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	args = append(args, "-merge", mergeFile)
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
+		t.Fatalf("merge run = %d, stderr:\n%s", code, errOut.String())
+	}
+	raw, err = os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged fedBenchFile
+	if err := json.Unmarshal(raw, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Swarmload100 == nil || merged.Swarmload100.VirtualPeers != 123456 {
+		t.Errorf("merge dropped the 100k section: %s", raw)
+	}
+	if merged.Swarmload10 == nil || merged.Swarmload10.VirtualPeers != 4 {
+		t.Errorf("merge lost the fresh 10k report: %s", raw)
+	}
+}
+
+func TestRunMergeRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	mergeFile := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(mergeFile, []byte(`{"schema":"pdnsec-bench-swarm/1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	args := []string{"-swarms", "1", "-peers", "4", "-servers", "2", "-seed", "1",
+		"-shards", "2", "-full", "-1", "-churn", "-1", "-rounds", "1",
+		"-out", filepath.Join(dir, "fed.json"), "-merge", mergeFile}
+	if code := run(context.Background(), args, &out, &errOut); code != 2 {
+		t.Fatalf("wrong-schema merge exit = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "schema") {
+		t.Errorf("stderr missing schema diagnosis:\n%s", errOut.String())
+	}
+}

@@ -75,9 +75,12 @@ type Testbed struct {
 	Obs     *obs.Registry
 	Tracer  *obs.Tracer
 	// CDNHost and SignalHost expose the infrastructure machines so chaos
-	// scenarios can impair or crash them.
-	CDNHost    *netsim.Host
-	SignalHost *netsim.Host
+	// scenarios can impair or crash them. SignalHost is the first
+	// signaling server's host; SignalHosts lists every federated
+	// server's host in plane order.
+	CDNHost     *netsim.Host
+	SignalHost  *netsim.Host
+	SignalHosts []*netsim.Host
 
 	customerDomain string
 	latency        time.Duration
@@ -150,6 +153,22 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 		return nil, err
 	}
 	tb.SignalHost = sigHost
+	tb.SignalHosts = []*netsim.Host{sigHost}
+	// A federated deployment (Options.Servers > 1) gets one host per
+	// extra server at consecutive addresses after signalIP.
+	if cfg.Options.Servers > 1 && len(cfg.Options.SignalHosts) == 0 {
+		ip := signalIP
+		for i := 1; i < cfg.Options.Servers; i++ {
+			ip = ip.Next()
+			h, err := n.NewHost(ip)
+			if err != nil {
+				tb.Close()
+				return nil, err
+			}
+			cfg.Options.SignalHosts = append(cfg.Options.SignalHosts, h)
+			tb.SignalHosts = append(tb.SignalHosts, h)
+		}
+	}
 	dep, err := provider.Deploy(ctx, cfg.Profile, sigHost, cfg.Options)
 	if err != nil {
 		tb.Close()
@@ -214,16 +233,17 @@ func (tb *Testbed) NewNATViewerHost(country string, typ netsim.NATType) (*netsim
 // legitimate customer.
 func (tb *Testbed) ViewerConfig(host *netsim.Host, seed int64) pdnclient.Config {
 	cfg := pdnclient.Config{
-		Host:       host,
-		Network:    tb.Net,
-		SignalAddr: tb.Dep.SignalAddr,
-		STUNAddr:   tb.Dep.STUNAddr,
-		CDNBase:    tb.CDNBase,
-		Video:      tb.Video.ID,
-		Rendition:  tb.Video.Renditions[0].Name,
-		Seed:       seed,
-		Obs:        tb.Obs,
-		Tracer:     tb.Tracer,
+		Host:        host,
+		Network:     tb.Net,
+		SignalAddr:  tb.Dep.SignalAddr,
+		SignalAddrs: tb.Dep.SignalAddrs,
+		STUNAddr:    tb.Dep.STUNAddr,
+		CDNBase:     tb.CDNBase,
+		Video:       tb.Video.ID,
+		Rendition:   tb.Video.Renditions[0].Name,
+		Seed:        seed,
+		Obs:         tb.Obs,
+		Tracer:      tb.Tracer,
 	}
 	switch {
 	case tb.Key != "":

@@ -153,6 +153,17 @@ func CDNBrownout(at, dur, latency time.Duration, rateBps int64) Scenario {
 	}
 }
 
+// SignalCrash kills one member of a federated signaling plane
+// mid-playback. The ring hands its swarms to the survivors; stranded
+// viewers must re-bootstrap through their peerstores and finish
+// playback — the plane-level crash-recovery path under a real swarm.
+func SignalCrash(at time.Duration, server string) Scenario {
+	return Scenario{
+		Name:  "signal_crash",
+		Steps: []Step{KillNodes(at, server)},
+	}
+}
+
 // PollutedWire corrupts every stream chunk a node sends for a window —
 // the in-flight counterpart of the paper's pollution attack. DTLS
 // authentication turns corrupt P2P records into dead connections, so

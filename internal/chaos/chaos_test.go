@@ -265,6 +265,44 @@ func TestScenarioPollutedWire(t *testing.T) {
 	}, res)
 }
 
+// TestScenarioFederatedSignalCrash runs the swarm against a 3-server
+// federated plane and crashes the member that owns the swarm
+// ("chaos-fed" hashes to s2 — the ring is deterministic, so the
+// scenario can name its victim up front). The ring hands the swarm to
+// a survivor, stranded viewers re-bootstrap through their peerstores,
+// and playback must complete without a stall.
+func TestScenarioFederatedSignalCrash(t *testing.T) {
+	// Playback must outlast the crash recovery: the reconnect loop's
+	// first rejoin lands ~70ms after the kill (50ms base backoff plus
+	// detection), and a rejoin re-dials, re-joins, and re-gathers ICE —
+	// work that stretches under -race on loaded runners while the pace
+	// clock does not. 12 segments at 20ms keep viewers alive well past
+	// the rejoin even when it runs slow.
+	res, err := RunScenario(context.Background(), SwarmConfig{
+		Viewers:  5,
+		Segments: 12,
+		Seed:     *chaosSeed,
+		Pace:     20 * time.Millisecond,
+		Servers:  3,
+		VideoID:  "chaos-fed",
+	}, SignalCrash(20*time.Millisecond, NodeSignal+"-2"))
+	if err != nil {
+		t.Fatalf("seed=%d: %v", *chaosSeed, err)
+	}
+	requireInvariants(t, Invariants{
+		PlaybackCompletes: true,
+		MaxStalls:         0,
+		NoPollutedCache:   true,
+		NoViewerErrors:    true,
+	}, res)
+	if got := res.Counter("pdn_signal_reconnects_total"); got == 0 {
+		t.Errorf("seed=%d: no viewer re-bootstrapped after the owner crash\nlog:\n%s", *chaosSeed, res.Log)
+	}
+	if got := res.Counter("signal_redirects_total"); got == 0 {
+		t.Errorf("seed=%d: federated joins never redirected", *chaosSeed)
+	}
+}
+
 // TestInvariantMessagesCarrySeed pins the replay contract: every
 // violation message embeds scenario name and seed.
 func TestInvariantMessagesCarrySeed(t *testing.T) {

@@ -38,6 +38,16 @@ type SwarmConfig struct {
 	// single-stripe layout; large-swarm scenarios (-viewers up to 10k)
 	// want 16.
 	Shards int
+	// Servers federates the signaling plane across this many servers
+	// (zero or one keeps the classic single server). Each extra server
+	// runs on its own host and registers as an engine node
+	// ("signal-1", "signal-2", ...) so scenarios can crash or partition
+	// individual plane members.
+	Servers int
+	// VideoID names the VOD asset (default "chaos"). Federated
+	// scenarios pick IDs whose swarm hashes to a specific plane member
+	// — the ring is deterministic, so the choice is stable.
+	VideoID string
 }
 
 // ViewerResult is one viewer's outcome.
@@ -103,12 +113,15 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 	if cfg.SegBytes <= 0 {
 		cfg.SegBytes = 12 << 10
 	}
+	if cfg.VideoID == "" {
+		cfg.VideoID = "chaos"
+	}
 	rctx, cancel := context.WithTimeout(ctx, 90*time.Second)
 	defer cancel()
 
-	video := analyzer.SmallVideo("chaos", cfg.Segments, cfg.SegBytes)
+	video := analyzer.SmallVideo(cfg.VideoID, cfg.Segments, cfg.SegBytes)
 	reg := obs.NewRegistry()
-	opts := provider.Options{Seed: cfg.Seed, Shards: cfg.Shards}
+	opts := provider.Options{Seed: cfg.Seed, Shards: cfg.Shards, Servers: cfg.Servers}
 	if cfg.IM {
 		pol := signal.DefaultPolicy()
 		pol.RequireIMChecking = true
@@ -137,7 +150,17 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 
 	eng := NewEngine(tb.Net, cfg.Seed)
 	eng.Register(Node{Name: NodeCDN, Addr: tb.CDNHost.Addr(), Host: tb.CDNHost})
-	eng.Register(Node{Name: NodeSignal, Addr: tb.SignalHost.Addr(), Host: tb.SignalHost})
+	// Killing a plane member also fails it on the ring: the engine's
+	// host close is the crash, Plane.Fail is the plane's failure
+	// detection noticing it — routers stop redirecting peers to the
+	// corpse and its arcs fall to the survivors.
+	failPlane := func(i int) func() {
+		return func() { _ = tb.Dep.Plane.Fail(i) }
+	}
+	eng.Register(Node{Name: NodeSignal, Addr: tb.SignalHost.Addr(), Host: tb.SignalHost, Kill: failPlane(0)})
+	for i, h := range tb.SignalHosts[1:] {
+		eng.Register(Node{Name: fmt.Sprintf("%s-%d", NodeSignal, i+1), Addr: h.Addr(), Host: h, Kill: failPlane(i + 1)})
+	}
 
 	viewers := make([]*ViewerResult, cfg.Viewers)
 	var wg sync.WaitGroup

@@ -1,0 +1,153 @@
+package federation
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Backoff bounds for bootstrap retry scheduling.
+const (
+	backoffBase = 250 * time.Millisecond
+	backoffMax  = 8 * time.Second
+)
+
+// serverState is the peerstore's health record for one bootstrap
+// server.
+type serverState struct {
+	addr     netip.AddrPort
+	lastSeen time.Time // last successful contact (zero until first)
+	fails    int       // consecutive failures since lastSeen
+	retryAt  time.Time // don't prefer this server before then
+	order    int       // insertion order, for deterministic iteration
+}
+
+// Peerstore tracks the known bootstrap servers of a signaling plane:
+// the seed list the client shipped with, plus every server a redirect
+// response advertised, with last-seen timestamps and exponential
+// backoff for servers that stopped answering. It is the discovery
+// layer that lets a peer rejoin after its swarm's owner crashes: the
+// dead owner backs off, the next candidate answers, and the refreshed
+// server list from its redirect replaces the stale view.
+//
+// The clock is injected so deterministic packages can drive it from a
+// simulated time source; all methods are safe for concurrent use.
+type Peerstore struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	servers map[netip.AddrPort]*serverState
+	nextOrd int
+}
+
+// NewPeerstore seeds a store with the shipped server list. now
+// supplies the clock (time.Now outside deterministic packages).
+func NewPeerstore(seeds []netip.AddrPort, now func() time.Time) *Peerstore {
+	p := &Peerstore{now: now, servers: make(map[netip.AddrPort]*serverState)}
+	p.Update(seeds)
+	return p
+}
+
+// Update merges newly learned server addresses (from a redirect's
+// Servers list). Known addresses keep their health state; new ones
+// start fresh.
+func (p *Peerstore) Update(addrs []netip.AddrPort) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, a := range addrs {
+		if !a.IsValid() {
+			continue
+		}
+		if _, ok := p.servers[a]; !ok {
+			p.servers[a] = &serverState{addr: a, order: p.nextOrd}
+			p.nextOrd++
+		}
+	}
+}
+
+// MarkGood records a successful contact: last-seen advances and any
+// backoff clears.
+func (p *Peerstore) MarkGood(addr netip.AddrPort) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.servers[addr]
+	if !ok {
+		st = &serverState{addr: addr, order: p.nextOrd}
+		p.nextOrd++
+		p.servers[addr] = st
+	}
+	st.lastSeen = p.now()
+	st.fails = 0
+	st.retryAt = time.Time{}
+}
+
+// MarkBad records a failed contact and schedules exponential backoff:
+// 250ms doubling to 8s.
+func (p *Peerstore) MarkBad(addr netip.AddrPort) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.servers[addr]
+	if !ok {
+		return
+	}
+	st.fails++
+	d := backoffBase << (st.fails - 1)
+	if d > backoffMax || d <= 0 {
+		d = backoffMax
+	}
+	st.retryAt = p.now().Add(d)
+}
+
+// LastSeen returns when addr last answered (zero time if never or
+// unknown).
+func (p *Peerstore) LastSeen(addr netip.AddrPort) time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.servers[addr]; ok {
+		return st.lastSeen
+	}
+	return time.Time{}
+}
+
+// Candidates returns every known server, best first: servers not in
+// backoff in insertion order, then backed-off servers by earliest
+// retry time. Backed-off servers are still returned — when the whole
+// plane looks down, trying the least-recently-failed server beats
+// bricking the client — they are just tried last.
+func (p *Peerstore) Candidates() []netip.AddrPort {
+	now := p.now()
+	p.mu.Lock()
+	ready := make([]*serverState, 0, len(p.servers))
+	waiting := make([]*serverState, 0)
+	for _, st := range p.servers {
+		if st.retryAt.After(now) {
+			waiting = append(waiting, st)
+		} else {
+			ready = append(ready, st)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(ready, func(i, j int) bool { return ready[i].order < ready[j].order })
+	sort.Slice(waiting, func(i, j int) bool {
+		if !waiting[i].retryAt.Equal(waiting[j].retryAt) {
+			return waiting[i].retryAt.Before(waiting[j].retryAt)
+		}
+		return waiting[i].order < waiting[j].order
+	})
+	out := make([]netip.AddrPort, 0, len(ready)+len(waiting))
+	for _, st := range ready {
+		out = append(out, st.addr)
+	}
+	for _, st := range waiting {
+		out = append(out, st.addr)
+	}
+	return out
+}
+
+// Len reports how many servers the store knows.
+func (p *Peerstore) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.servers)
+}

@@ -1,0 +1,127 @@
+package federation
+
+import (
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked time source for deterministic backoff
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestPeerstoreCandidatesOrderAndBackoff(t *testing.T) {
+	a, b, c := testAddr(0), testAddr(1), testAddr(2)
+	clk := newFakeClock()
+	ps := NewPeerstore([]netip.AddrPort{a, b, c}, clk.now)
+
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{a, b, c}) {
+		t.Fatalf("fresh candidates = %v, want seed order", got)
+	}
+
+	// One failure sends a to the back of the line but never drops it —
+	// a fully backed-off store must still offer every server.
+	ps.MarkBad(a)
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{b, c, a}) {
+		t.Fatalf("after MarkBad(a): %v", got)
+	}
+
+	// b fails twice: its retry time (1000ms+500ms) sorts after a's
+	// (1000ms+250ms) among the backed-off tail.
+	ps.MarkBad(b)
+	ps.MarkBad(b)
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{c, a, b}) {
+		t.Fatalf("after double MarkBad(b): %v", got)
+	}
+
+	// Backoff expires on the injected clock: everything becomes ready
+	// again in insertion order.
+	clk.advance(time.Second)
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{a, b, c}) {
+		t.Fatalf("after backoff expiry: %v", got)
+	}
+
+	// Success clears failure state entirely.
+	ps.MarkBad(a)
+	ps.MarkGood(a)
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{a, b, c}) {
+		t.Fatalf("after MarkGood(a): %v", got)
+	}
+	if seen := ps.LastSeen(a); !seen.Equal(clk.now()) {
+		t.Errorf("LastSeen(a) = %v, want %v", seen, clk.now())
+	}
+	if seen := ps.LastSeen(b); !seen.IsZero() {
+		t.Errorf("LastSeen(b) = %v, want zero (never answered)", seen)
+	}
+}
+
+func TestPeerstoreBackoffCapsAt8s(t *testing.T) {
+	a := testAddr(0)
+	clk := newFakeClock()
+	ps := NewPeerstore([]netip.AddrPort{a, testAddr(1)}, clk.now)
+	// 40 consecutive failures would left-shift into overflow without the
+	// cap; the retry horizon must stay at backoffMax.
+	for i := 0; i < 40; i++ {
+		ps.MarkBad(a)
+	}
+	clk.advance(backoffMax - time.Millisecond)
+	if got := ps.Candidates()[0]; got != testAddr(1) {
+		t.Fatalf("a should still be backed off just before the cap, candidates lead with %v", got)
+	}
+	clk.advance(2 * time.Millisecond)
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{a, testAddr(1)}) {
+		t.Fatalf("a should be ready after the 8s cap: %v", got)
+	}
+}
+
+func TestPeerstoreUpdateMergesWithoutResettingHealth(t *testing.T) {
+	a, b, c := testAddr(0), testAddr(1), testAddr(2)
+	clk := newFakeClock()
+	ps := NewPeerstore([]netip.AddrPort{a}, clk.now)
+	ps.MarkBad(a)
+
+	// A redirect advertises (a, b, c): a keeps its backoff, b and c are
+	// appended in learned order; the invalid zero addr is dropped.
+	ps.Update([]netip.AddrPort{a, b, {}, c})
+	if ps.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ps.Len())
+	}
+	if got := ps.Candidates(); !reflect.DeepEqual(got, []netip.AddrPort{b, c, a}) {
+		t.Fatalf("after merge: %v (a must still be backed off)", got)
+	}
+
+	// MarkGood on an unknown server adopts it — the admitting owner may
+	// not have been in any redirect list yet.
+	d := testAddr(3)
+	ps.MarkGood(d)
+	if ps.Len() != 4 {
+		t.Fatalf("Len = %d after adopting d, want 4", ps.Len())
+	}
+	if seen := ps.LastSeen(d); seen.IsZero() {
+		t.Error("adopted server has zero last-seen")
+	}
+	// MarkBad on a totally unknown address is a no-op, not a panic.
+	ps.MarkBad(testAddr(9))
+	if ps.Len() != 4 {
+		t.Fatalf("Len changed on unknown MarkBad: %d", ps.Len())
+	}
+}

@@ -17,6 +17,7 @@ var deterministicPkgs = map[string]bool{
 	"analyzer":    true,
 	"chaos":       true,
 	"swarmload":   true,
+	"federation":  true,
 }
 
 // randAllowed are the math/rand package-level constructors that build

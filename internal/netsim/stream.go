@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -212,9 +213,10 @@ type Conn struct {
 	localAddr  netip.AddrPort // this side's own address (private if NATed)
 	remoteAddr netip.AddrPort // peer's visible address
 
-	inbox    chan []byte
-	residual []byte
-	closed   chan struct{}
+	inbox     chan []byte
+	residual  []byte
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	readDL  deadline
 	writeDL deadline
@@ -318,13 +320,15 @@ func (c *Conn) Close() error {
 	return nil
 }
 
+// closeSide is safe for concurrent use: net.Conn.Close may race itself
+// (a session handler's deferred Close against a proxy splice's), and a
+// select/default guard alone would let two goroutines both reach the
+// close.
 func (c *Conn) closeSide() {
-	select {
-	case <-c.closed:
-	default:
+	c.closeOnce.Do(func() {
 		close(c.closed)
 		c.host.unregisterConn(c)
-	}
+	})
 }
 
 // LocalAddr returns the local address of the connection.

@@ -64,6 +64,16 @@ func writePromEntry(w io.Writer, e *entry) error {
 			}
 		}
 		return nil
+	case kindGaugeVec:
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", e.name, help, e.name); err != nil {
+			return err
+		}
+		for _, lv := range e.gvec.sorted() {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %g\n", e.name, e.gvec.label, lv.value, lv.v); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return nil
 }
@@ -95,6 +105,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			children := make(map[string]int64)
 			for _, lv := range e.vec.sorted() {
 				children[lv.value] = lv.count
+			}
+			obj[e.name] = children
+		case kindGaugeVec:
+			children := make(map[string]float64)
+			for _, lv := range e.gvec.sorted() {
+				children[lv.value] = lv.v
 			}
 			obj[e.name] = children
 		}

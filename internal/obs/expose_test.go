@@ -19,6 +19,9 @@ func populated() *Registry {
 	v := r.CounterVec("cdn_video_bytes_total", "per-video bytes", "video")
 	v.With("news").Add(10)
 	v.With("live").Add(20)
+	gv := r.GaugeVec("signal_ring_owned_swarms", "swarms owned per server", "server")
+	gv.With("s0").Set(4)
+	gv.WithFunc("s1", func() float64 { return 6 })
 	return r
 }
 
@@ -42,6 +45,9 @@ func TestWritePrometheus(t *testing.T) {
 		"# TYPE cdn_video_bytes_total counter",
 		`cdn_video_bytes_total{video="live"} 20`,
 		`cdn_video_bytes_total{video="news"} 10`,
+		"# TYPE signal_ring_owned_swarms gauge",
+		`signal_ring_owned_swarms{server="s0"} 4`,
+		`signal_ring_owned_swarms{server="s1"} 6`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -77,6 +83,10 @@ func TestWriteJSON(t *testing.T) {
 	vec := obj["cdn_video_bytes_total"].(map[string]any)
 	if vec["live"].(float64) != 20 {
 		t.Fatalf("vec live = %v", vec["live"])
+	}
+	gvec := obj["signal_ring_owned_swarms"].(map[string]any)
+	if gvec["s0"].(float64) != 4 || gvec["s1"].(float64) != 6 {
+		t.Fatalf("gauge vec = %v", gvec)
 	}
 }
 

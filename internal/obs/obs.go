@@ -36,6 +36,7 @@ const (
 	kindGaugeFunc
 	kindHistogram
 	kindCounterVec
+	kindGaugeVec
 )
 
 // entry is one registered metric.
@@ -49,6 +50,7 @@ type entry struct {
 	gaugeFn   func() float64
 	histogram *Histogram
 	vec       *CounterVec
+	gvec      *GaugeVec
 }
 
 // Registry holds named metrics. Registration is idempotent by name:
@@ -136,6 +138,17 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	}).vec
 }
 
+// GaugeVec returns the named gauge family partitioned by one label,
+// registering it on first use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGaugeVec, func(e *entry) {
+		e.gvec = &GaugeVec{label: label, children: make(map[string]*gaugeChild)}
+	}).gvec
+}
+
 // snapshot copies the registered entries in registration order so
 // exposition can render without holding the registry lock.
 func (r *Registry) snapshot() []*entry {
@@ -217,6 +230,93 @@ func (v *CounterVec) With(value string) *Counter {
 		v.children[value] = c
 	}
 	return c
+}
+
+// gaugeChild is one member of a GaugeVec: either a settable gauge or a
+// callback evaluated at exposition time, never both.
+type gaugeChild struct {
+	g  *Gauge
+	fn func() float64
+}
+
+// value reads the child at exposition time.
+func (c *gaugeChild) value() float64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return float64(c.g.Value())
+}
+
+// GaugeVec is a family of gauges keyed by one label value. Each server
+// in a federated signaling plane claims its own child, so one shared
+// registry exposes per-server series (e.g. signal_ring_owned_swarms)
+// without name collisions.
+type GaugeVec struct {
+	label    string
+	mu       sync.Mutex
+	children map[string]*gaugeChild
+}
+
+// With returns the settable child gauge for the given label value,
+// creating it on first use. The first claim of a value wins: WithFunc
+// followed by With for the same value returns a detached gauge whose
+// writes are accepted but not exposed, mirroring GaugeFunc's
+// first-registration-wins contract. Nil-safe.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &gaugeChild{g: &Gauge{}}
+		v.children[value] = c
+	}
+	if c.g == nil {
+		return &Gauge{}
+	}
+	return c.g
+}
+
+// WithFunc registers a callback child for the given label value,
+// evaluated at exposition time. First registration of a value wins.
+// Nil-safe.
+func (v *GaugeVec) WithFunc(value string, fn func() float64) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.children[value]; !ok {
+		v.children[value] = &gaugeChild{fn: fn}
+	}
+}
+
+// gaugeLabelValue pairs one child's label value with its reading, for
+// exposition.
+type gaugeLabelValue struct {
+	value string
+	v     float64
+}
+
+// sorted returns the children as (value, reading) pairs in label order
+// so exposition output is stable. Callback children are evaluated here,
+// outside the family lock's critical section for writes but inside it
+// for map access — callbacks must not re-enter the same GaugeVec.
+func (v *GaugeVec) sorted() []gaugeLabelValue {
+	v.mu.Lock()
+	kids := make(map[string]*gaugeChild, len(v.children))
+	for value, c := range v.children {
+		kids[value] = c
+	}
+	v.mu.Unlock()
+	out := make([]gaugeLabelValue, 0, len(kids))
+	for value, c := range kids {
+		out = append(out, gaugeLabelValue{value: value, v: c.value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
 }
 
 // labelValue pairs one child's label value with its count, for

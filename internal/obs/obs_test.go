@@ -56,6 +56,12 @@ func TestNilRegistryAndHandles(t *testing.T) {
 	if v.With("v1").Value() != 0 {
 		t.Fatal("nil counter vec held a value")
 	}
+	gv := r.GaugeVec("f", "", "server")
+	gv.With("s0").Set(3)
+	gv.WithFunc("s1", func() float64 { return 9 })
+	if gv.With("s0").Value() != 0 {
+		t.Fatal("nil gauge vec held a value")
+	}
 	var sb strings.Builder
 	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
 		t.Fatalf("nil registry exposition: err=%v len=%d", err, sb.Len())
@@ -81,6 +87,32 @@ func TestCounterVec(t *testing.T) {
 	got := v.sorted()
 	if len(got) != 2 || got[0].value != "a" || got[0].count != 1 || got[1].value != "b" || got[1].count != 5 {
 		t.Fatalf("sorted = %+v", got)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("ring_owned", "", "server")
+	v.With("s1").Set(5)
+	v.With("s0").Set(2)
+	v.WithFunc("s2", func() float64 { return 7 })
+	v.With("s1").Add(-1)
+	got := v.sorted()
+	if len(got) != 3 ||
+		got[0].value != "s0" || got[0].v != 2 ||
+		got[1].value != "s1" || got[1].v != 4 ||
+		got[2].value != "s2" || got[2].v != 7 {
+		t.Fatalf("sorted = %+v", got)
+	}
+	// First claim of a label value wins; a later With on a func child
+	// returns a detached gauge rather than clobbering the callback.
+	v.With("s2").Set(100)
+	if got := v.sorted(); got[2].v != 7 {
+		t.Fatalf("func child clobbered: %+v", got)
+	}
+	v.WithFunc("s0", func() float64 { return 100 })
+	if got := v.sorted(); got[0].v != 2 {
+		t.Fatalf("gauge child clobbered: %+v", got)
 	}
 }
 

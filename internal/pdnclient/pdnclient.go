@@ -34,6 +34,7 @@ import (
 
 	"github.com/stealthy-peers/pdnsec/internal/cdn"
 	"github.com/stealthy-peers/pdnsec/internal/dtls"
+	"github.com/stealthy-peers/pdnsec/internal/federation"
 	"github.com/stealthy-peers/pdnsec/internal/hls"
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/monitor"
@@ -58,6 +59,14 @@ type Config struct {
 	// SignalAddr and STUNAddr locate the PDN provider's services.
 	SignalAddr netip.AddrPort
 	STUNAddr   netip.AddrPort
+	// SignalAddrs is the bootstrap seed list for federated providers:
+	// every signaling server the SDK shipped with. When set it
+	// supersedes SignalAddr; the peer joins through any live entry and
+	// follows redirects to its swarm's owner. Reconnects re-resolve
+	// this list (plus servers learned from redirects) rather than
+	// pinning the original address, so a crashed owner doesn't strand
+	// the peer.
+	SignalAddrs []netip.AddrPort
 	// TURNAddr, when valid, routes all P2P transport through a TURN
 	// relay (§V-C): the peer gathers no ICE candidates, advertises no
 	// addresses, and never learns its neighbors' addresses.
@@ -172,6 +181,10 @@ type Peer struct {
 	http     *http.Client
 	rng      *rand.Rand
 	metrics  peerMetrics
+	// store tracks the provider's bootstrap servers (seed list +
+	// redirect-learned) with health/backoff; every join and rejoin
+	// resolves through it.
+	store *federation.Peerstore
 
 	sig    *signal.Client
 	peerID string
@@ -231,6 +244,11 @@ func New(cfg Config) (*Peer, error) {
 		played:    make(map[int]bool),
 		closed:    make(chan struct{}),
 	}
+	seeds := cfg.SignalAddrs
+	if len(seeds) == 0 && cfg.SignalAddr.IsValid() {
+		seeds = []netip.AddrPort{cfg.SignalAddr}
+	}
+	p.store = federation.NewPeerstore(seeds, time.Now)
 	reg := cfg.Obs
 	p.metrics = peerMetrics{
 		segsCDN:          reg.Counter("pdn_segments_cdn_total", "segments played from the CDN"),
@@ -362,19 +380,17 @@ func (p *Peer) StopLinger() {
 	}
 }
 
-// join performs ICE gathering and the signaling join.
+// join performs ICE gathering and the signaling join. The bootstrap
+// layer resolves which server to talk to: any live entry from the
+// peerstore, following redirects to the swarm's owner. Rejoins run the
+// same resolution, so a crashed owner is routed around instead of
+// retried forever.
 func (p *Peer) join(ctx context.Context) error {
 	cands, err := p.gatherCandidates(ctx)
 	if err != nil {
 		return err
 	}
-	sig, err := signal.Dial(ctx, p.cfg.Host, p.cfg.SignalAddr)
-	if err != nil {
-		return err
-	}
-	sig.OnRelay(p.handleRelay)
-	sig.OnPeerGone(p.onPeerGone)
-	w, err := sig.Join(ctx, signal.JoinRequest{
+	res, err := federation.Join(ctx, p.cfg.Host, p.store, signal.JoinRequest{
 		APIKey:      p.cfg.APIKey,
 		Origin:      p.cfg.Origin,
 		Referer:     p.cfg.Referer,
@@ -385,11 +401,14 @@ func (p *Peer) join(ctx context.Context) error {
 		Fingerprint: p.identity.Fingerprint(),
 		Candidates:  cands,
 		Cellular:    p.cfg.Cellular,
+	}, func(c *signal.Client) {
+		c.OnRelay(p.handleRelay)
+		c.OnPeerGone(p.onPeerGone)
 	})
 	if err != nil {
-		sig.Close()
 		return err
 	}
+	sig, w := res.Client, res.Welcome
 	p.mu.Lock()
 	select {
 	case <-p.closed:

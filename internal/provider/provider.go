@@ -25,6 +25,7 @@ import (
 
 	"github.com/stealthy-peers/pdnsec/internal/auth"
 	"github.com/stealthy-peers/pdnsec/internal/defense"
+	"github.com/stealthy-peers/pdnsec/internal/federation"
 	"github.com/stealthy-peers/pdnsec/internal/geoip"
 	"github.com/stealthy-peers/pdnsec/internal/ice"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
@@ -228,16 +229,27 @@ type Deployment struct {
 	Tokens  *auth.TokenStore
 	// JWT is the customer-side token authority for JWTAuth profiles;
 	// IssueJWT mints viewer tokens from it.
-	JWT    *defense.TokenAuthority
+	JWT *defense.TokenAuthority
+	// Plane is the federated signaling plane — a ring of
+	// Options.Servers signal.Server instances (one, unless federated).
+	Plane *federation.Plane
+	// Server is the first plane member, kept for the single-server
+	// callers that predate federation.
 	Server *signal.Server
 
 	// SignalAddr and STUNAddr are the service endpoints peers use.
-	SignalAddr netip.AddrPort
-	STUNAddr   netip.AddrPort
+	// SignalAddr is the first server; SignalAddrs lists every federated
+	// server — the seed list clients bootstrap from.
+	SignalAddr  netip.AddrPort
+	SignalAddrs []netip.AddrPort
+	STUNAddr    netip.AddrPort
 
 	stunCancel context.CancelFunc
 	stunConn   *netsim.PacketConn
 }
+
+// PeerCount sums connected peers across the plane's live servers.
+func (d *Deployment) PeerCount() int { return d.Plane.PeerCount() }
 
 // Options tweaks a deployment beyond its profile defaults.
 type Options struct {
@@ -252,6 +264,14 @@ type Options struct {
 	// Shards stripes the signaling server's swarm state (see
 	// signal.Config.Shards). Zero keeps the single-stripe layout.
 	Shards int
+	// Servers federates the signaling plane across this many servers
+	// joined by a consistent-hash ring (zero or one deploys the classic
+	// single server — same code path, ring of one).
+	Servers int
+	// SignalHosts carries the hosts for servers beyond the first when
+	// Servers > 1; it must hold exactly Servers-1 entries. The first
+	// server always lives on Deploy's host argument.
+	SignalHosts []*netsim.Host
 	// Obs and Tracer forward to the signaling server's instrumentation;
 	// nil disables it.
 	Obs    *obs.Registry
@@ -286,26 +306,38 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 	if opts.PolicyOverride != nil {
 		policy = *opts.PolicyOverride
 	}
-	srv := signal.NewServer(signal.Config{
-		Keys:        keys,
-		Tokens:      tokens,
-		JWT:         jwtValidator,
-		RequireAuth: p.RequireAuth || p.Public,
-		Policy:      policy,
-		GeoDB:       opts.GeoDB,
-		IM:          opts.IM,
-		Seed:        opts.Seed,
-		Shards:      opts.Shards,
-		Obs:         opts.Obs,
-		Tracer:      opts.Tracer,
+	servers := opts.Servers
+	if servers <= 0 {
+		servers = 1
+	}
+	if len(opts.SignalHosts) != servers-1 {
+		return nil, fmt.Errorf("provider %s: %d signal hosts for %d servers", p.Name, len(opts.SignalHosts), servers)
+	}
+	plane := federation.NewPlane(federation.PlaneConfig{
+		Servers: servers,
+		Base: signal.Config{
+			Keys:        keys,
+			Tokens:      tokens,
+			JWT:         jwtValidator,
+			RequireAuth: p.RequireAuth || p.Public,
+			Policy:      policy,
+			GeoDB:       opts.GeoDB,
+			IM:          opts.IM,
+			Seed:        opts.Seed,
+			Shards:      opts.Shards,
+			Obs:         opts.Obs,
+			Tracer:      opts.Tracer,
+		},
 	})
-	if err := srv.Serve(host, 443); err != nil {
+	hosts := append([]*netsim.Host{host}, opts.SignalHosts...)
+	if err := plane.Serve(hosts, 443); err != nil {
+		plane.Close()
 		return nil, fmt.Errorf("provider %s: %w", p.Name, err)
 	}
 
 	pc, err := host.ListenPacket(3478)
 	if err != nil {
-		srv.Close()
+		plane.Close()
 		return nil, fmt.Errorf("provider %s: stun: %w", p.Name, err)
 	}
 	stunCtx, cancel := context.WithCancel(ctx)
@@ -314,8 +346,10 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 	d.Keys = keys
 	d.Tokens = tokens
 	d.JWT = jwtAuthority
-	d.Server = srv
+	d.Plane = plane
+	d.Server = plane.Server(0)
 	d.SignalAddr = netip.AddrPortFrom(host.VisibleAddr(), 443)
+	d.SignalAddrs = plane.Addrs()
 	d.STUNAddr = netip.AddrPortFrom(host.VisibleAddr(), 3478)
 	d.stunCancel = cancel
 	d.stunConn = pc
@@ -359,8 +393,8 @@ func (d *Deployment) Close() error {
 	if d.stunConn != nil {
 		d.stunConn.Close()
 	}
-	if d.Server != nil {
-		return d.Server.Close()
+	if d.Plane != nil {
+		return d.Plane.Close()
 	}
 	return nil
 }

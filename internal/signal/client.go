@@ -26,6 +26,19 @@ func (e *ServerError) Error() string {
 	return fmt.Sprintf("signal: server error %s: %s", e.Info.Code, e.Info.Message)
 }
 
+// RedirectError is returned by Join when a federated server does not
+// own the requested swarm and the request opted into redirects. The
+// caller should re-dial the named owner (federation.Join does this,
+// refreshing its peerstore from Servers along the way).
+type RedirectError struct {
+	Redirect Redirect
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("signal: swarm owned by %s at %s", e.Redirect.Owner, e.Redirect.Addr)
+}
+
 // Client is the SDK side of the signaling protocol. One goroutine owns
 // the read loop; requests are serialized so responses pair with their
 // requests; asynchronous relays are delivered to the relay handler.
@@ -70,7 +83,7 @@ func Dial(ctx context.Context, host *netsim.Host, server netip.AddrPort) (*Clien
 		return nil, fmt.Errorf("signal: dial %v: %w", server, err)
 	}
 	c := &Client{
-		codec:    wire.NewCodec(conn),
+		codec:    wire.NewCodecSize(conn, sessionBufSize),
 		respCh:   make(chan wire.Envelope, 1),
 		done:     make(chan struct{}),
 		evNotify: make(chan struct{}, 1),
@@ -262,6 +275,13 @@ func (c *Client) Join(ctx context.Context, req JoinRequest) (Welcome, error) {
 	env, err := c.roundTrip(ctx, MsgJoin, req)
 	if err != nil {
 		return Welcome{}, err
+	}
+	if env.Type == MsgRedirect {
+		var rd Redirect
+		if err := env.Decode(&rd); err != nil {
+			return Welcome{}, err
+		}
+		return Welcome{}, &RedirectError{Redirect: rd}
 	}
 	if env.Type != MsgWelcome {
 		return Welcome{}, fmt.Errorf("signal: unexpected response %q", env.Type)

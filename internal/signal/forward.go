@@ -1,0 +1,126 @@
+package signal
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// sessionBufSize sizes the per-session wire buffers. Signaling frames
+// are small (a join with a dozen ICE candidates is ~2 KB), and a
+// federated 100k-peer swarmload holds one codec per peer on each side,
+// so the 64 KiB default would cost tens of GB in bufio alone.
+const sessionBufSize = 8 << 10
+
+// forwardDialTimeout bounds the ingress→owner dial. Netsim dials
+// complete in simulated-RTT time; a second of wall clock means the
+// owner is gone, and the client should re-bootstrap.
+const forwardDialTimeout = 10 * time.Second
+
+// forward proxies a misrouted join — and then the whole session — to
+// the swarm's owning server. The client keeps talking to the server it
+// dialed; this server becomes a transparent splice, copying frames both
+// ways until either side hangs up. This is the inter-server
+// relay-forwarding link: two peers of one swarm that bootstrapped
+// through different servers still exchange offers/answers/candidates
+// exactly once, because both sessions terminate (directly or spliced)
+// on the single owner, whose swarm state brokers every relay.
+//
+// The join has already been read off the client codec, so it is re-sent
+// upstream first — stamped with the client's observed address (honored
+// by the owner because it arrives from a known server) and with the
+// redirect opt-out forced, so the owner never answers a proxied join
+// with another redirect.
+func (s *Server) forward(conn net.Conn, codec *wire.Codec, join JoinRequest, route Route) {
+	host := s.host
+	if host == nil {
+		codec.Send(MsgError, ErrorInfo{Code: CodeUnavailable, Message: "federated ingress has no network"})
+		return
+	}
+	// The dial is anchored to the server's lifecycle, not a request: a
+	// shutdown mid-dial cancels it, and the timeout bounds a dead owner.
+	ctx, cancel := context.WithTimeout(doneContext{s.done}, forwardDialTimeout)
+	up, err := host.Dial(ctx, route.Addr)
+	cancel()
+	if err != nil {
+		codec.Send(MsgError, ErrorInfo{Code: CodeUnavailable, Message: "owner " + route.Server + " unreachable"})
+		return
+	}
+	upCodec := wire.NewCodecSize(up, sessionBufSize)
+
+	join.FwdAddr = remoteAddr(conn).String()
+	join.AcceptRedirect = false
+	if err := upCodec.Send(MsgJoin, join); err != nil {
+		upCodec.Close()
+		codec.Send(MsgError, ErrorInfo{Code: CodeUnavailable, Message: "owner " + route.Server + " unreachable"})
+		return
+	}
+	s.metrics.forwarded.Inc()
+	s.cfg.Tracer.Event("signal_forward", obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server))
+
+	// Splice. Either side's EOF (or server shutdown) closes both legs;
+	// closing unblocks the opposite copy loop, so nothing leaks and
+	// Close never hangs on a proxied session that is not in peerDir.
+	var once sync.Once
+	done := make(chan struct{})
+	closeBoth := func() {
+		once.Do(func() {
+			codec.Close()
+			upCodec.Close()
+		})
+	}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-s.done:
+			closeBoth()
+		case <-done:
+		}
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.splice(upCodec, codec) // owner → client
+		closeBoth()
+	}()
+	s.splice(codec, upCodec) // client → owner
+	closeBoth()
+	close(done)
+}
+
+// splice copies frames from src to dst until either side fails,
+// counting each forwarded frame.
+func (s *Server) splice(src, dst *wire.Codec) {
+	for {
+		env, err := src.Read()
+		if err != nil {
+			return
+		}
+		if err := dst.Write(env); err != nil {
+			return
+		}
+		s.metrics.forwarded.Inc()
+	}
+}
+
+// doneContext adapts the server's shutdown channel into the context
+// that lifecycle-scoped work (the ingress→owner dial) derives from —
+// there is no request context to inherit inside a session handler.
+type doneContext struct{ done <-chan struct{} }
+
+func (d doneContext) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (d doneContext) Done() <-chan struct{}       { return d.done }
+func (d doneContext) Value(any) any               { return nil }
+
+func (d doneContext) Err() error {
+	select {
+	case <-d.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}

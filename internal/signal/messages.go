@@ -37,6 +37,11 @@ const (
 	// It is sent only to peers the departed peer was advertised to, and
 	// the server coalesces simultaneous departures into one frame.
 	MsgPeerGone = "peer_gone"
+	// MsgRedirect answers a join that reached a federated server which
+	// does not own the requested swarm, when the client advertised
+	// AcceptRedirect. Clients without the flag are transparently proxied
+	// instead, so MsgRedirect never reaches an SDK that can't parse it.
+	MsgRedirect = "redirect"
 )
 
 // Error codes returned in ErrorInfo.
@@ -45,6 +50,9 @@ const (
 	CodeBadRequest  = "bad_request"
 	CodeNotFound    = "not_found"
 	CodeBlacklisted = "blacklisted"
+	// CodeUnavailable reports that a federated ingress could not reach
+	// the swarm's owning server; the client should re-bootstrap.
+	CodeUnavailable = "unavailable"
 )
 
 // JoinRequest is the first message a peer sends. APIKey/Origin/Referer
@@ -67,6 +75,16 @@ type JoinRequest struct {
 	// Cellular marks the peer as being on a metered cellular connection;
 	// the policy decides whether such peers upload.
 	Cellular bool `json:"cellular,omitempty"`
+
+	// AcceptRedirect advertises that the client understands MsgRedirect,
+	// letting a federated server answer a misrouted join with the owner's
+	// address instead of proxying the whole session through itself.
+	AcceptRedirect bool `json:"accept_redirect,omitempty"`
+	// FwdAddr carries the original client IP when a federated ingress
+	// proxies a join to the swarm's owner. The owner honors it only when
+	// the connection really arrives from a known federated server, so a
+	// direct client cannot spoof its geolocation with it.
+	FwdAddr string `json:"fwd_addr,omitempty"`
 }
 
 // Policy is the provider-controlled SDK configuration delivered at join.
@@ -115,6 +133,17 @@ type Welcome struct {
 	PeerID  string `json:"peer_id"`
 	SwarmID string `json:"swarm_id"`
 	Policy  Policy `json:"policy"`
+}
+
+// Redirect points a joining peer at the federated server owning its
+// swarm. Servers is the current live server list so the client can
+// refresh its bootstrap peerstore in the same round trip — the pattern
+// the paper observed in provider back-ends, where any bootstrap server
+// returns the regional tier to actually talk to.
+type Redirect struct {
+	Owner   string   `json:"owner"`
+	Addr    string   `json:"addr"`
+	Servers []string `json:"servers,omitempty"`
 }
 
 // ErrorInfo reports a request failure.

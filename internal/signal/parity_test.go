@@ -121,10 +121,14 @@ func runParityWorkload(t *testing.T, shards int) (*parityTrace, *obs.Registry) {
 	for i := 1; i < peers; i += 3 {
 		pc := clients[i]
 		clients[i] = nil
-		pc.c.Close()
 		video := fmt.Sprintf("v%d", i%swarms)
+		// Snapshot the target size BEFORE closing: on a loaded box the
+		// server can process the disconnect between Close and a
+		// post-close SwarmSize read, leaving the wait chasing a size
+		// that already happened.
 		want := srv.SwarmSize(video, "r") - 1
-		waitFor(t, 2*time.Second, func() bool { return srv.SwarmSize(video, "r") == want })
+		pc.c.Close()
+		waitFor(t, 15*time.Second, func() bool { return srv.SwarmSize(video, "r") == want })
 	}
 
 	match(&tr.matches2)

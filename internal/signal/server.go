@@ -41,6 +41,28 @@ type TokenValidator interface {
 	Validate(token, videoID string) error
 }
 
+// Route describes where a swarm lives in a federated signaling plane.
+type Route struct {
+	// Server is the owning server's name (e.g. "s2").
+	Server string
+	// Addr is the owner's signaling address.
+	Addr netip.AddrPort
+	// Local reports that the queried server itself owns the swarm.
+	Local bool
+}
+
+// Router maps swarm IDs to owning servers. A federated plane hands each
+// server a router view (federation.Plane); a nil Router means the
+// server owns everything — the single-server deployment is the N=1
+// special case of the same code path, not a separate one.
+type Router interface {
+	// Route returns the owner of swarmID as seen by this server.
+	Route(swarmID string) Route
+	// Servers returns the signaling addresses of all live servers, for
+	// redirect responses that refresh client bootstrap lists.
+	Servers() []netip.AddrPort
+}
+
 // Config parameterizes a PDN signaling server.
 type Config struct {
 	// Keys authenticates public-provider joins (API key + origin).
@@ -78,6 +100,16 @@ type Config struct {
 	// their shard's queue is full (backpressure, never message loss).
 	// Zero defaults to 4096.
 	QueueDepth int
+	// ServerName names this server inside a federated plane. It prefixes
+	// peer IDs ("s1p42") so IDs stay globally unique across servers, and
+	// labels the per-server metrics. Empty keeps the seed "pN" format
+	// and the "s0" metric label — the single-server deployment.
+	ServerName string
+	// Router, when set, makes this server one member of a federated
+	// plane: joins for swarms it does not own are redirected (when the
+	// client opts in) or transparently proxied to the owner. Nil means
+	// this server owns every swarm.
+	Router Router
 	// Obs, when set, registers the server's counters and swarm-size
 	// gauge. Nil disables metrics at the cost of one branch per event.
 	Obs *obs.Registry
@@ -98,6 +130,9 @@ type Server struct {
 
 	deliverCh chan deliverJob
 
+	// host is the simulated host Serve bound to; the federated proxy
+	// path dials swarm owners from it.
+	host     *netsim.Host
 	listener *netsim.Listener
 	done     chan struct{}
 	wg       sync.WaitGroup // accept loop + per-connection handlers
@@ -159,6 +194,8 @@ type serverMetrics struct {
 	peerGone        *obs.Counter
 	imReports       *obs.Counter
 	statsReports    *obs.Counter
+	forwarded       *obs.Counter
+	redirects       *obs.Counter
 	batchSize       *obs.Histogram
 }
 
@@ -201,6 +238,8 @@ func NewServer(cfg Config) *Server {
 		peerGone:        reg.Counter("signal_peer_gone_total", "departure notices queued to watching peers"),
 		imReports:       reg.Counter("signal_im_reports_total", "integrity-metadata reports arbitrated"),
 		statsReports:    reg.Counter("signal_stats_reports_total", "peer usage reports accounted"),
+		forwarded:       reg.Counter("signal_forwarded_relays_total", "signaling frames spliced across the inter-server forwarding link"),
+		redirects:       reg.Counter("signal_redirects_total", "joins redirected to the swarm's owning server"),
 		batchSize:       reg.Histogram("signal_match_batch_size", "outbound messages drained per delivery tick"),
 	}
 	reg.GaugeFunc("signal_swarm_peers", "currently connected peers across all swarms", func() float64 {
@@ -209,6 +248,12 @@ func NewServer(cfg Config) *Server {
 	reg.GaugeFunc("signal_shard_depth", "outbound messages queued across all shards", func() float64 {
 		return float64(s.queueDepth())
 	})
+	label := cfg.ServerName
+	if label == "" {
+		label = "s0"
+	}
+	reg.GaugeVec("signal_ring_owned_swarms", "swarms resident per federated server", "server").
+		WithFunc(label, func() float64 { return float64(s.SwarmCount()) })
 	s.flushWg.Add(len(s.shards))
 	for _, sh := range s.shards {
 		go s.flushLoop(sh)
@@ -226,6 +271,7 @@ func (s *Server) Serve(host *netsim.Host, port uint16) error {
 	if err != nil {
 		return fmt.Errorf("signal: listen: %w", err)
 	}
+	s.host = host
 	s.listener = l
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -270,7 +316,7 @@ func (s *Server) acceptLoop() {
 
 // handleConn authenticates one peer and serves its message loop.
 func (s *Server) handleConn(conn net.Conn) {
-	codec := wire.NewCodec(conn)
+	codec := wire.NewCodecSize(conn, sessionBufSize)
 	defer codec.Close()
 
 	env, err := codec.Read()
@@ -285,6 +331,26 @@ func (s *Server) handleConn(conn net.Conn) {
 	if err := env.Decode(&join); err != nil {
 		codec.Send(MsgError, ErrorInfo{Code: CodeBadRequest, Message: err.Error()})
 		return
+	}
+
+	// Federated routing happens before authentication: the owner is the
+	// authority for its swarms, so it re-checks credentials on proxied
+	// joins, and a redirect leaks nothing an open join endpoint doesn't.
+	if r := s.cfg.Router; r != nil {
+		if route := r.Route(join.Video + "/" + join.Rendition); !route.Local {
+			if join.AcceptRedirect {
+				s.metrics.redirects.Inc()
+				s.cfg.Tracer.Event("signal_redirect", obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server))
+				servers := make([]string, 0, 4)
+				for _, ap := range r.Servers() {
+					servers = append(servers, ap.String())
+				}
+				codec.Send(MsgRedirect, Redirect{Owner: route.Server, Addr: route.Addr.String(), Servers: servers})
+				return
+			}
+			s.forward(conn, codec, join, route)
+			return
+		}
 	}
 
 	customer, err := s.authenticate(join)
@@ -348,12 +414,17 @@ func (s *Server) authenticate(join JoinRequest) (string, error) {
 // relay directory.
 func (s *Server) register(codec *wire.Codec, conn net.Conn, join JoinRequest, customer string) *session {
 	addr := remoteAddr(conn)
+	if join.FwdAddr != "" && s.trustedIngress(addr) {
+		if fwd, err := netip.ParseAddr(join.FwdAddr); err == nil {
+			addr = fwd
+		}
+	}
 	country := ""
 	if s.cfg.GeoDB != nil && addr.IsValid() {
 		country = s.cfg.GeoDB.Lookup(addr).Country
 	}
 	sess := &session{
-		id:           "p" + strconv.FormatInt(s.nextID.Add(1), 10),
+		id:           s.cfg.ServerName + "p" + strconv.FormatInt(s.nextID.Add(1), 10),
 		customer:     customer,
 		swarmID:      join.Video + "/" + join.Rendition,
 		fingerprint:  join.Fingerprint,
@@ -556,6 +627,34 @@ func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 // PeerCount reports the number of connected peers (tests/monitoring).
 func (s *Server) PeerCount() int {
 	return s.dir.count()
+}
+
+// SwarmCount reports the number of swarms resident on this server —
+// in a federated plane, the swarms the ring assigned here and that have
+// at least one live member.
+func (s *Server) SwarmCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.swarms)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// trustedIngress reports whether addr is a fellow federated server,
+// whose forwarded-address header can be believed.
+func (s *Server) trustedIngress(addr netip.Addr) bool {
+	r := s.cfg.Router
+	if r == nil || !addr.IsValid() {
+		return false
+	}
+	for _, ap := range r.Servers() {
+		if ap.Addr() == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // SwarmSize reports the population of one swarm.

@@ -1,0 +1,116 @@
+package swarmload
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSamplerOrderIndependence is the property that lets the 100k ramp
+// record latencies from 64 racing workers and still be reproducible:
+// the kept sample is a function of (seed, index set) only, never of
+// arrival order.
+func TestSamplerOrderIndependence(t *testing.T) {
+	const n = 20000
+	lat := func(i int) time.Duration { return time.Duration(i+1) * time.Microsecond }
+
+	sorted := func(s *sampler) []time.Duration {
+		vs := s.kept()
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		return vs
+	}
+
+	forward := newSampler(7, 1024)
+	for i := 0; i < n; i++ {
+		forward.record(i, lat(i))
+	}
+	shuffled := newSampler(7, 1024)
+	rng := rand.New(rand.NewSource(99))
+	for _, i := range rng.Perm(n) {
+		shuffled.record(i, lat(i))
+	}
+	concurrent := newSampler(7, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				concurrent.record(i, lat(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := sorted(forward)
+	if len(want) == 0 {
+		t.Fatal("sampler kept nothing")
+	}
+	for name, s := range map[string]*sampler{"shuffled": shuffled, "concurrent": concurrent} {
+		got := sorted(s)
+		if len(got) != len(want) {
+			t.Fatalf("%s kept %d values, forward kept %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s sample diverged from forward order at %d: %v != %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	if forward.count() != n {
+		t.Errorf("count = %d, want %d", forward.count(), n)
+	}
+}
+
+// TestSamplerKeepsEverythingUnderCapacity pins the small-run behavior:
+// below the sample size the quantiles are exact, same as the old
+// full-vector path.
+func TestSamplerKeepsEverythingUnderCapacity(t *testing.T) {
+	s := newSampler(1, 1024)
+	for i := 0; i < 500; i++ {
+		s.record(i, time.Duration(i)*time.Millisecond)
+	}
+	if got := len(s.kept()); got != 500 {
+		t.Fatalf("kept %d of 500 under-capacity observations", got)
+	}
+	if p50 := s.quantileMs(0.50); p50 < 240 || p50 > 260 {
+		t.Errorf("exact p50 = %.1fms, want ~249.5ms", p50)
+	}
+}
+
+// TestSamplerQuantileAccuracy bounds the estimation error the sampling
+// rewrite introduced: on a 100k-point linear population a 4096-point
+// sample's p99 must land within 2 percentiles of truth.
+func TestSamplerQuantileAccuracy(t *testing.T) {
+	const n = 100000
+	s := newSampler(3, defaultSampleSize)
+	for i := 0; i < n; i++ {
+		// Value encodes rank: latency of peer i is i milliseconds.
+		s.record(i, time.Duration(i)*time.Millisecond)
+	}
+	for _, q := range []float64{0.50, 0.99} {
+		got := s.quantileMs(q)
+		want := q * float64(n-1)
+		if diff := got - want; diff < -2000 || diff > 2000 {
+			t.Errorf("q%.0f = %.0fms, want %.0fms ± 2000ms", q*100, got, want)
+		}
+	}
+	if c := s.count(); c != n {
+		t.Errorf("count = %d, want %d", c, n)
+	}
+}
+
+// TestSamplerDefaultsAndNegativeIndex covers the size default and the
+// negative-index guard.
+func TestSamplerDefaultsAndNegativeIndex(t *testing.T) {
+	s := newSampler(1, 0)
+	s.record(-5, time.Second)
+	if got := s.quantileMs(0.5); got != 1000 {
+		t.Fatalf("single-sample p50 = %v, want 1000ms", got)
+	}
+	if s.stripes[0].max*sampleStripes < defaultSampleSize {
+		t.Fatalf("default capacity %d under defaultSampleSize", s.stripes[0].max*sampleStripes)
+	}
+}

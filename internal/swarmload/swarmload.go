@@ -1,10 +1,17 @@
 // Package swarmload is the signaling-plane load generator: it drives a
-// real deployment (provider, signaling server, CDN, netsim) with
-// thousands of peers — a thin "virtual peer" tier speaking the real
-// signal.Client protocol for scale, plus a band of full pdnclient
-// viewers for end-to-end realism — and asserts the invariants that make
-// 10k-peer swarms safe to ship: bounded match latency, zero lost relay
-// messages, and a sane CDN-fallback ratio.
+// real deployment (provider, signaling plane, CDN, netsim) with up to
+// hundreds of thousands of peers — a thin "virtual peer" tier speaking
+// the real signal.Client protocol for scale, plus a band of full
+// pdnclient viewers for end-to-end realism — and asserts the
+// invariants that make 100k-peer swarms safe to ship: bounded match
+// latency, zero lost relay messages, and a sane CDN-fallback ratio.
+//
+// Config.Servers > 1 federates the plane: virtual peers bootstrap
+// through rotated server seed lists exactly like production clients
+// (internal/federation), follow redirects to their swarm's owner, and
+// the same invariants must hold across the ring. Latency percentiles
+// come from the deterministic striped sampler in sample.go, so memory
+// stays O(sample size) no matter how large the population grows.
 //
 // The package is in the repo's deterministic set: it never reads the
 // wall clock directly (the clock is injected via Config.Clock) and all
@@ -16,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/netip"
 	"sort"
 	"strconv"
 	"sync"
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/analyzer"
+	"github.com/stealthy-peers/pdnsec/internal/federation"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
@@ -41,6 +50,14 @@ type Config struct {
 	Seed int64
 	// Shards stripes the signaling server (default 16).
 	Shards int
+	// Servers federates the signaling plane across this many servers
+	// (default 1 — the classic single server, which runs through the
+	// identical federation code path as an N=1 ring).
+	Servers int
+	// Sample bounds the kept latency observations per percentile
+	// population (default 4096). Below the bound percentiles are exact;
+	// above it they come from a deterministic seeded sample.
+	Sample int
 	// Churn is the fraction of virtual peers that leave between the ramp
 	// and the measurement waves (default 0.2; negative means none).
 	Churn float64
@@ -79,6 +96,12 @@ func (cfg *Config) setDefaults() {
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = defaultSampleSize
 	}
 	switch {
 	case cfg.Churn == 0:
@@ -125,13 +148,16 @@ type Report struct {
 	PeersPerSwarm int   `json:"peers_per_swarm"`
 	Seed          int64 `json:"seed"`
 	Shards        int   `json:"shards"`
+	Servers       int   `json:"servers"`
 
 	VirtualPeers int `json:"virtual_peers"`
 	Churned      int `json:"churned"`
 
-	JoinP99Ms  float64 `json:"join_p99_ms"`
-	MatchP50Ms float64 `json:"match_p50_ms"`
-	MatchP99Ms float64 `json:"match_p99_ms"`
+	JoinP99Ms   float64 `json:"join_p99_ms"`
+	MatchP50Ms  float64 `json:"match_p50_ms"`
+	MatchP99Ms  float64 `json:"match_p99_ms"`
+	JoinSample  int     `json:"join_sample"`
+	MatchSample int     `json:"match_sample"`
 
 	RelaysSent            int64 `json:"relays_sent"`
 	RelaysReceived        int64 `json:"relays_received"`
@@ -158,14 +184,6 @@ type vpeer struct {
 	matches []string // latest match response (peer IDs)
 }
 
-func (v *vpeer) install() {
-	v.c.OnRelay(func(rel signal.Relay) {
-		v.mu.Lock()
-		v.got = append(v.got, rel.From+">"+v.id+"#"+string(rel.Payload))
-		v.mu.Unlock()
-	})
-}
-
 func (v *vpeer) received() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -189,13 +207,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		PeersPerSwarm: cfg.PeersPerSwarm,
 		Seed:          cfg.Seed,
 		Shards:        cfg.Shards,
+		Servers:       cfg.Servers,
 	}
 
 	tb, err := analyzer.NewTestbed(ctx, analyzer.TestbedConfig{
 		Profile: provider.Peer5(),
 		Video:   analyzer.SmallVideo("swarmload", cfg.Segments, 12<<10),
 		Obs:     cfg.Obs,
-		Options: provider.Options{Seed: cfg.Seed, Shards: cfg.Shards},
+		Options: provider.Options{Seed: cfg.Seed, Shards: cfg.Shards, Servers: cfg.Servers},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("swarmload: deploy: %w", err)
@@ -203,14 +222,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	defer tb.Close()
 
 	// Ramp: the join storm. Arrival order is a seeded shuffle across the
-	// whole population; Workers goroutines dial and join concurrently.
+	// whole population; Workers goroutines bootstrap concurrently, each
+	// through a per-peer rotation of the plane's server list so every
+	// federated entry point takes joins (and issues redirects) at once.
 	total := cfg.Swarms * cfg.PeersPerSwarm
 	rep.VirtualPeers = total
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := rng.Perm(total)
 	peers := make([]*vpeer, total)
-	joinLat := make([]time.Duration, total)
-	cfg.Logf("swarmload: ramping %d virtual peers across %d swarms (shards=%d)", total, cfg.Swarms, cfg.Shards)
+	seeds := tb.Dep.SignalAddrs
+	joins := newSampler(cfg.Seed, cfg.Sample)
+	cfg.Logf("swarmload: ramping %d virtual peers across %d swarms (servers=%d shards=%d)",
+		total, cfg.Swarms, cfg.Servers, cfg.Shards)
 	err = forEach(ctx, cfg.Workers, total, func(k int) error {
 		i := order[k]
 		swarm := i % cfg.Swarms
@@ -218,25 +241,33 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		start := clock()
-		c, err := signal.Dial(ctx, host, tb.Dep.SignalAddr)
-		if err != nil {
-			return err
+		rot := make([]netip.AddrPort, len(seeds))
+		for j := range seeds {
+			rot[j] = seeds[(i+j)%len(seeds)]
 		}
-		w, err := c.Join(ctx, signal.JoinRequest{
+		store := federation.NewPeerstore(rot, clock)
+		v := &vpeer{swarm: swarm}
+		start := clock()
+		res, err := federation.Join(ctx, host, store, signal.JoinRequest{
 			APIKey:      tb.Key,
 			Origin:      "https://customer.com",
 			Video:       "load-" + strconv.Itoa(swarm),
 			Rendition:   "720p",
 			Fingerprint: "vfp" + strconv.Itoa(i),
+		}, func(c *signal.Client) {
+			c.OnRelay(func(rel signal.Relay) {
+				v.mu.Lock()
+				v.got = append(v.got, rel.From+">"+v.id+"#"+string(rel.Payload))
+				v.mu.Unlock()
+			})
 		})
 		if err != nil {
-			c.Close()
 			return fmt.Errorf("join peer %d: %w", i, err)
 		}
-		joinLat[i] = clock().Sub(start)
-		v := &vpeer{c: c, id: w.PeerID, swarm: swarm}
-		v.install()
+		joins.record(i, clock().Sub(start))
+		v.mu.Lock()
+		v.c, v.id = res.Client, res.Welcome.PeerID
+		v.mu.Unlock()
 		peers[i] = v
 		return nil
 	})
@@ -244,7 +275,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		closePeers(peers)
 		return nil, fmt.Errorf("swarmload: ramp: %w", err)
 	}
-	rep.JoinP99Ms = quantileMs(joinLat, 0.99)
+	rep.JoinP99Ms = joins.quantileMs(0.99)
+	rep.JoinSample = len(joins.kept())
 
 	// Churn: a seeded fraction leaves, then the server must converge on
 	// the surviving population before anything is measured against it.
@@ -256,7 +288,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	want := total - churned
 	if err := waitUntil(ctx, clock, 30*time.Second, func() bool {
-		return tb.Dep.Server.PeerCount() == want
+		// Plane-wide count: with Servers > 1 the survivors are spread
+		// across the ring, so no single server's count converges to it.
+		return tb.Dep.PeerCount() == want
 	}); err != nil {
 		closePeers(peers)
 		return nil, fmt.Errorf("swarmload: churn never converged to %d peers: %w", want, err)
@@ -322,7 +356,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			survivors = append(survivors, v)
 		}
 	}
-	matchLat := make([]time.Duration, len(survivors))
+	matches := newSampler(cfg.Seed+1, cfg.Sample)
 	err = forEach(ctx, cfg.Workers, len(survivors), func(k int) error {
 		v := survivors[k]
 		start := clock()
@@ -330,7 +364,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if err != nil {
 			return fmt.Errorf("match %s: %w", v.id, err)
 		}
-		matchLat[k] = clock().Sub(start)
+		matches.record(k, clock().Sub(start))
 		ids := make([]string, len(infos))
 		for j, in := range infos {
 			ids[j] = in.ID
@@ -348,8 +382,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		closePeers(peers)
 		return nil, fmt.Errorf("swarmload: match wave: %w", err)
 	}
-	rep.MatchP50Ms = quantileMs(matchLat, 0.50)
-	rep.MatchP99Ms = quantileMs(matchLat, 0.99)
+	rep.MatchP50Ms = matches.quantileMs(0.50)
+	rep.MatchP99Ms = matches.quantileMs(0.99)
+	rep.MatchSample = len(matches.kept())
 	cfg.Logf("swarmload: match wave done, p50=%.2fms p99=%.2fms", rep.MatchP50Ms, rep.MatchP99Ms)
 
 	// Relay rounds: each survivor sends one uniquely-numbered frame to

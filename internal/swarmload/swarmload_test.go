@@ -39,6 +39,41 @@ func TestSwarmloadSmoke(t *testing.T) {
 	}
 }
 
+// TestSwarmloadFederatedSmoke is the federated twin of the smoke test:
+// the same invariants (zero relay loss, bounded match latency, viewers
+// complete) must hold when the swarms are spread over a 3-server ring
+// and every virtual peer bootstraps through a rotated seed list with
+// redirects.
+func TestSwarmloadFederatedSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Swarms:        3,
+		PeersPerSwarm: 40,
+		Seed:          1,
+		Shards:        4,
+		Servers:       3,
+		FullViewers:   2,
+		Segments:      4,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Servers != 3 {
+		t.Errorf("report servers = %d, want 3", rep.Servers)
+	}
+	if rep.RelaysSent == 0 || rep.RelaysSent != rep.RelaysReceived {
+		t.Errorf("federated relay accounting: sent %d received %d", rep.RelaysSent, rep.RelaysReceived)
+	}
+	if rep.ViewersDone != 2 {
+		t.Errorf("viewers done = %d, want 2", rep.ViewersDone)
+	}
+}
+
 // TestRunRejectsCancelledContext pins harness-error behavior: a dead
 // context must surface as an error, not a report full of violations.
 func TestRunRejectsCancelledContext(t *testing.T) {
@@ -127,9 +162,87 @@ func TestSwarmloadRegression(t *testing.T) {
 	}
 }
 
+// TestFederationRegression is the federated half of the
+// benchmark-regression gate (PDNSEC_BENCH=1, as the CI federation job
+// sets). It runs the 10k-peer 3-server configuration, requires a clean
+// invariant sheet, and fails if match p99 regressed more than 20% past
+// the committed BENCH_federation.json baseline's swarmload_10k
+// section.
+func TestFederationRegression(t *testing.T) {
+	if os.Getenv("PDNSEC_BENCH") == "" {
+		t.Skip("benchmark regression gate; set PDNSEC_BENCH=1 to run")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Swarms:        4,
+		PeersPerSwarm: 2500,
+		Seed:          1,
+		Servers:       3,
+		FullViewers:   2,
+		Segments:      4,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("federated 10k: join p99 %.2fms, match p50 %.2fms, p99 %.2fms, relays %d/%d",
+		rep.JoinP99Ms, rep.MatchP50Ms, rep.MatchP99Ms, rep.RelaysReceived, rep.RelaysSent)
+
+	if base := loadFedBaseline(t); base != nil {
+		// Same generosity as the single-plane gate: 1.2x the committed
+		// p99, floored at a quarter of the absolute budget.
+		limit := base.MatchP99Ms * 1.2
+		if floor := 750.0 / 4; limit < floor {
+			limit = floor
+		}
+		if rep.MatchP99Ms > limit {
+			t.Errorf("federated match p99 %.2fms regressed >20%% against committed baseline %.2fms",
+				rep.MatchP99Ms, base.MatchP99Ms)
+		}
+	}
+
+	if out := os.Getenv("PDNSEC_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // benchFile mirrors the committed BENCH_swarm.json layout.
 type benchFile struct {
 	Swarmload *Report `json:"swarmload"`
+}
+
+// fedBenchFile mirrors the committed BENCH_federation.json layout: the
+// flagship 100k-peer run plus the CI-scale 10k section the regression
+// gate compares against.
+type fedBenchFile struct {
+	Schema        string  `json:"schema"`
+	Swarmload100k *Report `json:"swarmload_100k"`
+	Swarmload10k  *Report `json:"swarmload_10k"`
+}
+
+// loadFedBaseline reads the committed BENCH_federation.json's 10k
+// section (nil when absent, e.g. before the first baseline lands).
+func loadFedBaseline(t *testing.T) *Report {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_federation.json")
+	if err != nil {
+		return nil
+	}
+	var f fedBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("committed BENCH_federation.json is invalid: %v", err)
+	}
+	return f.Swarmload10k
 }
 
 // loadBaseline reads the committed baseline's swarmload section (nil

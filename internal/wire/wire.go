@@ -62,11 +62,25 @@ type Codec struct {
 	conn net.Conn
 }
 
-// NewCodec wraps a connection.
+// NewCodec wraps a connection with generous 64 KiB buffers, sized for
+// a handful of long-lived channels per process.
 func NewCodec(conn net.Conn) *Codec {
+	return NewCodecSize(conn, 64<<10)
+}
+
+// NewCodecSize wraps a connection with bufSize-byte read and write
+// buffers. Components that hold one codec per peer at six-figure peer
+// counts (the signal server and the swarmload generator) pass a small
+// size here: at 100k sessions the default 128 KiB per codec end would
+// cost ~25 GB in bufio alone. Frames larger than the buffer still work;
+// bufio just stops batching them.
+func NewCodecSize(conn net.Conn, bufSize int) *Codec {
+	if bufSize < 512 {
+		bufSize = 512
+	}
 	return &Codec{
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
+		r:    bufio.NewReaderSize(conn, bufSize),
+		w:    bufio.NewWriterSize(conn, bufSize),
 		conn: conn,
 	}
 }
