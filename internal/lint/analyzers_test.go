@@ -17,6 +17,8 @@ func TestAnalyzers(t *testing.T) {
 		{Errwrap, "errwrap"},
 		{Goleak, "goleak"},
 		{Obsnames, "obsnames"},
+		{Peertaint, "peertaint"},
+		{Lockorder, "lockorder"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -28,7 +30,7 @@ func TestAnalyzers(t *testing.T) {
 // TestSuiteOrder pins the registry: CI output ordering and the
 // suppression namespace (pdnlint/<name>) both key off these names.
 func TestSuiteOrder(t *testing.T) {
-	want := []string{"detrand", "ctxflow", "mutexspan", "errwrap", "goleak", "obsnames"}
+	want := []string{"detrand", "ctxflow", "mutexspan", "errwrap", "goleak", "obsnames", "peertaint", "lockorder"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -37,8 +39,11 @@ func TestSuiteOrder(t *testing.T) {
 		if a.Name != want[i] {
 			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
 		}
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("%s: incomplete analyzer", a.Name)
+		if a.Doc == "" {
+			t.Errorf("%s: missing doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("%s: exactly one of Run and RunModule must be set", a.Name)
 		}
 	}
 }

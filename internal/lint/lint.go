@@ -24,6 +24,10 @@ import (
 )
 
 // Analyzer is one named check, in the image of analysis.Analyzer.
+// Exactly one of Run and RunModule is set: Run analyzers see one package
+// at a time, RunModule analyzers (peertaint, lockorder) see the whole
+// module at once plus its call graph, which is what lets them follow a
+// value or a held lock across function and package boundaries.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and suppressions,
 	// e.g. "detrand".
@@ -32,6 +36,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunModule inspects every module package at once, with the
+	// interprocedural call graph built and shared across analyzers.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer's view of one package.
@@ -56,6 +63,29 @@ func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
 
 // Info returns the type-checker fact tables for the package.
 func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// ModulePass carries one module-wide analyzer's view of the whole load.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	// Graph is the interprocedural call graph over Pkgs, shared by every
+	// module analyzer of one Run.
+	Graph *CallGraph
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkgs[0].Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Fset returns the file set positioning the module.
+func (p *ModulePass) Fset() *token.FileSet { return p.Pkgs[0].Fset }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -119,20 +149,57 @@ func (s *suppressor) suppressed(d Diagnostic) bool {
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// findings ordered by position.
+// findings ordered by position. Per-package analyzers run package by
+// package; module analyzers run once over the whole load, sharing one
+// call graph.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		sup := newSuppressor(pkg)
+	sups := make([]*suppressor, len(pkgs))
+	for i, pkg := range pkgs {
+		sups[i] = newSuppressor(pkg)
+	}
+	suppressed := func(d Diagnostic) bool {
+		for _, s := range sups {
+			if s.suppressed(d) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 			for _, d := range pass.diags {
-				if !sup.suppressed(d) {
+				if !sups[i].suppressed(d) {
 					out = append(out, d)
 				}
+			}
+		}
+	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if len(pkgs) == 0 {
+			break
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		pass := &ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !suppressed(d) {
+				out = append(out, d)
 			}
 		}
 	}
@@ -154,7 +221,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full pdnlint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Ctxflow, Mutexspan, Errwrap, Goleak, Obsnames}
+	return []*Analyzer{Detrand, Ctxflow, Mutexspan, Errwrap, Goleak, Obsnames, Peertaint, Lockorder}
 }
 
 // ---- shared type/AST helpers used by the analyzers ----

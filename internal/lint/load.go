@@ -50,18 +50,47 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
-// Load resolves patterns with `go list -json -deps` run in dir and
+// LoadError aggregates every package go list reported broken: a bad
+// import, a syntax error, a build-constraint dead end. Surfacing all of
+// them at once — instead of failing on the first or, worse, silently
+// analyzing the partial module that did load — is what keeps "pdnlint
+// passed" meaningful: a module that cannot be fully loaded is not
+// verified.
+type LoadError struct {
+	// Problems holds one "importpath: reason" entry per broken package,
+	// in go-list order.
+	Problems []string
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("lint: %d package(s) failed to load:\n  %s",
+		len(e.Problems), strings.Join(e.Problems, "\n  "))
+}
+
+// Load resolves patterns with `go list -e -json -deps` run in dir and
 // type-checks every listed package from source, dependencies first. It
 // works fully offline: the only inputs are GOROOT sources and the module
 // rooted at dir. Cgo is disabled so the pure-Go stdlib variants are
 // selected, which go/types can check without invoking the C toolchain.
 //
 // Only packages belonging to the module in dir are returned; their
-// dependencies are type-checked internally but not analyzed.
+// dependencies are type-checked internally but not analyzed. If any
+// listed package carries a go-list Error (the -e flag turns hard
+// failures into per-package diagnostics), Load returns a *LoadError
+// naming every broken package rather than a partial module.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	raw, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
+	}
+	var lerr LoadError
+	for _, lp := range raw {
+		if lp.Error != nil {
+			lerr.Problems = append(lerr.Problems, lp.ImportPath+": "+strings.TrimSpace(lp.Error.Err))
+		}
+	}
+	if len(lerr.Problems) > 0 {
+		return nil, &lerr
 	}
 	fset := token.NewFileSet()
 	universe := make(map[string]*types.Package, len(raw))
@@ -70,9 +99,6 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.ImportPath == "unsafe" {
 			universe["unsafe"] = types.Unsafe
 			continue
-		}
-		if lp.Error != nil {
-			return nil, fmt.Errorf("lint: load %s: %s", lp.ImportPath, lp.Error.Err)
 		}
 		inModule := lp.Module != nil && !lp.Standard
 		files, err := parseFiles(fset, lp.Dir, lp.GoFiles)
@@ -116,9 +142,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 // goList invokes the go command and decodes its JSON stream. -deps lists
 // every package in dependency-before-dependent order, which lets the
-// loader type-check in a single forward pass.
+// loader type-check in a single forward pass. -e keeps go list from
+// dying on the first broken package: broken entries come back with a
+// non-nil Error field, which Load aggregates into one *LoadError.
 func goList(dir string, patterns []string) ([]listPkg, error) {
-	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")

@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"errors"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -33,5 +35,48 @@ func TestLoadModule(t *testing.T) {
 		if p.Info == nil || p.Types == nil {
 			t.Errorf("%s: missing type info", p.ImportPath)
 		}
+	}
+}
+
+// TestLoadBrokenPackage pins the -e load path: a package with an
+// unresolvable import must come back as a *LoadError naming the broken
+// package — not as an opaque go-list failure, and never as a silently
+// partial module.
+func TestLoadBrokenPackage(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/lint/testdata/src/brokenimport")
+	if err == nil {
+		t.Fatalf("Load succeeded with %d packages, want *LoadError", len(pkgs))
+	}
+	var lerr *LoadError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("Load error = %T %v, want *LoadError", err, err)
+	}
+	if len(lerr.Problems) == 0 {
+		t.Fatal("LoadError carries no problems")
+	}
+	msg := lerr.Error()
+	if !strings.Contains(msg, "does-not-exist") {
+		t.Errorf("LoadError does not name the unresolvable import:\n%s", msg)
+	}
+	if pkgs != nil {
+		t.Errorf("Load returned %d packages alongside the error; partial modules must not be analyzed", len(pkgs))
+	}
+}
+
+// TestLoadValidUnaffectedByErrFlag guards the happy path under -e: a
+// clean explicit pattern still loads exactly as before.
+func TestLoadValidUnaffectedByErrFlag(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.ImportPath, "internal/privacy") && p.Module {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("internal/privacy not among %d loaded packages", len(pkgs))
 	}
 }

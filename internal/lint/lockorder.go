@@ -1,0 +1,505 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lockorder verifies the module's declared lock-acquisition order
+// across the federated signaling plane. The deadlock budget of the
+// system is written down as three rules (DESIGN.md, docs/lint.md):
+//
+//   - federation.Plane.mu is the top of the hierarchy: it may be held
+//     while taking Ring, shard, or peer-directory locks, but never the
+//     reverse ("Plane before Server").
+//   - signal shard locks nest only in ascending index order, and any
+//     same-class nesting site must carry a //lockorder:ascending
+//     annotation stating that invariant.
+//   - federation.Peerstore.mu is never acquired (directly or through
+//     any call chain) while a signal shard lock is held.
+//
+// The analyzer builds a lock-acquisition graph: syntactic Lock/RLock →
+// Unlock/RUnlock spans per function (deferred unlocks pin the lock to
+// function end), plus transitive may-acquire summaries over the module
+// call graph, so a call made under a lock contributes every lock the
+// callee may take, through any depth of calls and interface dispatch.
+// It reports declared-order inversions, forbidden pairs, unannotated
+// same-class nesting, and any cycle in the observed graph.
+//
+// Lock classes are named pkgbase.Type.field (receiver-insensitive:
+// every shard's mu is one class). Packages may extend the declared
+// order with file comments:
+//
+//	//lockorder:order pkga.T.mu pkgb.U.mu   (left before right)
+//	//lockorder:never pkga.T.mu pkgb.U.mu   (right forbidden under left)
+var Lockorder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "verify lock-acquisition order across signal shards, the federation plane, peerstore, and TURN relay; flag cycles and declared-order violations",
+	RunModule: runLockorder,
+}
+
+// The built-in declared order for the repo's own lock hierarchy; chains
+// read left-before-right. Package directives append to these.
+var loDefaultOrder = [][]string{
+	{"federation.Plane.mu", "federation.Ring.mu"},
+	{"federation.Plane.mu", "signal.shard.mu"},
+	{"federation.Plane.mu", "signal.dirStripe.mu"},
+}
+
+var loDefaultNever = [][2]string{
+	{"signal.shard.mu", "federation.Peerstore.mu"},
+}
+
+var (
+	loOrderDirective = regexp.MustCompile(`^//\s*lockorder:order\s+(\S.*)$`)
+	loNeverDirective = regexp.MustCompile(`^//\s*lockorder:never\s+(\S+)\s+(\S+)\s*$`)
+	loAscDirective   = regexp.MustCompile(`^//\s*lockorder:ascending\b`)
+)
+
+// lockClass is one lock identity: the types.Object of the mutex
+// variable or field, shared across instances.
+type lockClass struct {
+	obj  types.Object
+	name string // pkgbase.Type.field or pkgbase.var
+}
+
+// loEdge records "to acquired while from was held", with the witness
+// position and, for transitive acquisitions, the call chain.
+type loEdge struct {
+	from, to *lockClass
+	pos      token.Pos
+	via      []string
+}
+
+// loEvent is one source-ordered lock-relevant action in a function.
+type loEvent struct {
+	kind  int // 0 lock, 1 unlock, 2 defer-unlock, 3 call
+	class *lockClass
+	site  *CallSite
+	pos   token.Pos
+}
+
+type loState struct {
+	pass    *ModulePass
+	graph   *CallGraph
+	classes map[types.Object]*lockClass
+	// acquires is the transitive may-acquire summary: for each function,
+	// each lock class it may take, with the first callee hop (nil for a
+	// direct acquisition in the function body).
+	acquires  map[*FuncNode]map[*lockClass]*FuncNode
+	events    map[*FuncNode][]loEvent
+	order     map[string]map[string]bool // order[a][b]: a declared before b
+	never     map[string]map[string]bool
+	ascending map[string]map[int]bool // file -> lines annotated ascending
+	edges     map[[2]*lockClass]*loEdge
+}
+
+func runLockorder(pass *ModulePass) error {
+	st := &loState{
+		pass:      pass,
+		graph:     pass.Graph,
+		classes:   make(map[types.Object]*lockClass),
+		acquires:  make(map[*FuncNode]map[*lockClass]*FuncNode),
+		events:    make(map[*FuncNode][]loEvent),
+		order:     make(map[string]map[string]bool),
+		never:     make(map[string]map[string]bool),
+		ascending: make(map[string]map[int]bool),
+		edges:     make(map[[2]*lockClass]*loEdge),
+	}
+	for _, chain := range loDefaultOrder {
+		st.addOrderChain(chain)
+	}
+	for _, pair := range loDefaultNever {
+		st.addNever(pair[0], pair[1])
+	}
+	st.collectDirectives()
+	for _, node := range st.graph.Nodes {
+		st.collectEvents(node)
+	}
+	st.buildSummaries()
+	for _, node := range st.graph.Nodes {
+		st.simulate(node)
+	}
+	reported := st.checkEdges()
+	st.checkCycles(reported)
+	return nil
+}
+
+func (st *loState) addOrderChain(chain []string) {
+	for i := 0; i < len(chain); i++ {
+		for j := i + 1; j < len(chain); j++ {
+			m := st.order[chain[i]]
+			if m == nil {
+				m = make(map[string]bool)
+				st.order[chain[i]] = m
+			}
+			m[chain[j]] = true
+		}
+	}
+}
+
+func (st *loState) addNever(a, b string) {
+	m := st.never[a]
+	if m == nil {
+		m = make(map[string]bool)
+		st.never[a] = m
+	}
+	m[b] = true
+}
+
+// collectDirectives scans every file's comments for order, never, and
+// ascending directives.
+func (st *loState) collectDirectives() {
+	for _, pkg := range st.pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					switch {
+					case loOrderDirective.MatchString(c.Text):
+						m := loOrderDirective.FindStringSubmatch(c.Text)
+						st.addOrderChain(strings.Fields(m[1]))
+					case loNeverDirective.MatchString(c.Text):
+						m := loNeverDirective.FindStringSubmatch(c.Text)
+						st.addNever(m[1], m[2])
+					case loAscDirective.MatchString(c.Text):
+						pos := pkg.Fset.Position(c.Pos())
+						lines := st.ascending[pos.Filename]
+						if lines == nil {
+							lines = make(map[int]bool)
+							st.ascending[pos.Filename] = lines
+						}
+						lines[pos.Line] = true
+						lines[pos.Line+1] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// classOf resolves the lock class of the receiver expression of a
+// Lock/Unlock call: a mutex field (named per owning type) or a mutex
+// variable.
+func (st *loState) classOf(pkg *Package, x ast.Expr) *lockClass {
+	info := pkg.Info
+	var obj types.Object
+	name := ""
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+		owner := fieldOwnerName(info, x)
+		if owner == "" {
+			owner = pkgBase(pkg) + ".(anon)"
+		}
+		if i := strings.IndexByte(owner, '.'); i >= 0 {
+			// owner is already pkgbase.Type
+			name = owner + "." + x.Sel.Name
+		} else {
+			name = pkgBase(pkg) + "." + owner + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		obj = info.Uses[x]
+		name = pkgBase(pkg) + "." + x.Name
+	default:
+		return nil
+	}
+	if obj == nil {
+		return nil
+	}
+	if c, ok := st.classes[obj]; ok {
+		return c
+	}
+	c := &lockClass{obj: obj, name: name}
+	st.classes[obj] = c
+	return c
+}
+
+// lockCall classifies call as a Lock/RLock (kind 0) or Unlock/RUnlock
+// (kind 1) on a sync mutex and returns its class.
+func (st *loState) lockCall(pkg *Package, call *ast.CallExpr) (*lockClass, int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	kind := -1
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = 0
+	case "Unlock", "RUnlock":
+		kind = 1
+	default:
+		return nil, 0, false
+	}
+	if !methodOn(pkg.Info, call, sel.Sel.Name, "sync.Mutex", "sync.RWMutex") {
+		return nil, 0, false
+	}
+	class := st.classOf(pkg, sel.X)
+	if class == nil {
+		return nil, 0, false
+	}
+	return class, kind, true
+}
+
+// collectEvents linearizes one function body into source-ordered lock,
+// unlock, defer-unlock, and call events. Function literals are their
+// own nodes and are skipped here.
+func (st *loState) collectEvents(node *FuncNode) {
+	pkg := node.Pkg
+	sites := make(map[*ast.CallExpr]*CallSite, len(node.Calls))
+	for _, s := range node.Calls {
+		sites[s.Call] = s
+	}
+	var events []loEvent
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if class, kind, ok := st.lockCall(pkg, n.Call); ok && kind == 1 {
+				events = append(events, loEvent{kind: 2, class: class, pos: n.Pos()})
+			}
+			// Deferred calls run at return time, when the lock set is
+			// unknown; they contribute no edges.
+			return false
+		case *ast.GoStmt:
+			// A spawned goroutine does not inherit the caller's lock
+			// set: its body (a separate node) is analyzed on its own,
+			// and it contributes nothing to this function's summary.
+			return false
+		case *ast.CallExpr:
+			if class, kind, ok := st.lockCall(pkg, n); ok {
+				events = append(events, loEvent{kind: kind, class: class, pos: n.Pos()})
+				return false
+			}
+			if site, ok := sites[n]; ok && (len(site.Callees) > 0) {
+				events = append(events, loEvent{kind: 3, site: site, pos: n.Pos()})
+			}
+			return true
+		}
+		return true
+	})
+	st.events[node] = events
+}
+
+// buildSummaries computes the transitive may-acquire sets to a
+// fixpoint over the call graph.
+func (st *loState) buildSummaries() {
+	for _, node := range st.graph.Nodes {
+		m := make(map[*lockClass]*FuncNode)
+		for _, ev := range st.events[node] {
+			if ev.kind == 0 {
+				m[ev.class] = nil
+			}
+		}
+		st.acquires[node] = m
+	}
+	// Only synchronous call sites (the kind-3 events; go and defer
+	// subtrees were excluded above) extend a function's summary.
+	for changed := true; changed; {
+		changed = false
+		for _, node := range st.graph.Nodes {
+			m := st.acquires[node]
+			for _, ev := range st.events[node] {
+				if ev.kind != 3 {
+					continue
+				}
+				for _, callee := range ev.site.Callees {
+					for class := range st.acquires[callee] {
+						if _, ok := m[class]; !ok {
+							m[class] = callee
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// heldLock is one entry of the simulated lock stack.
+type heldLock struct {
+	class  *lockClass
+	pinned bool // deferred unlock: held to function end
+}
+
+// simulate replays one function's events against a lock stack,
+// recording acquisition edges from every held class.
+func (st *loState) simulate(node *FuncNode) {
+	var held []heldLock
+	for _, ev := range st.events[node] {
+		switch ev.kind {
+		case 0: // lock
+			for _, h := range held {
+				st.addEdge(h.class, ev.class, ev.pos, nil)
+			}
+			held = append(held, heldLock{class: ev.class})
+		case 1: // unlock: drop the most recent unpinned hold of the class
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].class == ev.class && !held[i].pinned {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case 2: // defer unlock: pin the most recent hold of the class
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].class == ev.class {
+					held[i].pinned = true
+					break
+				}
+			}
+		case 3: // call while holding locks
+			if len(held) == 0 {
+				continue
+			}
+			for _, callee := range ev.site.Callees {
+				for class, via := range st.acquires[callee] {
+					chain := []string{callee.Name}
+					for hop := via; hop != nil; {
+						chain = append(chain, hop.Name)
+						hop = st.acquires[hop][class]
+						if len(chain) > 8 {
+							break
+						}
+					}
+					for _, h := range held {
+						st.addEdge(h.class, class, ev.pos, chain)
+					}
+				}
+			}
+		}
+	}
+}
+
+// addEdge records the first witness of a (from held → to acquired)
+// pair.
+func (st *loState) addEdge(from, to *lockClass, pos token.Pos, via []string) {
+	key := [2]*lockClass{from, to}
+	if prev, ok := st.edges[key]; ok {
+		// Prefer a direct witness over a transitive one.
+		if len(prev.via) > 0 && len(via) == 0 {
+			st.edges[key] = &loEdge{from: from, to: to, pos: pos}
+		}
+		return
+	}
+	st.edges[key] = &loEdge{from: from, to: to, pos: pos, via: via}
+}
+
+func (st *loState) sortedEdges() []*loEdge {
+	out := make([]*loEdge, 0, len(st.edges))
+	for _, e := range st.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		if out[i].from.name != out[j].from.name {
+			return out[i].from.name < out[j].from.name
+		}
+		return out[i].to.name < out[j].to.name
+	})
+	return out
+}
+
+// checkEdges reports declared-order inversions, forbidden pairs, and
+// unannotated same-class nesting, returning the set of edges reported
+// so cycle detection doesn't re-report an already-flagged pair.
+func (st *loState) checkEdges() map[*loEdge]bool {
+	reported := make(map[*loEdge]bool)
+	for _, e := range st.sortedEdges() {
+		via := ""
+		if len(e.via) > 0 {
+			via = " (via " + strings.Join(e.via, " -> ") + ")"
+		}
+		switch {
+		case e.from == e.to:
+			if !st.ascendingAt(e.pos) {
+				st.pass.Reportf(e.pos, "same-class lock nesting on %s%s; if acquisition is index-ascending, annotate the site with //lockorder:ascending", e.from.name, via)
+			}
+			reported[e] = true
+		case st.never[e.from.name][e.to.name]:
+			st.pass.Reportf(e.pos, "forbidden lock nesting: %s acquired while %s is held%s", e.to.name, e.from.name, via)
+			reported[e] = true
+		case st.order[e.to.name][e.from.name]:
+			st.pass.Reportf(e.pos, "lock order violation: %s acquired while %s is held%s; declared order is %s before %s", e.to.name, e.from.name, via, e.to.name, e.from.name)
+			reported[e] = true
+		}
+	}
+	return reported
+}
+
+// ascendingAt reports whether the witness line (or the line above it)
+// carries a //lockorder:ascending annotation.
+func (st *loState) ascendingAt(pos token.Pos) bool {
+	p := st.pass.Fset().Position(pos)
+	return st.ascending[p.Filename][p.Line]
+}
+
+// checkCycles finds cycles among distinct lock classes in the observed
+// acquisition graph and reports each once, at its smallest witness.
+// Edges already reported as order or ban violations are excluded: the
+// cycle they close is the violation already flagged.
+func (st *loState) checkCycles(skip map[*loEdge]bool) {
+	succ := make(map[*lockClass][]*loEdge)
+	for _, e := range st.sortedEdges() {
+		if e.from != e.to && !skip[e] {
+			succ[e.from] = append(succ[e.from], e)
+		}
+	}
+	// Iterative-deepening DFS from each class in name order; a cycle is
+	// reported only from its lexicographically smallest member so each
+	// cycle appears once.
+	var classes []*lockClass
+	for c := range succ {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].name < classes[j].name })
+	reported := make(map[string]bool)
+	for _, start := range classes {
+		var path []*loEdge
+		onPath := map[*lockClass]bool{start: true}
+		var dfs func(c *lockClass) bool
+		dfs = func(c *lockClass) bool {
+			for _, e := range succ[c] {
+				if e.to == start {
+					names := []string{start.name}
+					for _, pe := range path {
+						names = append(names, pe.to.name)
+					}
+					min := 0
+					for i, n := range names {
+						if n < names[min] {
+							min = i
+						}
+					}
+					if min != 0 {
+						return false // reported from the smallest member's walk
+					}
+					key := strings.Join(names, " -> ")
+					if !reported[key] {
+						reported[key] = true
+						st.pass.Reportf(e.pos, "lock-order cycle: %s (deadlock risk)", strings.Join(append(names, names[0]), " -> "))
+					}
+					return true
+				}
+				if onPath[e.to] {
+					continue
+				}
+				onPath[e.to] = true
+				path = append(path, e)
+				found := dfs(e.to)
+				path = path[:len(path)-1]
+				delete(onPath, e.to)
+				if found {
+					return true
+				}
+			}
+			return false
+		}
+		dfs(start)
+	}
+}

@@ -1,0 +1,11 @@
+// Package brokenimport is the regression fixture for load-error
+// aggregation: its import does not resolve, so go list -e reports it
+// with a per-package Error, and Load must surface that as a *LoadError
+// instead of analyzing a partial module. (Directories named "testdata"
+// are invisible to ./... patterns, so this package never breaks a
+// repo-wide pdnlint run.)
+package brokenimport
+
+import missing "github.com/stealthy-peers/pdnsec/internal/does-not-exist"
+
+var _ = missing.Nothing

@@ -1,0 +1,67 @@
+// Package callgraph is the golden-fixture input for the call-graph
+// builder: static calls, method calls, interface dispatch, method
+// values, closures (direct, assigned, nested, and passed to external
+// callees), and function-typed variables.
+package callgraph
+
+import "sort"
+
+type Greeter interface{ Greet() string }
+
+type English struct{}
+
+func (English) Greet() string { return "hello" }
+
+type French struct{}
+
+func (French) Greet() string { return "bonjour" }
+
+// static call chain
+func leaf() int { return 1 }
+
+func static() int { return leaf() + leaf() }
+
+// interface dispatch resolves to every implementation
+func dispatch(g Greeter) string { return g.Greet() }
+
+// method value: the receiver-bound Greet escapes as func() string
+func methodValue(e English) func() string {
+	f := e.Greet
+	return f
+}
+
+// callMethodValue invokes a func() string value: CHA over everything
+// address-taken with that signature, including both Greet methods via
+// the method value above.
+func callMethodValue(f func() string) string { return f() }
+
+// closures: direct call, local-variable call, nested literal
+func closures() int {
+	n := 0
+	add := func(d int) int { // callgraph.closures$1
+		n += d
+		return n
+	}
+	add(1)
+	func() { // callgraph.closures$2, called directly
+		inner := func() int { return 2 } // callgraph.closures$2$1
+		n += inner()
+	}()
+	return n
+}
+
+// a closure passed to an external callee is invoked at the call site
+func sorted(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// function-typed variable resolves to its assignments, not all of CHA
+func funcVar(flip bool) int {
+	f := leaf
+	if flip {
+		f = two
+	}
+	return f()
+}
+
+func two() int { return 2 }

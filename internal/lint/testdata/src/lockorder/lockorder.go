@@ -1,0 +1,193 @@
+// Package lockorder exercises the lock-acquisition-order analyzer:
+// declared-order inversions (direct, transitive, through interface
+// dispatch, and via defer-pinned holds), forbidden pairs, same-class
+// nesting with and without the ascending annotation, cycles, and the
+// goroutine / release negative cases.
+//
+//lockorder:order lockorder.A2.mu lockorder.B2.mu
+//lockorder:order lockorder.A3.mu lockorder.B3.mu
+//lockorder:order lockorder.A4.mu lockorder.B4.mu
+//lockorder:order lockorder.A5.mu lockorder.B5.mu
+//lockorder:order lockorder.A6.mu lockorder.B6.mu
+//lockorder:order lockorder.A7.mu lockorder.B7.mu
+//lockorder:order lockorder.A8.mu lockorder.B8.mu
+//lockorder:order lockorder.G1.mu lockorder.G2.mu lockorder.G3.mu
+//lockorder:never lockorder.N1.mu lockorder.N2.mu
+package lockorder
+
+import "sync"
+
+type A1 struct{ mu sync.Mutex }
+type B1 struct{ mu sync.Mutex }
+type A2 struct{ mu sync.Mutex }
+type B2 struct{ mu sync.Mutex }
+type A3 struct{ mu sync.Mutex }
+type B3 struct{ mu sync.Mutex }
+type A4 struct{ mu sync.Mutex }
+type B4 struct{ mu sync.Mutex }
+type A5 struct{ mu sync.Mutex }
+type B5 struct{ mu sync.Mutex }
+type A6 struct{ mu sync.Mutex }
+type B6 struct{ mu sync.Mutex }
+type A7 struct{ mu sync.Mutex }
+type B7 struct{ mu sync.Mutex }
+type A8 struct{ mu sync.Mutex }
+type B8 struct{ mu sync.Mutex }
+type C1 struct{ mu sync.Mutex }
+type C2 struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type G1 struct{ mu sync.Mutex }
+type G3 struct{ mu sync.Mutex }
+type N1 struct{ mu sync.Mutex }
+type N2 struct{ mu sync.Mutex }
+type R struct{ mu sync.RWMutex }
+
+// Ascending acquisition is fine: A1 is not ordered against B1, so the
+// edge is recorded but nothing fires.
+func ok(a *A1, b *B1) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Direct inversion of a declared order.
+func inverted(a *A2, b *B2) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order violation: lockorder.A2.mu acquired while lockorder.B2.mu is held`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Forbidden pair.
+func banned(x *N1, y *N2) {
+	x.mu.Lock()
+	y.mu.Lock() // want `forbidden lock nesting: lockorder.N2.mu acquired while lockorder.N1.mu is held`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Same-class nesting without the annotation.
+func sameClass(e1, e2 *E) {
+	e1.mu.Lock()
+	e2.mu.Lock() // want `same-class lock nesting on lockorder.E.mu`
+	e2.mu.Unlock()
+	e1.mu.Unlock()
+}
+
+// Same-class nesting with the declared ascending invariant.
+func sameClassAscending(d1, d2 *D) {
+	d1.mu.Lock()
+	//lockorder:ascending
+	d2.mu.Lock()
+	d2.mu.Unlock()
+	d1.mu.Unlock()
+}
+
+// Transitive inversion: the held-side function only makes a call; the
+// violating acquisition happens one frame down.
+func lockA3(a *A3) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func transitive(a *A3, b *B3) {
+	b.mu.Lock()
+	lockA3(a) // want `lock order violation: lockorder.A3.mu acquired while lockorder.B3.mu is held \(via lockorder.lockA3\)`
+	b.mu.Unlock()
+}
+
+// Two frames down.
+func lockA4(a *A4) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func viaMid(a *A4) {
+	lockA4(a)
+}
+
+func twoHop(a *A4, b *B4) {
+	b.mu.Lock()
+	viaMid(a) // want `lock order violation: lockorder.A4.mu acquired while lockorder.B4.mu is held \(via lockorder.viaMid -> lockorder.lockA4\)`
+	b.mu.Unlock()
+}
+
+// A cycle between classes with no declared order is still a deadlock.
+func cycleOneWay(x *C1, y *C2) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func cycleOtherWay(x *C1, y *C2) {
+	y.mu.Lock()
+	x.mu.Lock() // want `lock-order cycle: lockorder.C1.mu -> lockorder.C2.mu -> lockorder.C1.mu`
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// A deferred unlock pins the hold to function end, so the late
+// acquisition still inverts.
+func deferPinned(a *A5, b *B5) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order violation: lockorder.A5.mu acquired while lockorder.B5.mu is held`
+	a.mu.Unlock()
+}
+
+// A spawned goroutine does not run under the caller's locks.
+func lockA6(a *A6) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func goroutineClean(a *A6, b *B6) {
+	b.mu.Lock()
+	go lockA6(a)
+	b.mu.Unlock()
+}
+
+// Released before the next acquisition: no nesting.
+func releasedClean(a *A7, b *B7) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Inversion through interface dispatch: CHA resolves the dynamic call
+// to the implementation that takes the ordered lock.
+type locker interface{ DoLock() }
+
+type a8Locker struct{ a *A8 }
+
+func (l *a8Locker) DoLock() {
+	l.a.mu.Lock()
+	l.a.mu.Unlock()
+}
+
+func viaInterface(l locker, b *B8) {
+	b.mu.Lock()
+	l.DoLock() // want `lock order violation: lockorder.A8.mu acquired while lockorder.B8.mu is held \(via lockorder.a8Locker.DoLock\)`
+	b.mu.Unlock()
+}
+
+// Chain declarations order every pair in the chain, not just adjacent
+// ones: G1 before G3 follows from "G1 G2 G3".
+func chainPair(g1 *G1, g3 *G3) {
+	g3.mu.Lock()
+	g1.mu.Lock() // want `lock order violation: lockorder.G1.mu acquired while lockorder.G3.mu is held`
+	g1.mu.Unlock()
+	g3.mu.Unlock()
+}
+
+// Read locks participate in ordering like write locks.
+func rwSameClass(r1, r2 *R) {
+	r1.mu.RLock()
+	r2.mu.RLock() // want `same-class lock nesting on lockorder.R.mu`
+	r2.mu.RUnlock()
+	r1.mu.RUnlock()
+}

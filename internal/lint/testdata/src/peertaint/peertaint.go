@@ -1,0 +1,135 @@
+// Package peertaint exercises the interprocedural peer-identity taint
+// analyzer: sources (RemoteAddr, JoinRequest.FwdAddr, geoip lookups,
+// peerstore entries), sinks (logs, trace attributes, metric labels,
+// wire payloads, chaos events), sanitizers (internal/privacy), and the
+// field-granular struct taint that keeps intentional protocol flows
+// quiet.
+package peertaint
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+
+	"github.com/stealthy-peers/pdnsec/internal/chaos"
+	"github.com/stealthy-peers/pdnsec/internal/geoip"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/privacy"
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// ---- direct source → sink ----
+
+func direct(conn net.Conn) {
+	log.Printf("conn from %s", conn.RemoteAddr()) // want `peer-identifying value from RemoteAddr\(\) .* reaches log output`
+}
+
+// ---- interprocedural: source and sink in different functions ----
+
+// clientAddr is the source function: the taint enters here and flows
+// out through the return value.
+func clientAddr(conn net.Conn) string {
+	return conn.RemoteAddr().String()
+}
+
+// logIt is the sink function: the tainted argument arrives through the
+// parameter.
+func logIt(s string) {
+	log.Println("peer", s) // want `peer-identifying value from RemoteAddr\(\) .* reaches log output; path: .*clientAddr.*logIt`
+}
+
+func relay(conn net.Conn) {
+	logIt(clientAddr(conn))
+}
+
+func useReturn(conn net.Conn) {
+	a := clientAddr(conn)
+	fmt.Println(a) // want `peer-identifying value from RemoteAddr\(\) .* reaches log output`
+}
+
+// ---- observability sinks ----
+
+func traceAttr(tr *obs.Tracer, conn net.Conn) {
+	a := conn.RemoteAddr().String()
+	tr.Event("join", obs.A("addr", a)) // want `peer-identifying value from RemoteAddr\(\) .* reaches trace attribute`
+}
+
+func metricLabel(vec *obs.CounterVec, conn net.Conn) {
+	vec.With(clientAddr(conn)).Inc() // want `peer-identifying value from RemoteAddr\(\) .* reaches metric label value`
+}
+
+func wirePayload(codec *wire.Codec, conn net.Conn) {
+	codec.Send("gossip", clientAddr(conn)) // want `peer-identifying value from RemoteAddr\(\) .* reaches wire frame payload`
+}
+
+func chaosEvent(conn net.Conn) chaos.Event {
+	return chaos.Event{Fault: "partition", Detail: clientAddr(conn)} // want `peer-identifying value from RemoteAddr\(\) .* reaches chaos event field`
+}
+
+// ---- declared source fields and types ----
+
+type JoinRequest struct {
+	Video   string
+	FwdAddr string
+}
+
+func forwarded(j JoinRequest) {
+	log.Println("fwd", j.FwdAddr) // want `peer-identifying value from JoinRequest.FwdAddr .* reaches log output`
+}
+
+type Peerstore struct{ entries []string }
+
+func (p *Peerstore) Candidates() []string { return p.entries }
+
+func storeDump(p *Peerstore) {
+	for _, e := range p.Candidates() {
+		log.Println("candidate", e) // want `peer-identifying value from peerstore entries .* reaches log output`
+	}
+}
+
+// ---- geoip: coarse fields are exempt, the record is not ----
+
+func geoCoarse(db *geoip.DB, a netip.Addr) {
+	log.Println("country", db.Lookup(a).Country) // coarse field: clean
+}
+
+func geoRecord(db *geoip.DB, a netip.Addr) {
+	rec := db.Lookup(a)
+	log.Println("rec", rec.Addr) // want `peer-identifying value from geoip.Lookup record .* reaches log output`
+}
+
+// ---- sanitizers stop the flow ----
+
+func sanitized(conn net.Conn, tr *obs.Tracer) {
+	log.Println("peer", privacy.Redact(clientAddr(conn)))
+	tr.Event("join", obs.A("addr", privacy.Truncate(privacy.Redact(clientAddr(conn)), 16)))
+}
+
+// ---- struct taint is field-granular ----
+
+type session struct {
+	id   string
+	addr string
+}
+
+func fieldGranular(conn net.Conn) {
+	s := session{id: "p1", addr: clientAddr(conn)}
+	log.Println("session", s.id)   // sibling field: clean
+	log.Println("session", s.addr) // want `peer-identifying value from RemoteAddr\(\) .* reaches log output`
+}
+
+// ---- identity-free derivations are clean ----
+
+func derived(conn net.Conn) {
+	a := clientAddr(conn)
+	log.Println("len", len(a))
+	log.Println("ok", a != "")
+}
+
+// ---- suppression directive is honored ----
+
+func suppressed(conn net.Conn) {
+	//lint:ignore pdnlint/peertaint attack-measurement harness output
+	log.Println("raw", clientAddr(conn))
+}

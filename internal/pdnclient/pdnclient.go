@@ -40,6 +40,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/monitor"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/privacy"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -409,6 +410,12 @@ func (p *Peer) join(ctx context.Context) error {
 		return err
 	}
 	sig, w := res.Client, res.Welcome
+	// The admitting server's address is infrastructure, not peer
+	// identity, but traces cross trust boundaries (CI artifacts, shared
+	// dashboards) — so it is redacted like everything else address-shaped.
+	p.cfg.Tracer.Event("signal_bootstrap",
+		obs.A("server", privacy.Redact(res.Server.String())),
+		obs.A("peer", w.PeerID))
 	p.mu.Lock()
 	select {
 	case <-p.closed:

@@ -1,0 +1,47 @@
+package pdnclient
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/provider"
+)
+
+// TestBootstrapTraceRedactsServerAddr pins the client-side half of the
+// trace-privacy invariant: the signal_bootstrap event names the
+// admitting server only in redacted form. The raw address (44.1.1.1 in
+// the testbed) must not appear anywhere in the trace.
+func TestBootstrapTraceRedactsServerAddr(t *testing.T) {
+	tb := newTestbed(t, provider.Peer5(), smallVideo("bbb", 2))
+	cfg := tb.peerConfig(t)
+	tracer := obs.NewTracer(nil)
+	cfg.Tracer = tracer
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := p.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "signal_bootstrap") {
+		t.Fatalf("no signal_bootstrap event in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "44.1.x.x") {
+		t.Errorf("bootstrap event lacks the redacted server address:\n%s", out)
+	}
+	if strings.Contains(out, "44.1.1.1") {
+		t.Errorf("raw server address leaked into the trace:\n%s", out)
+	}
+}

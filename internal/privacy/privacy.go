@@ -1,0 +1,108 @@
+// Package privacy holds the sanitizers that make peer-identifying data
+// safe to put in logs, traces, metric labels, and fault logs.
+//
+// The paper's central privacy finding is that peer-assisted CDNs hand
+// viewer IP addresses to strangers (§IV-D); this repo reproduces those
+// protocol-level flows deliberately. What must never happen is the
+// *incidental* leak: a peer address formatted into a log line, a trace
+// attribute, or a chaos event, where it outlives the session and
+// travels to operators, dashboards, and bug reports. The pdnlint
+// peertaint analyzer enforces that every such flow passes through one
+// of these functions first; see docs/lint.md.
+//
+// The helpers are deliberately lossy. Redact keeps only coarse
+// prefix/suffix structure (enough to distinguish "same /16" in a
+// debugging session), HashAddr keeps only linkability (same peer, same
+// token, no recovery), and Truncate bounds free-form strings so opaque
+// payloads can't smuggle identities whole.
+package privacy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Redact returns a coarse, non-identifying rendering of an address
+// string: IPv4 keeps the first two octets ("203.0.x.x"), IPv6 keeps the
+// /32 prefix ("2001:db8::x"), and anything unparseable is reduced to a
+// short content hash so malformed input can't slip through verbatim. A
+// trailing ":port" (or bracketed IPv6 form) is stripped first.
+func Redact(addr string) string {
+	s := addr
+	if ap, err := netip.ParseAddrPort(s); err == nil {
+		return RedactAddr(ap.Addr())
+	}
+	if a, err := netip.ParseAddr(s); err == nil {
+		return RedactAddr(a)
+	}
+	return "h:" + shortHash(s)
+}
+
+// RedactAddr is Redact for parsed addresses.
+func RedactAddr(a netip.Addr) string {
+	if !a.IsValid() {
+		return "invalid"
+	}
+	a = a.Unmap()
+	if a.Is4() {
+		b := a.As4()
+		return strconv.Itoa(int(b[0])) + "." + strconv.Itoa(int(b[1])) + ".x.x"
+	}
+	p, err := a.Prefix(32)
+	if err != nil {
+		return "h:" + shortHash(a.String())
+	}
+	return p.Addr().String() + "/32"
+}
+
+// HashAddr returns a short keyed digest of an address: stable within
+// one salt (so one trace can correlate a peer's events) and unlinkable
+// across salts (so two artifacts can't be joined). Use a per-run salt.
+func HashAddr(a netip.Addr, salt string) string {
+	return shortHash(salt + "|" + a.String())
+}
+
+// Truncate bounds a free-form string to max runes, marking elision with
+// an ellipsis. Strings at or under the bound pass through unchanged;
+// max <= 0 yields only the marker.
+func Truncate(s string, max int) string {
+	if max <= 0 {
+		return "…"
+	}
+	runes := []rune(s)
+	if len(runes) <= max {
+		return s
+	}
+	return string(runes[:max]) + "…"
+}
+
+// shortHash is the first 8 hex characters of SHA-256 — collision-loose
+// on purpose: these tokens are for eyeballing a debugging session, not
+// for identification.
+func shortHash(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:4])
+}
+
+// Redacted reports whether s looks like the output of one of this
+// package's sanitizers — the property tests assert on fixed sites.
+func Redacted(s string) bool {
+	if s == "invalid" || s == "…" {
+		return true
+	}
+	if strings.HasPrefix(s, "h:") && len(s) == 10 {
+		return true
+	}
+	if strings.HasSuffix(s, ".x.x") || strings.HasSuffix(s, "/32") || strings.HasSuffix(s, "…") {
+		return true
+	}
+	if len(s) == 8 {
+		if _, err := hex.DecodeString(s); err == nil {
+			return true
+		}
+	}
+	return false
+}

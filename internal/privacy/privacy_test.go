@@ -1,0 +1,81 @@
+package privacy
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestRedactIPv4(t *testing.T) {
+	cases := map[string]string{
+		"203.0.113.7":      "203.0.x.x",
+		"203.0.113.7:4242": "203.0.x.x",
+		"10.1.2.3":         "10.1.x.x",
+	}
+	for in, want := range cases {
+		if got := Redact(in); got != want {
+			t.Errorf("Redact(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRedactIPv6(t *testing.T) {
+	got := Redact("2001:db8:1234:5678::1")
+	if !strings.HasSuffix(got, "/32") || strings.Contains(got, "5678") {
+		t.Errorf("Redact(v6) = %q: want /32 prefix without interface bits", got)
+	}
+	if got2 := Redact("[2001:db8::1]:443"); !strings.HasSuffix(got2, "/32") {
+		t.Errorf("Redact(bracketed v6) = %q", got2)
+	}
+}
+
+func TestRedactNeverEchoes(t *testing.T) {
+	for _, in := range []string{"198.51.100.23", "not an address", "2001:db8::9", "198.51.100.23:80"} {
+		got := Redact(in)
+		if got == in {
+			t.Errorf("Redact(%q) echoed its input", in)
+		}
+		if !Redacted(got) {
+			t.Errorf("Redacted(%q) = false for Redact output", got)
+		}
+	}
+}
+
+func TestRedactAddrInvalid(t *testing.T) {
+	if got := RedactAddr(netip.Addr{}); got != "invalid" {
+		t.Errorf("RedactAddr(zero) = %q", got)
+	}
+}
+
+func TestHashAddrStableAndSalted(t *testing.T) {
+	a := netip.MustParseAddr("198.51.100.23")
+	b := netip.MustParseAddr("198.51.100.24")
+	if HashAddr(a, "run1") != HashAddr(a, "run1") {
+		t.Error("HashAddr not stable within a salt")
+	}
+	if HashAddr(a, "run1") == HashAddr(a, "run2") {
+		t.Error("HashAddr linkable across salts")
+	}
+	if HashAddr(a, "run1") == HashAddr(b, "run1") {
+		t.Error("HashAddr collides for distinct addresses")
+	}
+	if got := HashAddr(a, "run1"); strings.Contains(got, "198") || len(got) != 8 {
+		t.Errorf("HashAddr = %q: want 8 hex chars, no address bytes", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := Truncate("short", 10); got != "short" {
+		t.Errorf("Truncate under bound = %q", got)
+	}
+	if got := Truncate("abcdefghij", 4); got != "abcd…" {
+		t.Errorf("Truncate = %q", got)
+	}
+	if got := Truncate("anything", 0); got != "…" {
+		t.Errorf("Truncate max=0 = %q", got)
+	}
+	// Rune-safe: multibyte input must not be split mid-rune.
+	if got := Truncate("héllo wörld", 3); got != "hél…" {
+		t.Errorf("Truncate multibyte = %q", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/privacy"
 	"github.com/stealthy-peers/pdnsec/internal/wire"
 )
 
@@ -60,7 +61,10 @@ func (s *Server) forward(conn net.Conn, codec *wire.Codec, join JoinRequest, rou
 		return
 	}
 	s.metrics.forwarded.Inc()
-	s.cfg.Tracer.Event("signal_forward", obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server))
+	// join.FwdAddr carries the client's real address upstream; the trace
+	// only ever sees the redacted form (peertaint-enforced).
+	s.cfg.Tracer.Event("signal_forward", obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server),
+		obs.A("client", privacy.Redact(join.FwdAddr)))
 
 	// Splice. Either side's EOF (or server shutdown) closes both legs;
 	// closing unblocks the opposite copy loop, so nothing leaks and

@@ -1,0 +1,67 @@
+package signal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+)
+
+// traceText drains a tracer into its JSONL rendering for substring
+// assertions.
+func traceText(t *testing.T, tr *obs.Tracer) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestJoinTraceRedactsClientAddr pins the privacy invariant peertaint
+// enforces statically: the signal_join trace event carries the client's
+// address only in redacted form — never the raw IP the session
+// authenticated from.
+func TestJoinTraceRedactsClientAddr(t *testing.T) {
+	tracer := obs.NewTracer(nil)
+	e := newEnv(t, func(c *Config) { c.Tracer = tracer })
+	key := e.keys.Issue("customer.com", nil)
+	c := e.dial(t, e.newPeerHost(t, "66.24.0.1"))
+	if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
+		t.Fatal(err)
+	}
+
+	out := traceText(t, tracer)
+	if !strings.Contains(out, "signal_join") {
+		t.Fatalf("no signal_join event in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "66.24.x.x") {
+		t.Errorf("signal_join lacks the redacted client address:\n%s", out)
+	}
+	if strings.Contains(out, "66.24.0.1") {
+		t.Errorf("raw client address leaked into the trace:\n%s", out)
+	}
+}
+
+// TestJoinRejectTraceRedactsClientAddr covers the reject path — an
+// unauthenticated stranger's address is still peer-identifying.
+func TestJoinRejectTraceRedactsClientAddr(t *testing.T) {
+	tracer := obs.NewTracer(nil)
+	e := newEnv(t, func(c *Config) { c.Tracer = tracer })
+	c := e.dial(t, e.newPeerHost(t, "66.31.7.9"))
+	if _, err := c.Join(testCtx, basicJoin("bogus-key")); err == nil {
+		t.Fatal("join with bogus key succeeded")
+	}
+
+	out := traceText(t, tracer)
+	if !strings.Contains(out, "signal_join_reject") {
+		t.Fatalf("no signal_join_reject event in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "66.31.x.x") {
+		t.Errorf("reject event lacks the redacted client address:\n%s", out)
+	}
+	if strings.Contains(out, "66.31.7.9") {
+		t.Errorf("raw client address leaked into the trace:\n%s", out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/privacy"
 	"github.com/stealthy-peers/pdnsec/internal/wire"
 )
 
@@ -356,14 +357,19 @@ func (s *Server) handleConn(conn net.Conn) {
 	customer, err := s.authenticate(join)
 	if err != nil {
 		s.metrics.joinRejects.Inc()
-		s.cfg.Tracer.Event("signal_join_reject", obs.A("video", join.Video), obs.A("reason", err.Error()))
+		s.cfg.Tracer.Event("signal_join_reject", obs.A("video", join.Video), obs.A("reason", err.Error()),
+			obs.A("client", privacy.RedactAddr(remoteAddr(conn))))
 		codec.Send(MsgError, ErrorInfo{Code: CodeAuthFailed, Message: err.Error()})
 		return
 	}
 
 	sess := s.register(codec, conn, join, customer)
 	s.metrics.joins.Inc()
-	s.cfg.Tracer.Event("signal_join", obs.A("peer", sess.id), obs.A("swarm", sess.swarmID))
+	// The client address is peer-identifying (the paper's §IV leak class);
+	// it only ever reaches telemetry through internal/privacy — peertaint
+	// flags this event if the sanitizer is dropped.
+	s.cfg.Tracer.Event("signal_join", obs.A("peer", sess.id), obs.A("swarm", sess.swarmID),
+		obs.A("client", privacy.RedactAddr(sess.addr)))
 	defer s.unregister(sess)
 
 	if s.cfg.Keys != nil && customer != "" {
@@ -672,16 +678,20 @@ func (s *Server) SwarmSize(video, rendition string) int {
 // peerDir is the lock-striped global peer directory relays resolve
 // against — the only cross-swarm lookup in the server.
 type peerDir struct {
-	stripes [16]struct {
-		mu sync.RWMutex
-		m  map[string]*session
-	}
+	stripes [16]dirStripe
 }
 
-func (d *peerDir) stripe(id string) *struct {
+// dirStripe is one lock stripe of the peer directory. It is a named
+// type (rather than an anonymous struct) so its mutex is a nameable
+// lock class — signal.dirStripe.mu — in the lockorder analyzer's
+// declared hierarchy: a stripe lock is a leaf, acquired under shard or
+// plane locks but never the other way around.
+type dirStripe struct {
 	mu sync.RWMutex
 	m  map[string]*session
-} {
+}
+
+func (d *peerDir) stripe(id string) *dirStripe {
 	h := fnv.New32a()
 	h.Write([]byte(id))
 	return &d.stripes[h.Sum32()%uint32(len(d.stripes))]
