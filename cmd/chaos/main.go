@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/chaos"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
 // spec binds a named scenario to its swarm shape and the invariants it
@@ -129,6 +130,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		shards   = fs.Int("shards", 0, "signaling server lock stripes (0 = single-stripe seed layout; 16 suits 10k-viewer swarms)")
 		servers  = fs.Int("servers", 1, "federated signaling servers (must be >= 1; 1 = classic single server)")
 		out      = fs.String("out", "", "write the JSONL fault log to this file (default: stdout)")
+		traceOut = fs.String("trace", "", "write merged pdnsec-trace JSONL for every deployed process to this file (analyze with pdntrace; violation trace IDs resolve against it)")
 		list     = fs.Bool("list", false, "list scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -177,7 +179,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := sp.cfg(*seed, *viewers, *segments)
 	cfg.Shards = *shards
 	cfg.Servers = *servers
+	var traces *obs.TraceSet
+	if *traceOut != "" {
+		traces = obs.NewTraceSet(nil, *seed)
+		cfg.Traces = traces
+	}
 	res, err := chaos.RunScenario(ctx, cfg, sp.sc())
+	// The trace capture is written even for failed runs — a violation's
+	// trace ID is only useful if the JSONL it points into survives.
+	if traces != nil {
+		if werr := traces.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(stderr, "chaos: write %s: %v\n", *traceOut, werr)
+			return 2
+		}
+		fmt.Fprintf(stdout, "chaos: wrote trace JSONL for %d processes to %s\n", traces.Len(), *traceOut)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "chaos: harness failure (seed=%d): %v\n", *seed, err)
 		return 2

@@ -100,6 +100,22 @@ func run() int {
 	// trace aligned with what peers experienced.
 	tb.Tracer = obs.NewTracer(tb.Net.Now)
 
+	// Readiness for the -metrics /healthz endpoint: the signaling ring
+	// must keep at least one live member, and the CDN origin must still
+	// hold the asset it is serving.
+	reg.RegisterHealth("signal_plane", func() error {
+		if tb.Dep.Plane.Ring().Len() == 0 {
+			return fmt.Errorf("signaling ring has no live members")
+		}
+		return nil
+	})
+	reg.RegisterHealth("cdn_origin", func() error {
+		if _, err := video.SegmentData(video.Renditions[0].Name, 0); err != nil {
+			return fmt.Errorf("origin lost its asset: %w", err)
+		}
+		return nil
+	})
+
 	if tb.Dep.Keys != nil {
 		reg.GaugeFunc("customer_p2p_bytes", "P2P bytes metered to the customer", func() float64 {
 			return float64(tb.Dep.Keys.Usage("customer.com").P2PBytes)

@@ -1,0 +1,133 @@
+// Command pdntrace is the offline trace-stitching analyzer. Feed it the
+// pdnsec-trace/1 JSONL files that viewers, signaling servers, and the
+// CDN wrote during a run; it merges them, reassembles causal span trees
+// by trace ID across process boundaries, and reports critical paths,
+// per-hop latency percentiles, the slowest traces as trees, and the
+// orphan/malformed accounting that says whether the stitching can be
+// trusted.
+//
+// Usage:
+//
+//	go run ./cmd/pdntrace run.jsonl                      # human report
+//	go run ./cmd/pdntrace -top 10 s0.jsonl s1.jsonl ...  # merge many files
+//	go run ./cmd/pdntrace -json run.jsonl                # machine summary (CI)
+//	go run ./cmd/pdntrace -chrome out.json run.jsonl     # Perfetto/chrome export
+//	go run ./cmd/pdntrace -diff old.jsonl new.jsonl      # p99 regression gate
+//
+// -diff exits 1 when any hop type or span name regressed (new p99 above
+// old p99 scaled by -threshold, plus a 100µs absolute floor); all other
+// modes exit 1 only when no stitchable records were found at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/stealthy-peers/pdnsec/internal/traceview"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdntrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		topK      = fs.Int("top", 5, "how many slowest traces to render as trees")
+		asJSON    = fs.Bool("json", false, "emit the machine-readable summary instead of the text report")
+		chrome    = fs.String("chrome", "", "write a stitched Chrome/Perfetto trace to this file")
+		diff      = fs.Bool("diff", false, "compare exactly two captures (old.jsonl new.jsonl) for p99 regressions")
+		threshold = fs.Float64("threshold", 0.2, "relative p99 growth allowed by -diff before it counts as a regression")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pdntrace [flags] trace.jsonl [trace.jsonl ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	if *diff {
+		if len(paths) != 2 {
+			fmt.Fprintf(stderr, "pdntrace: -diff takes exactly two files (old new), got %d\n", len(paths))
+			return 2
+		}
+		oldSum, err := summarizeFiles(paths[:1], *topK)
+		if err != nil {
+			fmt.Fprintf(stderr, "pdntrace: %v\n", err)
+			return 2
+		}
+		newSum, err := summarizeFiles(paths[1:], *topK)
+		if err != nil {
+			fmt.Fprintf(stderr, "pdntrace: %v\n", err)
+			return 2
+		}
+		d := traceview.Diff(oldSum, newSum, *threshold)
+		d.WriteText(stdout)
+		if len(d.Regressions) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	recs, st, err := traceview.LoadFiles(paths)
+	if err != nil {
+		fmt.Fprintf(stderr, "pdntrace: %v\n", err)
+		return 2
+	}
+	a := traceview.Stitch(recs, st)
+	sum := traceview.Summarize(a, len(paths), *topK)
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(stderr, "pdntrace: %v\n", err)
+			return 2
+		}
+		werr := traceview.WriteChrome(f, a)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "pdntrace: write %s: %v\n", *chrome, werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pdntrace: wrote chrome trace to %s\n", *chrome)
+	}
+
+	if *asJSON {
+		if err := sum.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "pdntrace: %v\n", err)
+			return 2
+		}
+	} else {
+		if err := traceview.WriteText(stdout, a, sum); err != nil {
+			fmt.Fprintf(stderr, "pdntrace: %v\n", err)
+			return 2
+		}
+	}
+	if sum.Spans == 0 {
+		fmt.Fprintln(stderr, "pdntrace: no stitchable spans found")
+		return 1
+	}
+	return 0
+}
+
+// summarizeFiles loads one capture and reduces it to the summary -diff
+// compares.
+func summarizeFiles(paths []string, topK int) (*traceview.Summary, error) {
+	recs, st, err := traceview.LoadFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	a := traceview.Stitch(recs, st)
+	return traceview.Summarize(a, len(paths), topK), nil
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+)
+
+type tickClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *tickClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+// writeCapture renders a deterministic two-process capture: the same
+// seed always produces byte-identical span identifiers, which is what
+// the -diff acceptance leans on.
+func writeCapture(t *testing.T, path string, seed int64) {
+	t.Helper()
+	set := obs.NewTraceSet((&tickClock{t: time.Unix(9000, 0)}).now, seed)
+	client := set.Tracer("client")
+	server := set.Tracer("s0")
+	for i := 0; i < 4; i++ {
+		ctx, root := client.StartSpan(context.Background(), "segment", obs.A("idx", i))
+		_, req := client.StartSpan(ctx, "p2p_request")
+		server.StartSpanRemote(req.TraceContext().String(), "p2p_serve").End()
+		req.End()
+		root.End()
+	}
+	if err := set.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTextAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	capture := filepath.Join(dir, "run.jsonl")
+	writeCapture(t, capture, 1)
+
+	var out, errb strings.Builder
+	if code := run([]string{capture}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"latency by hop type", "segment", "p2p_serve", "0 orphan spans"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", capture}, &out, &errb); code != 0 {
+		t.Fatalf("-json exit %d: %s", code, errb.String())
+	}
+	var sum map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("-json output not JSON: %v", err)
+	}
+	if sum["orphan_spans"].(float64) != 0 || sum["segment_traces"].(float64) != 4 {
+		t.Fatalf("summary fields wrong: %v", sum)
+	}
+}
+
+func TestRunChromeExport(t *testing.T) {
+	dir := t.TempDir()
+	capture := filepath.Join(dir, "run.jsonl")
+	chrome := filepath.Join(dir, "run.json")
+	writeCapture(t, capture, 1)
+	var out, errb strings.Builder
+	if code := run([]string{"-chrome", chrome, "-json", capture}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(raw, &arr); err != nil {
+		t.Fatalf("chrome export not a JSON array: %v", err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("chrome export empty")
+	}
+}
+
+// TestDiffSameSeedNoRegressions is the regression-gate acceptance: two
+// captures from the same seed must diff clean with exit 0.
+func TestDiffSameSeedNoRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldF := filepath.Join(dir, "old.jsonl")
+	newF := filepath.Join(dir, "new.jsonl")
+	writeCapture(t, oldF, 7)
+	writeCapture(t, newF, 7)
+	var out, errb strings.Builder
+	if code := run([]string{"-diff", oldF, newF}, &out, &errb); code != 0 {
+		t.Fatalf("same-seed diff exit %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no p99 regressions") {
+		t.Fatalf("diff verdict missing:\n%s", out.String())
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldF := filepath.Join(dir, "old.jsonl")
+	newF := filepath.Join(dir, "new.jsonl")
+	writeCapture(t, oldF, 7)
+
+	// The new capture is the same workload on a clock ticking in 50ms
+	// steps instead of 1ms — every hop's p99 inflates far past the
+	// 20% + 100µs allowance.
+	slow := &tickClock{t: time.Unix(9000, 0)}
+	slowNow := func() time.Time {
+		slow.mu.Lock()
+		defer slow.mu.Unlock()
+		slow.t = slow.t.Add(50 * time.Millisecond)
+		return slow.t
+	}
+	slowSet := obs.NewTraceSet(slowNow, 7)
+	sc := slowSet.Tracer("client")
+	ss := slowSet.Tracer("s0")
+	for i := 0; i < 4; i++ {
+		ctx, root := sc.StartSpan(context.Background(), "segment", obs.A("idx", i))
+		_, req := sc.StartSpan(ctx, "p2p_request")
+		ss.StartSpanRemote(req.TraceContext().String(), "p2p_serve").End()
+		req.End()
+		root.End()
+	}
+	if err := slowSet.WriteFile(newF); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	if code := run([]string{"-diff", oldF, newF}, &out, &errb); code != 1 {
+		t.Fatalf("regressed diff exit %d, want 1:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("no REGRESSION line:\n%s", out.String())
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "only-one.jsonl"}, &out, &errb); code != 2 {
+		t.Fatalf("-diff with one file exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errb); code != 2 {
+		t.Fatalf("missing file exit %d, want 2", code)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/swarmload"
 )
 
@@ -80,6 +81,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout     = fs.Duration("timeout", 10*time.Minute, "whole-run deadline")
 		out         = fs.String("out", "", "write benchmark-baseline results to this file")
 		merge       = fs.String("merge", "", "prior baseline JSON to fold into -out (join_match file, or a BENCH_federation.json when -servers > 1)")
+		traceOut    = fs.String("trace", "", "write merged pdnsec-trace JSONL for every deployed process to this file (analyze with pdntrace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,9 +105,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	defer cancel()
 	fmt.Fprintf(stdout, "swarmload: swarms=%d peers=%d seed=%d shards=%d servers=%d churn=%.2f\n",
 		*swarms, *peers, *seed, *shards, *servers, *churn)
+	var traces *obs.TraceSet
+	if *traceOut != "" {
+		traces = obs.NewTraceSet(nil, *seed)
+	}
 	rep, err := swarmload.Run(ctx, swarmload.Config{
 		Swarms:           *swarms,
 		PeersPerSwarm:    *peers,
+		Traces:           traces,
 		Seed:             *seed,
 		Shards:           *shards,
 		Servers:          *servers,
@@ -119,6 +126,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},
 	})
+	// Trace JSONL is written even for failed runs — a partial capture of
+	// a broken run is exactly what pdntrace exists to dissect.
+	if traces != nil {
+		if werr := traces.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(stderr, "swarmload: write %s: %v\n", *traceOut, werr)
+			return 2
+		}
+		fmt.Fprintf(stdout, "swarmload: wrote trace JSONL for %d processes to %s\n", traces.Len(), *traceOut)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "swarmload: harness failure (seed=%d): %v\n", *seed, err)
 		return 2

@@ -60,6 +60,13 @@ type TestbedConfig struct {
 	// domain (cmd/pdnserve builds it on tb.Net.Now, keeping this package
 	// clock-free and deterministic).
 	Tracer *obs.Tracer
+	// Traces, when set, hands every component a process-stamped tracer
+	// from one set sharing a clock and seed: the CDN serves as "cdn",
+	// federated signal servers as "s0", "s1", ..., and each viewer built
+	// through ViewerConfig as "viewer-<seed>". It supersedes Tracer, and
+	// is what makes the written JSONL stitchable by cmd/pdntrace — every
+	// span says which process recorded it.
+	Traces *obs.TraceSet
 }
 
 // Testbed is a running PDN deployment plus helpers to place peers on it.
@@ -74,6 +81,7 @@ type Testbed struct {
 	Alloc   *geoip.Allocator
 	Obs     *obs.Registry
 	Tracer  *obs.Tracer
+	Traces  *obs.TraceSet
 	// CDNHost and SignalHost expose the infrastructure machines so chaos
 	// scenarios can impair or crash them. SignalHost is the first
 	// signaling server's host; SignalHosts lists every federated
@@ -120,6 +128,9 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 	if cfg.Options.Tracer == nil {
 		cfg.Options.Tracer = cfg.Tracer
 	}
+	if cfg.Options.Traces == nil {
+		cfg.Options.Traces = cfg.Traces
+	}
 
 	n := netsim.New(netsim.Config{})
 	tb := &Testbed{
@@ -129,6 +140,7 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 		Alloc:          geoip.NewAllocator(db, cfg.Options.Seed+1),
 		Obs:            cfg.Obs,
 		Tracer:         cfg.Tracer,
+		Traces:         cfg.Traces,
 		customerDomain: cfg.CustomerDomain,
 		latency:        cfg.Latency,
 	}
@@ -140,6 +152,9 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 	tb.CDNHost = cdnHost
 	tb.CDN = cdn.New()
 	tb.CDN.Instrument(cfg.Obs)
+	if cfg.Traces != nil {
+		tb.CDN.SetTracer(cfg.Traces.Tracer("cdn"))
+	}
 	tb.CDN.Register(cfg.Video)
 	if err := tb.CDN.Serve(cdnHost, 80); err != nil {
 		return nil, err
@@ -244,6 +259,9 @@ func (tb *Testbed) ViewerConfig(host *netsim.Host, seed int64) pdnclient.Config 
 		Seed:        seed,
 		Obs:         tb.Obs,
 		Tracer:      tb.Tracer,
+	}
+	if tb.Traces != nil {
+		cfg.Tracer = tb.Traces.Tracer(fmt.Sprintf("viewer-%d", seed))
 	}
 	switch {
 	case tb.Key != "":

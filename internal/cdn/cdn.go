@@ -44,6 +44,7 @@ type Server struct {
 	videoBytes *obs.CounterVec
 	cacheHits  *obs.Counter
 	cacheMiss  *obs.Counter
+	tracer     *obs.Tracer
 
 	httpSrv  *http.Server
 	listener *netsim.Listener
@@ -70,6 +71,24 @@ func (s *Server) Instrument(reg *obs.Registry) {
 	s.videoBytes = reg.CounterVec("cdn_video_bytes_total", "bytes served per video", "video")
 	s.cacheHits = reg.Counter("cdn_cache_hits_total", "segment responses satisfied from the edge cache")
 	s.cacheMiss = reg.Counter("cdn_cache_misses_total", "segment responses synthesized at the origin")
+}
+
+// SetTracer installs a tracer for segment serves. A client falling back
+// to the CDN sends its segment span's context in the traceparent header;
+// the CDN's cdn_segment_serve span continues it, so pdntrace shows the
+// fallback hop inside the client's stitched segment trace. Nil is a
+// no-op (untraced CDN).
+func (s *Server) SetTracer(t *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+// Tracer returns the tracer installed with SetTracer (nil when untraced).
+func (s *Server) Tracer() *obs.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
 }
 
 // SetClock overrides the live-edge clock (tests).
@@ -228,14 +247,18 @@ func (s *Server) servePlaylist(w http.ResponseWriter, r *http.Request, videoID, 
 }
 
 func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request, videoID, rendition, segURI string) {
+	span := s.Tracer().StartSpanRemote(r.Header.Get("traceparent"), "cdn_segment_serve",
+		obs.A("video", videoID), obs.A("idx", segURI))
 	v, ok := s.Video(videoID)
 	if !ok {
 		http.NotFound(w, r)
+		span.End(obs.A("ok", false))
 		return
 	}
 	idx, ok := hls.ParseSegmentURI(segURI)
 	if !ok {
 		http.NotFound(w, r)
+		span.End(obs.A("ok", false))
 		return
 	}
 	key := media.SegmentKey{Video: videoID, Rendition: rendition, Index: idx}
@@ -248,11 +271,13 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request, videoID, r
 		data, err = v.SegmentData(rendition, idx)
 		if err != nil {
 			http.NotFound(w, r)
+			span.End(obs.A("ok", false))
 			return
 		}
 		s.segCache.put(key, data)
 	}
 	s.account(videoID, s.write(w, "video/mp2t", data))
+	span.End(obs.A("ok", true), obs.A("cache", ok), obs.A("bytes", len(data)))
 }
 
 // serveHashes implements the alternative integrity defense the paper's

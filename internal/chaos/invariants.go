@@ -1,6 +1,9 @@
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Invariants are the properties a scenario must not break. Each
 // shipped scenario asserts an explicit instance; the checker returns
@@ -37,6 +40,18 @@ func (inv Invariants) Check(res *Result) []string {
 		msg := fmt.Sprintf(format, args...)
 		violations = append(violations, fmt.Sprintf("scenario=%s seed=%d: %s", res.Scenario, res.Seed, msg))
 	}
+	// stallTrace names the viewer's most recent failed-fetch trace so a
+	// violation can be looked up directly in the run's pdntrace output
+	// ("pdntrace run.jsonl", find the trace ID) instead of replayed blind.
+	stallTrace := func(v *ViewerResult) string {
+		if v.Peer == nil {
+			return ""
+		}
+		if id := v.Peer.LastStallTrace(); id != "" {
+			return " trace=" + id
+		}
+		return ""
+	}
 
 	exempt := make(map[string]bool, len(inv.Exempt))
 	for _, name := range inv.Exempt {
@@ -44,10 +59,10 @@ func (inv Invariants) Check(res *Result) []string {
 	}
 	for _, v := range res.Survivors() {
 		if inv.PlaybackCompletes && !exempt[v.Name] && v.Stats.SegmentsPlayed < res.Segments {
-			fail("%s played %d/%d segments", v.Name, v.Stats.SegmentsPlayed, res.Segments)
+			fail("%s played %d/%d segments%s", v.Name, v.Stats.SegmentsPlayed, res.Segments, stallTrace(v))
 		}
 		if inv.NoViewerErrors && !exempt[v.Name] && v.Err != nil {
-			fail("%s finished with error: %v", v.Name, v.Err)
+			fail("%s finished with error: %v%s", v.Name, v.Err, stallTrace(v))
 		}
 		if inv.NoPollutedCache && v.Peer != nil {
 			for _, idx := range v.Peer.CachedIndices() {
@@ -63,7 +78,15 @@ func (inv Invariants) Check(res *Result) []string {
 	}
 	if inv.MaxStalls >= 0 {
 		if stalls := res.Counter("pdn_stalls_total"); stalls > inv.MaxStalls {
-			fail("pdn_stalls_total=%d exceeds bound %d", stalls, inv.MaxStalls)
+			// The bound is swarm-wide, so cite every surviving viewer's
+			// last stall trace — one of them is the offender.
+			var ids []string
+			for _, v := range res.Survivors() {
+				if t := stallTrace(v); t != "" {
+					ids = append(ids, v.Name+t)
+				}
+			}
+			fail("pdn_stalls_total=%d exceeds bound %d (%s)", stalls, inv.MaxStalls, strings.Join(ids, ", "))
 		}
 	}
 	return violations

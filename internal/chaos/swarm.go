@@ -48,6 +48,10 @@ type SwarmConfig struct {
 	// scenarios pick IDs whose swarm hashes to a specific plane member
 	// — the ring is deterministic, so the choice is stable.
 	VideoID string
+	// Traces, when set, gives every deployed process (signaling servers,
+	// CDN, viewers) a process-stamped tracer. The JSONL it collects is
+	// what lets a violation's trace ID be looked up in pdntrace.
+	Traces *obs.TraceSet
 }
 
 // ViewerResult is one viewer's outcome.
@@ -141,6 +145,7 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 		Profile: provider.Peer5(),
 		Video:   video,
 		Obs:     reg,
+		Traces:  cfg.Traces,
 		Options: opts,
 	})
 	if err != nil {

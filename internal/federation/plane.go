@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -24,6 +25,12 @@ type PlaneConfig struct {
 	// never on which server owns it. That seed discipline is what makes
 	// 1-server and 4-server planes observably identical.
 	Base signal.Config
+	// Traces, when set, gives each server its own process-stamped tracer
+	// from the set (keyed by server name), overriding Base.Tracer. This
+	// is what makes a federated trace attributable: without it every
+	// server would write spans into one shared tracer and pdntrace could
+	// not tell ingress from owner.
+	Traces *obs.TraceSet
 }
 
 // planeMember is one server slot in the plane.
@@ -81,6 +88,9 @@ func NewPlane(cfg PlaneConfig) *Plane {
 			sc.ServerName = name
 		}
 		sc.Router = &memberRouter{p: p, self: name}
+		if cfg.Traces != nil {
+			sc.Tracer = cfg.Traces.Tracer(name)
+		}
 		p.members = append(p.members, &planeMember{name: name, srv: signal.NewServer(sc)})
 	}
 	return p

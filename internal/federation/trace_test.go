@@ -1,0 +1,109 @@
+package federation
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/signal"
+	"github.com/stealthy-peers/pdnsec/internal/traceview"
+)
+
+// TestForwardSpliceTrace pins the cross-server stitching of the proxy
+// path: a legacy client (no AcceptRedirect) joins through the wrong
+// server, and the one resulting trace must chain client → ingress
+// (signal_forward_splice) → owner (signal_join_serve) with no orphans —
+// the ingress re-stamps the forwarded join with its splice span's
+// context, which is what welds the two servers into the client's trace.
+func TestForwardSpliceTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	network := netsim.New(netsim.Config{Seed: 9})
+	hosts := make([]*netsim.Host, 2)
+	for i := range hosts {
+		hosts[i] = network.MustHost(netip.AddrFrom4([4]byte{44, 0, 0, byte(i + 1)}))
+	}
+	set := obs.NewTraceSet(network.Now, 9)
+	p := NewPlane(PlaneConfig{
+		Servers: 2,
+		Traces:  set,
+		Base:    signal.Config{Policy: signal.DefaultPolicy(), Seed: 9, Obs: reg},
+	})
+	if err := p.Serve(hosts, 443); err != nil {
+		t.Fatal(err)
+	}
+
+	video := swarmOwnedBy(t, p, "s1")
+	clientHost := network.MustHost(netip.AddrFrom4([4]byte{66, 10, 0, 1}))
+	cli, err := signal.Dial(testCtx, clientHost, p.Addr(0)) // the WRONG server
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := set.Tracer("client")
+	cctx, root := ctr.StartSpan(testCtx, "peer_join")
+	w, err := cli.Join(cctx, signal.JoinRequest{Video: video, Rendition: "720p", Fingerprint: "fpT"})
+	if err != nil {
+		t.Fatalf("proxied join: %v", err)
+	}
+	if !strings.HasPrefix(w.PeerID, "s1p") {
+		t.Fatalf("peer ID %q not in the owner's namespace", w.PeerID)
+	}
+	root.End()
+	// Closing the client tears the splice down, which is when the
+	// ingress's splice span records; Close on the plane waits the
+	// handlers out before we read the buffers.
+	cli.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := set.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := traceview.Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := traceview.Stitch(recs, st)
+	tr, ok := a.TraceByID(root.TraceContext().TraceID)
+	if !ok {
+		t.Fatalf("join trace %s not in the stitched set", root.TraceContext().TraceIDString())
+	}
+	if !tr.FullyStitched() {
+		t.Fatalf("splice trace has %d orphans, %d loose events", tr.Orphans, tr.LooseEvents)
+	}
+	if got := strings.Join(tr.Procs, ","); got != "client,s0,s1" {
+		t.Fatalf("trace procs = %s, want client,s0,s1", got)
+	}
+	// Walk the spine: peer_join → signal_forward_splice → signal_join_serve.
+	r := tr.Root()
+	if r == nil || r.Rec.Name != "peer_join" || r.Rec.Proc != "client" {
+		t.Fatalf("root = %+v, want client peer_join", r)
+	}
+	splice := findChild(r, "signal_forward_splice")
+	if splice == nil || splice.Rec.Proc != "s0" {
+		t.Fatalf("no ingress splice span under the join root: %+v", r.Children)
+	}
+	serve := findChild(splice, "signal_join_serve")
+	if serve == nil || serve.Rec.Proc != "s1" {
+		t.Fatalf("owner's join_serve not parented under the splice: %+v", splice.Children)
+	}
+	// The ingress's forward event must ride on the splice span.
+	for _, ev := range splice.Events {
+		if ev.Name == "signal_forward" {
+			return
+		}
+	}
+	t.Fatalf("signal_forward event missing from the splice span: %+v", splice.Events)
+}
+
+func findChild(n *traceview.Node, name string) *traceview.Node {
+	for _, c := range n.Children {
+		if c.Rec.Name == name {
+			return c
+		}
+	}
+	return nil
+}

@@ -10,26 +10,33 @@ import (
 // Obsnames enforces the telemetry naming contract: every metric or span
 // name handed to internal/obs — Registry constructors (Counter, Gauge,
 // GaugeFunc, Histogram, CounterVec) and Tracer span/event starts (Begin,
-// Event) — must be a literal snake_case string. Literal names keep the
-// metric namespace greppable (a dashboard query can be traced to its
-// source line) and stop dynamic names from exploding registry
-// cardinality; snake_case matches Prometheus exposition conventions.
+// Event, StartSpan, StartSpanRemote) — must be a literal snake_case
+// string. Literal names keep the metric namespace greppable (a dashboard
+// query can be traced to its source line) and stop dynamic names from
+// exploding registry cardinality; snake_case matches Prometheus
+// exposition conventions. pdntrace's hop classification also keys on
+// span-name prefixes, so a dynamic span name would silently fall out of
+// its latency breakdown.
 var Obsnames = &Analyzer{
 	Name: "obsnames",
 	Doc:  "require literal snake_case names in internal/obs metric and span constructors",
 	Run:  runObsnames,
 }
 
-// obsNamedCalls are the internal/obs functions whose first argument is a
-// registry or trace name.
-var obsNamedCalls = map[string]bool{
-	"Counter":    true,
-	"Gauge":      true,
-	"GaugeFunc":  true,
-	"Histogram":  true,
-	"CounterVec": true,
-	"Begin":      true,
-	"Event":      true,
+// obsNamedCalls maps each internal/obs function taking a registry or
+// trace name to the argument index the name occupies (the span starters
+// that take a context or an encoded remote parent first put the name
+// second).
+var obsNamedCalls = map[string]int{
+	"Counter":         0,
+	"Gauge":           0,
+	"GaugeFunc":       0,
+	"Histogram":       0,
+	"CounterVec":      0,
+	"Begin":           0,
+	"Event":           0,
+	"StartSpan":       1,
+	"StartSpanRemote": 1,
 }
 
 var snakeCaseName = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
@@ -43,13 +50,16 @@ func runObsnames(pass *Pass) error {
 				return true
 			}
 			f := calleeFunc(info, call)
-			if f == nil || !obsNamedCalls[f.Name()] ||
-				!strings.HasSuffix(funcPkgPath(f), "/internal/obs") {
+			if f == nil || !strings.HasSuffix(funcPkgPath(f), "/internal/obs") {
 				return true
 			}
-			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			idx, named := obsNamedCalls[f.Name()]
+			if !named || len(call.Args) <= idx {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[idx]).(*ast.BasicLit)
 			if !ok {
-				pass.Reportf(call.Args[0].Pos(),
+				pass.Reportf(call.Args[idx].Pos(),
 					"obs.%s name must be a literal string, not an expression", f.Name())
 				return true
 			}
@@ -58,7 +68,7 @@ func runObsnames(pass *Pass) error {
 				return true // not a string literal (type error elsewhere)
 			}
 			if !snakeCaseName.MatchString(name) {
-				pass.Reportf(call.Args[0].Pos(),
+				pass.Reportf(call.Args[idx].Pos(),
 					"obs.%s name %q is not snake_case", f.Name(), name)
 			}
 			return true

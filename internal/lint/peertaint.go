@@ -576,17 +576,36 @@ func (st *ptState) checkSinks(node *FuncNode) {
 	for _, site := range node.Calls {
 		st.checkSinkCall(node, info, site.Call)
 	}
-	// chaos.Event construction: field values of the fault log.
+	// Struct-field sinks: chaos.Event fault-log fields, and the Trace
+	// propagation fields the distributed-tracing protocol messages carry.
+	// A propagated TraceContext is opaque hex by construction; anything
+	// address-shaped assigned to these fields would ride the wire into
+	// every downstream process's trace file, so they are sinks.
 	ast.Inspect(node.Body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
 		}
 		switch n := n.(type) {
 		case *ast.CompositeLit:
-			if named := namedTypeName(typeOf(info, n)); named == "chaos.Event" {
+			named := namedTypeName(typeOf(info, n))
+			if named == "chaos.Event" {
 				for _, elt := range n.Elts {
 					if fact := st.eval(node, info, elt); fact != nil {
 						st.report(node, elt.Pos(), "chaos event field", fact)
+					}
+				}
+			}
+			if ptTraceFieldOwner(named) {
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Trace" {
+						continue
+					}
+					if fact := st.eval(node, info, kv.Value); fact != nil {
+						st.report(node, kv.Value.Pos(), "trace propagation field", fact)
 					}
 				}
 			}
@@ -596,16 +615,35 @@ func (st *ptState) checkSinks(node *FuncNode) {
 					break
 				}
 				sel, ok := ast.Unparen(l).(*ast.SelectorExpr)
-				if !ok || fieldOwnerName(info, sel) != "chaos.Event" {
+				if !ok {
 					continue
 				}
-				if fact := st.eval(node, info, n.Rhs[i]); fact != nil {
-					st.report(node, n.Rhs[i].Pos(), "chaos event field", fact)
+				owner := fieldOwnerName(info, sel)
+				switch {
+				case owner == "chaos.Event":
+					if fact := st.eval(node, info, n.Rhs[i]); fact != nil {
+						st.report(node, n.Rhs[i].Pos(), "chaos event field", fact)
+					}
+				case sel.Sel.Name == "Trace" && ptTraceFieldOwner(owner):
+					if fact := st.eval(node, info, n.Rhs[i]); fact != nil {
+						st.report(node, n.Rhs[i].Pos(), "trace propagation field", fact)
+					}
 				}
 			}
 		}
 		return true
 	})
+}
+
+// ptTraceFieldOwner reports whether a named type ("pkgbase.Type") is one
+// of the protocol messages whose Trace field propagates an encoded
+// obs.TraceContext across processes. Matched by type-name suffix, like
+// the JoinRequest.FwdAddr source, so fixtures can model the shape.
+func ptTraceFieldOwner(owner string) bool {
+	return strings.HasSuffix(owner, ".JoinRequest") ||
+		strings.HasSuffix(owner, ".GetPeersReq") ||
+		strings.HasSuffix(owner, ".Relay") ||
+		strings.HasSuffix(owner, ".p2pMsg")
 }
 
 // namedTypeName renders a (possibly pointer) named type as

@@ -4,12 +4,13 @@
 package obsnames
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/stealthy-peers/pdnsec/internal/obs"
 )
 
-func literalSnakeCase(reg *obs.Registry, tr *obs.Tracer) {
+func literalSnakeCase(ctx context.Context, reg *obs.Registry, tr *obs.Tracer) {
 	reg.Counter("cdn_bytes_total", "bytes served") // allowed
 	reg.Gauge("swarm_peers", "current swarm size") // allowed
 	reg.GaugeFunc("cache_ratio", "hit ratio", func() float64 { return 0 })
@@ -17,6 +18,10 @@ func literalSnakeCase(reg *obs.Registry, tr *obs.Tracer) {
 	reg.CounterVec("video_bytes_total", "bytes per video", "video")
 	tr.Begin("dispatch_job").End()
 	tr.Event("slow_start_exit")
+	_, sp := tr.StartSpan(ctx, "segment_fetch") // allowed: name is arg 1
+	sp.Event("cache_probe")
+	sp.End()
+	tr.StartSpanRemote("", "signal_join_serve").End() // allowed
 }
 
 func dynamicName(reg *obs.Registry, video string) {
@@ -46,6 +51,23 @@ func trailingUnderscore(tr *obs.Tracer) {
 func variableName(reg *obs.Registry) {
 	const name = "ok_constant_but_not_literal"
 	reg.Counter(name, "help") // want `obs.Counter name must be a literal string, not an expression`
+}
+
+func spanDynamicName(ctx context.Context, tr *obs.Tracer, video string) {
+	_, sp := tr.StartSpan(ctx, "segment_"+video) // want `obs.StartSpan name must be a literal string, not an expression`
+	sp.End()
+}
+
+func spanRemoteCamel(tr *obs.Tracer, enc string) {
+	// The first argument is the propagated context, not the name: only
+	// the second must be a literal.
+	tr.StartSpanRemote(enc, "SignalJoinServe").End() // want `obs.StartSpanRemote name "SignalJoinServe" is not snake_case`
+}
+
+func spanEventHyphen(ctx context.Context, tr *obs.Tracer) {
+	_, sp := tr.StartSpan(ctx, "segment_fetch")
+	sp.Event("cdn-fallback") // want `obs.Event name "cdn-fallback" is not snake_case`
+	sp.End()
 }
 
 func otherPackagesUnaffected(video string) string {

@@ -67,6 +67,36 @@ func chaosEvent(conn net.Conn) chaos.Event {
 	return chaos.Event{Fault: "partition", Detail: clientAddr(conn)} // want `peer-identifying value from RemoteAddr\(\) .* reaches chaos event field`
 }
 
+// ---- trace propagation fields are sinks ----
+
+// Relay models the signaling relay message: its Trace field carries an
+// encoded obs.TraceContext to another process's trace file.
+type Relay struct {
+	To    string
+	Trace string
+}
+
+type p2pMsg struct {
+	Op    string
+	Trace string
+}
+
+func traceFieldLiteral(conn net.Conn) Relay {
+	return Relay{To: "p2", Trace: clientAddr(conn)} // want `peer-identifying value from RemoteAddr\(\) .* reaches trace propagation field`
+}
+
+func traceFieldAssign(conn net.Conn) {
+	var m p2pMsg
+	m.Trace = clientAddr(conn) // want `peer-identifying value from RemoteAddr\(\) .* reaches trace propagation field`
+	_ = m
+}
+
+func traceFieldClean(tc string) Relay {
+	// Opaque encoded trace contexts (hex identifiers) are the intended
+	// payload; sibling fields stay unchecked.
+	return Relay{To: "p2", Trace: tc}
+}
+
 // ---- declared source fields and types ----
 
 type JoinRequest struct {

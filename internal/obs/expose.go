@@ -136,13 +136,49 @@ func (r *Registry) JSONHandler() http.Handler {
 	})
 }
 
+// HealthHandler serves per-subsystem readiness: every HealthFunc
+// registered on the registry runs, the JSON body reports each check
+// ("ok" or the error text) plus an overall status, and the HTTP code
+// is 200 only when every check passes (503 otherwise) — so load
+// balancers and CI smoke loops can gate on the status line alone. A
+// registry with no registered checks reports healthy.
+func (r *Registry) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		names, fns := r.healthSnapshot()
+		checks := make(map[string]string, len(names))
+		healthy := true
+		for i, name := range names {
+			if err := fns[i](); err != nil {
+				checks[name] = err.Error()
+				healthy = false
+			} else {
+				checks[name] = "ok"
+			}
+		}
+		status := "ok"
+		code := http.StatusOK
+		if !healthy {
+			status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(struct {
+			Status string            `json:"status"`
+			Checks map[string]string `json:"checks"`
+		}{Status: status, Checks: checks})
+	})
+}
+
 // DebugMux builds the standard debug surface for a long-running
-// process: /metrics (Prometheus), /debug/vars (JSON), and the
-// net/http/pprof handlers under /debug/pprof/. Handlers are registered
-// explicitly so importing obs does not pollute http.DefaultServeMux.
+// process: /metrics (Prometheus), /healthz (readiness), /debug/vars
+// (JSON), and the net/http/pprof handlers under /debug/pprof/.
+// Handlers are registered explicitly so importing obs does not pollute
+// http.DefaultServeMux.
 func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/healthz", r.HealthHandler())
 	mux.Handle("/debug/vars", r.JSONHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -62,6 +62,49 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	order   []string
+
+	healthMu sync.Mutex
+	health   map[string]HealthFunc
+	horder   []string
+}
+
+// HealthFunc reports one subsystem's readiness: nil when healthy, an
+// error describing why not. Funcs are evaluated on every /healthz
+// request, so they must be cheap and safe for concurrent use.
+type HealthFunc func() error
+
+// RegisterHealth registers a named readiness check, surfaced by the
+// DebugMux /healthz endpoint. Re-registering a name replaces its
+// check. Nil-safe; a nil fn is ignored.
+func (r *Registry) RegisterHealth(name string, fn HealthFunc) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	if r.health == nil {
+		r.health = make(map[string]HealthFunc)
+	}
+	if _, ok := r.health[name]; !ok {
+		r.horder = append(r.horder, name)
+	}
+	r.health[name] = fn
+}
+
+// healthSnapshot copies the registered checks in registration order so
+// evaluation runs without holding the registry lock.
+func (r *Registry) healthSnapshot() ([]string, []HealthFunc) {
+	if r == nil {
+		return nil, nil
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	names := append([]string(nil), r.horder...)
+	fns := make([]HealthFunc, len(names))
+	for i, name := range names {
+		fns[i] = r.health[name]
+	}
+	return names, fns
 }
 
 // NewRegistry returns an empty registry.

@@ -119,13 +119,26 @@ func TestWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("lines = %d, want 2", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (schema header + 2 events)", len(lines))
 	}
-	for _, line := range lines {
+	var header map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header %q: %v", lines[0], err)
+	}
+	if header["ph"] != "M" {
+		t.Fatalf("first line is not the schema header: %q", lines[0])
+	}
+	if args, _ := header["args"].(map[string]any); args == nil || args["schema"] != TraceSchema {
+		t.Fatalf("header schema = %v, want %q", header["args"], TraceSchema)
+	}
+	for _, line := range lines[1:] {
 		var obj map[string]any
 		if err := json.Unmarshal([]byte(line), &obj); err != nil {
 			t.Fatalf("line %q: %v", line, err)
+		}
+		if obj["proc"] != "main" {
+			t.Fatalf("line missing proc identity: %q", line)
 		}
 	}
 }

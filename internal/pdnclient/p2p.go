@@ -3,6 +3,7 @@ package pdnclient
 import (
 	"context"
 	"encoding/json"
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,11 @@ type p2pMsg struct {
 	Op    string           `json:"op"` // "want" | "segment"
 	Key   media.SegmentKey `json:"key"`
 	Found bool             `json:"found,omitempty"`
+	// Trace carries the requester's encoded obs.TraceContext on "want"
+	// frames, so the serving peer's p2p_serve span stitches into the
+	// requester's segment trace. Opaque identifiers only — never
+	// addresses (pdnlint peertaint treats it as a sink).
+	Trace string `json:"trace,omitempty"`
 }
 
 // encodeMsg frames a header and optional payload.
@@ -139,7 +145,7 @@ func (nb *neighbor) readLoop() {
 		}
 		switch hdr.Op {
 		case "want":
-			nb.serve(hdr.Key)
+			nb.serve(hdr.Key, hdr.Trace)
 		case "segment":
 			select {
 			case nb.respCh <- p2pFrame{hdr: hdr, payload: payload}:
@@ -150,9 +156,14 @@ func (nb *neighbor) readLoop() {
 }
 
 // serve answers a neighbor's segment request from the local cache,
-// honoring the cellular-upload ("leech mode") policy.
-func (nb *neighbor) serve(key media.SegmentKey) {
+// honoring the cellular-upload ("leech mode") policy. trace is the
+// requester's propagated TraceContext ("" for untraced requesters); the
+// serve span it parents is how the *uploading* peer's work appears in
+// the downloader's stitched segment trace.
+func (nb *neighbor) serve(key media.SegmentKey, trace string) {
 	p := nb.peer
+	span := p.cfg.Tracer.StartSpanRemote(trace, "p2p_serve",
+		obs.A("neighbor", nb.id), obs.A("idx", key.Index))
 	pol := p.Policy()
 	resp := p2pMsg{Op: "segment", Key: key}
 	var payload []byte
@@ -175,9 +186,12 @@ func (nb *neighbor) serve(key media.SegmentKey) {
 	}
 	frame, err := encodeMsg(resp, payload)
 	if err != nil {
+		span.End(obs.A("found", false))
 		return
 	}
-	if err := nb.conn.Send(frame); err != nil {
+	err = nb.conn.Send(frame)
+	span.End(obs.A("found", resp.Found), obs.A("bytes", len(payload)))
+	if err != nil {
 		return
 	}
 	if resp.Found {
@@ -188,8 +202,14 @@ func (nb *neighbor) serve(key media.SegmentKey) {
 	}
 }
 
-// request asks this neighbor for a segment.
-func (nb *neighbor) request(ctx context.Context, key media.SegmentKey) ([]byte, bool) {
+// request asks this neighbor for a segment. The exchange runs under a
+// p2p_request child span (covering queueing behind the outstanding-want
+// semaphore plus the wire round trip), and the want frame carries the
+// span's context so the serving peer's p2p_serve span parents under it.
+func (nb *neighbor) request(ctx context.Context, key media.SegmentKey) (data []byte, found bool) {
+	ctx, span := nb.peer.cfg.Tracer.StartSpan(ctx, "p2p_request",
+		obs.A("neighbor", nb.id), obs.A("idx", key.Index))
+	defer func() { span.End(obs.A("found", found)) }()
 	select {
 	case <-nb.reqMu:
 	case <-ctx.Done():
@@ -199,7 +219,7 @@ func (nb *neighbor) request(ctx context.Context, key media.SegmentKey) ([]byte, 
 	}
 	defer func() { nb.reqMu <- struct{}{} }()
 
-	frame, err := encodeMsg(p2pMsg{Op: "want", Key: key}, nil)
+	frame, err := encodeMsg(p2pMsg{Op: "want", Key: key, Trace: obs.ContextString(ctx)}, nil)
 	if err != nil {
 		return nil, false
 	}
@@ -306,7 +326,7 @@ func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
 	if sig == nil {
 		return
 	}
-	if err := sig.Relay(info.ID, signal.RelayOffer, signal.ConnectOffer{
+	if err := sig.RelayCtx(cctx, info.ID, signal.RelayOffer, signal.ConnectOffer{
 		Fingerprint: p.identity.Fingerprint(),
 		Candidates:  cands,
 	}); err != nil {
@@ -331,12 +351,32 @@ func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
 	if err != nil {
 		return
 	}
-	dconn, err := dtls.Client(raw, p.dtlsConfig(answer.Fingerprint))
+	dconn, err := p.dtlsHandshake(cctx, raw, answer.Fingerprint, true)
 	if err != nil {
 		raw.Close()
 		return
 	}
 	p.addNeighbor(info.ID, dconn)
+}
+
+// dtlsHandshake runs the DTLS client or server handshake under a
+// dtls_handshake span, so stitched traces break out crypto setup cost
+// from the transfer itself (pdntrace's dtls-handshake hop type).
+func (p *Peer) dtlsHandshake(ctx context.Context, raw net.Conn, theirFP string, client bool) (*dtls.Conn, error) {
+	role := "server"
+	if client {
+		role = "client"
+	}
+	_, span := p.cfg.Tracer.StartSpan(ctx, "dtls_handshake", obs.A("role", role))
+	var dconn *dtls.Conn
+	var err error
+	if client {
+		dconn, err = dtls.Client(raw, p.dtlsConfig(theirFP))
+	} else {
+		dconn, err = dtls.Server(raw, p.dtlsConfig(theirFP))
+	}
+	span.End(obs.A("ok", err == nil))
+	return dconn, err
 }
 
 // handleRelay processes offers and answers arriving via signaling.
@@ -350,7 +390,7 @@ func (p *Peer) handleRelay(rel signal.Relay) {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.answerOffer(rel.From, offer)
+			p.answerOffer(rel.From, offer, rel.Trace)
 		}()
 	case signal.RelayAnswer:
 		var answer signal.ConnectOffer
@@ -423,7 +463,7 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 	}
 	if initiator {
 		answerCh := p.expectAnswer(peerID)
-		if err := sig.Relay(peerID, signal.RelayOffer, signal.ConnectOffer{
+		if err := sig.RelayCtx(ctx, peerID, signal.RelayOffer, signal.ConnectOffer{
 			Fingerprint: p.identity.Fingerprint(),
 		}); err != nil {
 			return
@@ -446,12 +486,7 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 	if err != nil {
 		return
 	}
-	var dconn *dtls.Conn
-	if initiator {
-		dconn, err = dtls.Client(raw, p.dtlsConfig(theirFP))
-	} else {
-		dconn, err = dtls.Server(raw, p.dtlsConfig(theirFP))
-	}
+	dconn, err := p.dtlsHandshake(ctx, raw, theirFP, initiator)
 	if err != nil {
 		raw.Close()
 		return
@@ -460,8 +495,11 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 }
 
 // answerOffer runs the responder side: answer → ICE → punch → DTLS
-// server.
-func (p *Peer) answerOffer(from string, offer signal.ConnectOffer) {
+// server. trace is the offer relay's propagated TraceContext (""
+// when the initiator ran untraced); the responder's p2p_answer span
+// continues it, landing this peer's handshake work in the initiator's
+// connection-setup trace.
+func (p *Peer) answerOffer(from string, offer signal.ConnectOffer, trace string) {
 	p.mu.Lock()
 	_, connected := p.neighbors[from]
 	sig := p.sig
@@ -470,11 +508,13 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer) {
 	if connected || sig == nil || runCtx == nil {
 		return
 	}
-	cctx, cancel := context.WithTimeout(runCtx, connectTimeout)
+	aspan := p.cfg.Tracer.StartSpanRemote(trace, "p2p_answer", obs.A("from", from))
+	defer aspan.End()
+	cctx, cancel := context.WithTimeout(obs.ContextWithSpan(runCtx, aspan), connectTimeout)
 	defer cancel()
 
 	if p.cfg.TURNAddr.IsValid() {
-		if err := sig.Relay(from, signal.RelayAnswer, signal.ConnectOffer{
+		if err := sig.RelayCtx(cctx, from, signal.RelayAnswer, signal.ConnectOffer{
 			Fingerprint: p.identity.Fingerprint(),
 		}); err != nil {
 			return
@@ -492,7 +532,7 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer) {
 	if err != nil {
 		return
 	}
-	if err := sig.Relay(from, signal.RelayAnswer, signal.ConnectOffer{
+	if err := sig.RelayCtx(cctx, from, signal.RelayAnswer, signal.ConnectOffer{
 		Fingerprint: p.identity.Fingerprint(),
 		Candidates:  cands,
 	}); err != nil {
@@ -506,7 +546,7 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer) {
 	if err != nil {
 		return
 	}
-	dconn, err := dtls.Server(raw, p.dtlsConfig(offer.Fingerprint))
+	dconn, err := p.dtlsHandshake(cctx, raw, offer.Fingerprint, false)
 	if err != nil {
 		raw.Close()
 		return

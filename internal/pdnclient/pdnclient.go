@@ -212,6 +212,10 @@ type Peer struct {
 	// slowStartExited latches the first P2P-eligible segment so the
 	// slow-start exit is counted once per session.
 	slowStartExited bool
+	// lastStallTrace is the trace ID of the most recent segment fetch
+	// that failed outright — chaos invariant violations cite it so a red
+	// run names the exact trace to inspect alongside the replay seed.
+	lastStallTrace string
 
 	closed chan struct{}
 	wg     sync.WaitGroup
@@ -301,6 +305,17 @@ func (p *Peer) Stats() Stats {
 // Fingerprint returns the peer's DTLS certificate fingerprint.
 func (p *Peer) Fingerprint() string { return p.identity.Fingerprint() }
 
+// LastStallTrace returns the trace ID (16 hex digits) of the most
+// recent segment fetch that failed outright, or "" when none has — or
+// when the peer runs untraced. Chaos invariant violations cite it next
+// to the scenario+seed replay line so a red run names the exact trace
+// to pull out of the JSONL files.
+func (p *Peer) LastStallTrace() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastStallTrace
+}
+
 // CachedIndices returns the segment indices currently held in the
 // upload cache, sorted ascending. Chaos invariant checks use it to
 // audit what a peer would serve.
@@ -387,8 +402,14 @@ func (p *Peer) StopLinger() {
 // same resolution, so a crashed owner is routed around instead of
 // retried forever.
 func (p *Peer) join(ctx context.Context) error {
+	// The join is its own trace root: the serving server's join span (and,
+	// on a federated misroute, the ingress splice and the owner's span)
+	// stitch under it via JoinRequest.Trace.
+	ctx, jspan := p.cfg.Tracer.StartSpan(ctx, "peer_join",
+		obs.A("video", p.cfg.Video), obs.A("rendition", p.cfg.Rendition))
 	cands, err := p.gatherCandidates(ctx)
 	if err != nil {
+		jspan.End(obs.A("ok", false))
 		return err
 	}
 	res, err := federation.Join(ctx, p.cfg.Host, p.store, signal.JoinRequest{
@@ -407,15 +428,17 @@ func (p *Peer) join(ctx context.Context) error {
 		c.OnPeerGone(p.onPeerGone)
 	})
 	if err != nil {
+		jspan.End(obs.A("ok", false))
 		return err
 	}
 	sig, w := res.Client, res.Welcome
 	// The admitting server's address is infrastructure, not peer
 	// identity, but traces cross trust boundaries (CI artifacts, shared
 	// dashboards) — so it is redacted like everything else address-shaped.
-	p.cfg.Tracer.Event("signal_bootstrap",
+	jspan.Event("signal_bootstrap",
 		obs.A("server", privacy.Redact(res.Server.String())),
 		obs.A("peer", w.PeerID))
+	jspan.End(obs.A("ok", true), obs.A("peer", w.PeerID))
 	p.mu.Lock()
 	select {
 	case <-p.closed:
@@ -592,7 +615,8 @@ func (p *Peer) playbackLoop(ctx context.Context) error {
 					return ctx.Err()
 				}
 				p.metrics.stalls.Inc()
-				p.cfg.Tracer.Event("stall", obs.A("video", p.cfg.Video), obs.A("idx", idx))
+				p.cfg.Tracer.Event("stall", obs.A("video", p.cfg.Video), obs.A("idx", idx),
+					obs.A("trace", p.LastStallTrace()))
 				continue // skip unfetchable segment, as players do
 			}
 			progressed = true
@@ -674,10 +698,19 @@ func (p *Peer) hashManifestOK(key media.SegmentKey, data []byte) bool {
 // announces, and observes one segment.
 func (p *Peer) playSegment(ctx context.Context, idx int) error {
 	key := media.SegmentKey{Video: p.cfg.Video, Rendition: p.cfg.Rendition, Index: idx}
-	span := p.cfg.Tracer.Begin("segment", obs.A("video", key.Video), obs.A("idx", idx))
+	// The segment span is the root of the fetch's distributed trace: its
+	// context rides the signaling match, every p2p want frame, and the
+	// CDN fallback's traceparent header, so pdntrace can stitch the whole
+	// cross-process tree back under this one span.
+	ctx, span := p.cfg.Tracer.StartSpan(ctx, "segment", obs.A("video", key.Video), obs.A("idx", idx))
 	data, source, err := p.fetchSegment(ctx, key)
 	if err != nil {
 		span.End(obs.A("source", "none"))
+		if tc := span.TraceContext(); tc.Valid() && ctx.Err() == nil {
+			p.mu.Lock()
+			p.lastStallTrace = tc.TraceIDString()
+			p.mu.Unlock()
+		}
 		return err
 	}
 	span.End(obs.A("source", source))
@@ -721,6 +754,10 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 		key.Index >= pol.SlowStartSegments &&
 		(!p.cfg.Cellular || pol.CellularDownload)
 
+	// Scheduler decisions land as instants on the segment span, so a
+	// stitched trace shows *why* a fetch took the path it did. sp is the
+	// zero Span (a no-op) exactly when the peer runs untraced.
+	sp, _ := obs.SpanFromContext(ctx)
 	if p.cfg.VerifyHashManifest {
 		p.loadHashManifest(ctx)
 	}
@@ -731,7 +768,7 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 		p.mu.Unlock()
 		if first {
 			p.metrics.slowStartExits.Inc()
-			p.cfg.Tracer.Event("slow_start_exit", obs.A("video", key.Video), obs.A("idx", key.Index))
+			sp.Event("slow_start_exit", obs.A("video", key.Video), obs.A("idx", key.Index))
 		}
 		p.maintainNeighbors(ctx)
 		if data, ok := p.fetchFromPeers(ctx, key); ok {
@@ -742,10 +779,10 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 			p.stats.IMRejected++
 			p.mu.Unlock()
 			p.metrics.imRejects.Inc()
-			p.cfg.Tracer.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
+			sp.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
 		}
 		p.metrics.cdnFallbacks.Inc()
-		p.cfg.Tracer.Event("cdn_fallback", obs.A("video", key.Video), obs.A("idx", key.Index))
+		sp.Event("cdn_fallback", obs.A("video", key.Video), obs.A("idx", key.Index))
 	}
 	data, err := p.fetchFromCDN(ctx, key)
 	if err != nil {
@@ -761,6 +798,7 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 // signed integrity metadata when the policy demands it.
 func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte, bool) {
 	pol := p.Policy()
+	sp, _ := obs.SpanFromContext(ctx)
 	for _, nb := range p.shuffledNeighbors() {
 		data, ok := nb.request(ctx, key)
 		if !ok {
@@ -778,7 +816,7 @@ func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte
 			p.stats.IMRejected++
 			p.mu.Unlock()
 			p.metrics.imRejects.Inc()
-			p.cfg.Tracer.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
+			sp.Event("im_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
 			continue
 		}
 		p.mu.Lock()
@@ -790,10 +828,15 @@ func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte
 	return nil, false
 }
 
-// fetchFromCDN downloads a segment over HTTP.
+// fetchFromCDN downloads a segment over HTTP. The fetch runs under its
+// own cdn_fetch span; httpGet stamps the request's traceparent header
+// from it, so the CDN's serve span lands in the same trace (the
+// cdn-fallback hop pdntrace breaks out separately).
 func (p *Peer) fetchFromCDN(ctx context.Context, key media.SegmentKey) ([]byte, error) {
+	ctx, span := p.cfg.Tracer.StartSpan(ctx, "cdn_fetch", obs.A("idx", key.Index))
 	url := cdn.SegmentURL(p.cfg.CDNBase, key.Video, key.Rendition, key.Index)
 	data, err := p.httpGet(ctx, url)
+	span.End(obs.A("ok", err == nil))
 	if err != nil {
 		return nil, err
 	}
@@ -824,6 +867,11 @@ func (p *Peer) httpGet(ctx context.Context, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	// Traced fetches carry the active span across the HTTP hop; playlist
+	// and manifest requests outside any span send no header.
+	if tp := obs.ContextString(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
 	}
 	resp, err := p.http.Do(req)
 	if err != nil {

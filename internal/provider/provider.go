@@ -276,6 +276,10 @@ type Options struct {
 	// nil disables it.
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
+	// Traces, when set, gives each federated server its own
+	// process-stamped tracer (keyed "s0", "s1", ...) so multi-server
+	// traces stay attributable; it overrides Tracer per server.
+	Traces *obs.TraceSet
 }
 
 // Deploy starts the provider's signaling and STUN services on the given
@@ -328,6 +332,7 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 			Obs:         opts.Obs,
 			Tracer:      opts.Tracer,
 		},
+		Traces: opts.Traces,
 	})
 	hosts := append([]*netsim.Host{host}, opts.SignalHosts...)
 	if err := plane.Serve(hosts, 443); err != nil {

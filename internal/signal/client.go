@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/wire"
 )
 
@@ -270,8 +271,14 @@ func (c *Client) roundTrip(ctx context.Context, typ string, payload any) (wire.E
 	}
 }
 
-// Join authenticates with the server and returns the welcome.
+// Join authenticates with the server and returns the welcome. When the
+// context carries an active obs span and the request does not already
+// name a trace, the join is stamped with the span's TraceContext so the
+// serving (and any forwarding) server's spans stitch into it.
 func (c *Client) Join(ctx context.Context, req JoinRequest) (Welcome, error) {
+	if req.Trace == "" {
+		req.Trace = obs.ContextString(ctx)
+	}
 	env, err := c.roundTrip(ctx, MsgJoin, req)
 	if err != nil {
 		return Welcome{}, err
@@ -293,9 +300,11 @@ func (c *Client) Join(ctx context.Context, req JoinRequest) (Welcome, error) {
 	return w, nil
 }
 
-// GetPeers requests up to max neighbor candidates.
+// GetPeers requests up to max neighbor candidates, propagating the
+// context's active span (if any) so the server's match span joins the
+// caller's trace.
 func (c *Client) GetPeers(ctx context.Context, max int) ([]PeerInfo, error) {
-	env, err := c.roundTrip(ctx, MsgGetPeers, GetPeersReq{Max: max})
+	env, err := c.roundTrip(ctx, MsgGetPeers, GetPeersReq{Max: max, Trace: obs.ContextString(ctx)})
 	if err != nil {
 		return nil, err
 	}
@@ -320,13 +329,25 @@ func (c *Client) SendStats(st Stats) error {
 }
 
 // Relay forwards an opaque message to another peer via the server
-// (one-way).
+// (one-way), outside any trace.
 func (c *Client) Relay(to, kind string, payload any) error {
+	return c.relay("", to, kind, payload)
+}
+
+// RelayCtx is Relay stamped with the context's active span, so the
+// server's relay span and the recipient's handling join the sender's
+// trace (connection setup triggered by a segment fetch stays in that
+// fetch's tree).
+func (c *Client) RelayCtx(ctx context.Context, to, kind string, payload any) error {
+	return c.relay(obs.ContextString(ctx), to, kind, payload)
+}
+
+func (c *Client) relay(trace, to, kind string, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("signal: marshal relay payload: %w", err)
 	}
-	return c.codec.Send(MsgRelay, Relay{To: to, Kind: kind, Payload: raw})
+	return c.codec.Send(MsgRelay, Relay{To: to, Kind: kind, Payload: raw, Trace: trace})
 }
 
 // ReportIM submits integrity metadata for a CDN-fetched segment

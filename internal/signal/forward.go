@@ -53,17 +53,27 @@ func (s *Server) forward(conn net.Conn, codec *wire.Codec, join JoinRequest, rou
 	}
 	upCodec := wire.NewCodecSize(up, sessionBufSize)
 
+	// The splice span is a child of the client's join span, and the join
+	// re-sent upstream carries the splice's context instead — so the
+	// owner's signal_join_serve parents under this ingress, landing both
+	// servers in the client's one trace (client → ingress → owner).
+	fspan := s.cfg.Tracer.StartSpanRemote(join.Trace, "signal_forward_splice",
+		obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server))
 	join.FwdAddr = remoteAddr(conn).String()
 	join.AcceptRedirect = false
+	if join.Trace != "" {
+		join.Trace = fspan.TraceContext().String()
+	}
 	if err := upCodec.Send(MsgJoin, join); err != nil {
 		upCodec.Close()
 		codec.Send(MsgError, ErrorInfo{Code: CodeUnavailable, Message: "owner " + route.Server + " unreachable"})
+		fspan.End(obs.A("ok", false))
 		return
 	}
 	s.metrics.forwarded.Inc()
 	// join.FwdAddr carries the client's real address upstream; the trace
 	// only ever sees the redacted form (peertaint-enforced).
-	s.cfg.Tracer.Event("signal_forward", obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server),
+	fspan.Event("signal_forward", obs.A("swarm", join.Video+"/"+join.Rendition), obs.A("owner", route.Server),
 		obs.A("client", privacy.Redact(join.FwdAddr)))
 
 	// Splice. Either side's EOF (or server shutdown) closes both legs;
@@ -94,6 +104,7 @@ func (s *Server) forward(conn net.Conn, codec *wire.Codec, join JoinRequest, rou
 	s.splice(codec, upCodec) // client → owner
 	closeBoth()
 	close(done)
+	fspan.End(obs.A("ok", true))
 }
 
 // splice copies frames from src to dst until either side fails,

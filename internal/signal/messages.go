@@ -85,6 +85,12 @@ type JoinRequest struct {
 	// the connection really arrives from a known federated server, so a
 	// direct client cannot spoof its geolocation with it.
 	FwdAddr string `json:"fwd_addr,omitempty"`
+
+	// Trace is the encoded obs.TraceContext of the client's join span,
+	// so the serving (and, via the forward splice, the owning) server's
+	// spans stitch into the client's trace. It carries opaque identifiers
+	// only — never addresses (pdnlint peertaint treats it as a sink).
+	Trace string `json:"trace,omitempty"`
 }
 
 // Policy is the provider-controlled SDK configuration delivered at join.
@@ -155,6 +161,9 @@ type ErrorInfo struct {
 // GetPeersReq asks for neighbor candidates.
 type GetPeersReq struct {
 	Max int `json:"max"`
+	// Trace propagates the requesting span's obs.TraceContext so the
+	// server's match span joins the segment fetch that needed neighbors.
+	Trace string `json:"trace,omitempty"`
 }
 
 // PeerInfo describes a matched neighbor — including its ICE candidates,
@@ -194,6 +203,10 @@ type Relay struct {
 	From    string          `json:"from,omitempty"` // set by the server
 	Kind    string          `json:"kind"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Trace propagates the sender's obs.TraceContext end to end: the
+	// server re-delivers the same struct, so the recipient can continue
+	// the connection-setup trace the offer started.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Relay kinds used by the SDK's connection setup.

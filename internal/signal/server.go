@@ -354,11 +354,16 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}
 
+	// The serve span continues the client's join trace (join.Trace is the
+	// encoded TraceContext the SDK stamped — or, on the proxied path, the
+	// ingress's splice span), so client, ingress, and owner stitch.
+	jspan := s.cfg.Tracer.StartSpanRemote(join.Trace, "signal_join_serve", obs.A("swarm", join.Video+"/"+join.Rendition))
 	customer, err := s.authenticate(join)
 	if err != nil {
 		s.metrics.joinRejects.Inc()
-		s.cfg.Tracer.Event("signal_join_reject", obs.A("video", join.Video), obs.A("reason", err.Error()),
+		jspan.Event("signal_join_reject", obs.A("video", join.Video), obs.A("reason", err.Error()),
 			obs.A("client", privacy.RedactAddr(remoteAddr(conn))))
+		jspan.End(obs.A("ok", false))
 		codec.Send(MsgError, ErrorInfo{Code: CodeAuthFailed, Message: err.Error()})
 		return
 	}
@@ -368,14 +373,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	// The client address is peer-identifying (the paper's §IV leak class);
 	// it only ever reaches telemetry through internal/privacy — peertaint
 	// flags this event if the sanitizer is dropped.
-	s.cfg.Tracer.Event("signal_join", obs.A("peer", sess.id), obs.A("swarm", sess.swarmID),
+	jspan.Event("signal_join", obs.A("peer", sess.id), obs.A("swarm", sess.swarmID),
 		obs.A("client", privacy.RedactAddr(sess.addr)))
 	defer s.unregister(sess)
 
 	if s.cfg.Keys != nil && customer != "" {
 		s.cfg.Keys.RecordJoin(customer)
 	}
-	if err := sess.send(MsgWelcome, Welcome{PeerID: sess.id, SwarmID: sess.swarmID, Policy: s.cfg.Policy}); err != nil {
+	err = sess.send(MsgWelcome, Welcome{PeerID: sess.id, SwarmID: sess.swarmID, Policy: s.cfg.Policy})
+	jspan.End(obs.A("ok", err == nil), obs.A("peer", sess.id))
+	if err != nil {
 		return
 	}
 
@@ -508,11 +515,16 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 			s.enqueue(sess.shard, outMsg{sess: sess, typ: MsgError, payload: ErrorInfo{Code: CodeBadRequest, Message: err.Error()}})
 			return false
 		}
+		// The match span continues the client's trace: a get_peers issued
+		// inside a segment fetch lands the server's matching work in that
+		// fetch's span tree.
+		mspan := s.cfg.Tracer.StartSpanRemote(req.Trace, "signal_match_serve", obs.A("peer", sess.id))
 		matched := s.matchPeers(sess, req.Max)
 		s.metrics.matchRequests.Inc()
 		s.metrics.peersMatched.Add(int64(len(matched)))
-		s.cfg.Tracer.Event("signal_match", obs.A("peer", sess.id), obs.A("matched", len(matched)))
+		mspan.Event("signal_match", obs.A("peer", sess.id), obs.A("matched", len(matched)))
 		s.enqueue(sess.shard, outMsg{sess: sess, typ: MsgPeers, payload: PeersResp{Peers: matched}})
+		mspan.End(obs.A("matched", len(matched)))
 	case MsgHave:
 		var have Have
 		if err := env.Decode(&have); err != nil {
@@ -545,8 +557,17 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 			return false
 		}
 		s.metrics.relays.Inc()
-		s.cfg.Tracer.Event("signal_relay", obs.A("from", rel.From), obs.A("to", rel.To))
+		// The relay span joins the sender's connection-setup trace, and the
+		// delivered message carries the server span's context so the
+		// recipient's answer work parents under it (client → server →
+		// recipient, one causal chain).
+		rspan := s.cfg.Tracer.StartSpanRemote(rel.Trace, "signal_relay_serve", obs.A("from", rel.From), obs.A("to", rel.To))
+		rspan.Event("signal_relay", obs.A("from", rel.From), obs.A("to", rel.To))
+		if rel.Trace != "" {
+			rel.Trace = rspan.TraceContext().String()
+		}
 		s.enqueue(target.shard, outMsg{sess: target, typ: MsgRelay, payload: rel})
+		rspan.End()
 	case MsgIMReport:
 		var rep IMReport
 		if err := env.Decode(&rep); err != nil {

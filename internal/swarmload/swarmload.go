@@ -80,6 +80,11 @@ type Config struct {
 	// Obs receives every component's metrics; nil creates a private
 	// registry (the report reads the signaling counters from it).
 	Obs *obs.Registry
+	// Traces, when set, gives every deployed process (signaling servers,
+	// CDN, full viewers) its own process-stamped tracer so the merged
+	// JSONL stitches in pdntrace. Virtual peers stay untraced — they are
+	// the load, not the workload under observation.
+	Traces *obs.TraceSet
 	// Clock is the injectable wall clock (default time.Now). Latency
 	// percentiles and wait deadlines derive from it.
 	Clock func() time.Time
@@ -214,6 +219,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Profile: provider.Peer5(),
 		Video:   analyzer.SmallVideo("swarmload", cfg.Segments, 12<<10),
 		Obs:     cfg.Obs,
+		Traces:  cfg.Traces,
 		Options: provider.Options{Seed: cfg.Seed, Shards: cfg.Shards, Servers: cfg.Servers},
 	})
 	if err != nil {

@@ -1,0 +1,99 @@
+package swarmload
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/traceview"
+)
+
+// TestFederatedTraceStitching is the tracing acceptance run: a
+// federated 3-server swarmload with a TraceSet, whose merged JSONL
+// pdntrace's engine must reassemble into at least one fully-stitched
+// segment-fetch trace spanning three or more distinct processes — the
+// fetching client, a signaling-plane server, and the peer or CDN that
+// actually produced the bytes.
+func TestFederatedTraceStitching(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	traces := obs.NewTraceSet(nil, 11)
+	rep, err := Run(ctx, Config{
+		Swarms:        3,
+		PeersPerSwarm: 40,
+		Seed:          11,
+		Servers:       3,
+		FullViewers:   3,
+		Segments:      5,
+		Traces:        traces,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+
+	// Round-trip through the real file path: the capture pdntrace reads
+	// is exactly what the CLI's -trace flag writes.
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := traces.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := traceview.LoadFiles([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 0 {
+		t.Fatalf("tracer emitted %d malformed lines", st.Malformed)
+	}
+	a := traceview.Stitch(recs, st)
+	sum := traceview.Summarize(a, 1, 5)
+	if sum.SegmentTraces == 0 {
+		t.Fatal("no segment-fetch traces captured")
+	}
+
+	// The acceptance trace: a segment fetch whose spans came from >= 3
+	// processes, with every span parented (zero orphans in that trace).
+	var best *traceview.Trace
+	for _, tr := range a.Traces {
+		root := tr.Root()
+		if root == nil || root.Rec.Name != "segment" || !tr.FullyStitched() {
+			continue
+		}
+		if best == nil || len(tr.Procs) > len(best.Procs) {
+			best = tr
+		}
+	}
+	if best == nil {
+		t.Fatalf("no fully-stitched segment trace (orphans=%d over %d traces)", sum.Orphans, sum.Traces)
+	}
+	if len(best.Procs) < 3 {
+		t.Fatalf("widest stitched segment trace spans %v — want >= 3 processes", best.Procs)
+	}
+	var hasClient, hasServer, hasRemote bool
+	for _, proc := range best.Procs {
+		switch {
+		case strings.HasPrefix(proc, "s"):
+			hasServer = true
+		case proc == "cdn":
+			hasRemote = true
+		case strings.HasPrefix(proc, "viewer-"):
+			if !hasClient {
+				hasClient = true
+			} else {
+				hasRemote = true // a second viewer: the serving neighbor
+			}
+		}
+	}
+	if !hasClient || !hasServer || !hasRemote {
+		t.Fatalf("trace procs %v missing a party (client=%v server=%v remote=%v)",
+			best.Procs, hasClient, hasServer, hasRemote)
+	}
+	if sum.SegmentMaxProcs < 3 {
+		t.Fatalf("Summary.SegmentMaxProcs = %d, want >= 3", sum.SegmentMaxProcs)
+	}
+}

@@ -1,0 +1,84 @@
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChrome exports a stitched analysis as a Chrome/Perfetto trace
+// (JSON array form). Each contributing process gets its own pid with a
+// process_name metadata record, so the cross-process causality that the
+// per-process JSONL files cannot show renders as parallel swimlanes;
+// span and trace IDs ride along in args for cross-referencing with the
+// text report.
+func WriteChrome(w io.Writer, a *Analysis) error {
+	procs := make(map[string]int)
+	var names []string
+	for _, t := range a.Traces {
+		for _, p := range t.Procs {
+			if _, ok := procs[p]; !ok {
+				procs[p] = 0
+				names = append(names, p)
+			}
+		}
+	}
+	sort.Strings(names)
+	for i, p := range names {
+		procs[p] = i + 1
+	}
+
+	type chromeEvent struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur,omitempty"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	var evs []chromeEvent
+	for _, p := range names {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", PID: procs[p], TID: 0,
+			Args: map[string]any{"name": p},
+		})
+	}
+	emit := func(t *Trace, r Rec, ph, scope string) {
+		args := make(map[string]any, len(r.Args)+2)
+		for k, v := range r.Args {
+			args[k] = v
+		}
+		args["trace"] = fmt.Sprintf("%016x", t.ID)
+		if r.Span != 0 {
+			args["span"] = fmt.Sprintf("%016x", r.Span)
+		}
+		pid := procs[r.Proc]
+		if pid == 0 {
+			pid = len(names) + 1 // proc-less record (header missing): overflow lane
+		}
+		evs = append(evs, chromeEvent{
+			Name: r.Name, Ph: ph, TS: r.TS, Dur: r.Dur,
+			PID: pid, TID: 1, S: scope, Args: args,
+		})
+	}
+	var walk func(t *Trace, n *Node)
+	walk = func(t *Trace, n *Node) {
+		emit(t, n.Rec, "X", "")
+		for _, ev := range n.Events {
+			emit(t, ev, "i", "t")
+		}
+		for _, c := range n.Children {
+			walk(t, c)
+		}
+	}
+	for _, t := range a.Traces {
+		for _, r := range t.Roots {
+			walk(t, r)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}

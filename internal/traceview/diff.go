@@ -1,0 +1,92 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Regression is one hop or span name whose tail latency got worse
+// between two trace captures.
+type Regression struct {
+	Kind   string `json:"kind"` // "hop" or "name"
+	Key    string `json:"key"`
+	OldP99 int64  `json:"old_p99_us"`
+	NewP99 int64  `json:"new_p99_us"`
+	// Limit is the threshold the new p99 had to stay under.
+	Limit int64 `json:"limit_us"`
+}
+
+// DiffResult compares two summaries (pdntrace -diff old new).
+type DiffResult struct {
+	Regressions []Regression `json:"regressions"`
+	// Appeared and Vanished list keys present in only one capture —
+	// informational, never a regression by themselves.
+	Appeared []string `json:"appeared,omitempty"`
+	Vanished []string `json:"vanished,omitempty"`
+}
+
+// Diff flags every hop type and span name whose new p99 exceeds
+// old*(1+threshold) plus a 100µs absolute floor. The floor keeps
+// microsecond-scale jitter on fast hops (netsim clock granularity)
+// from tripping percentage-only gates; threshold <= 0 defaults to 0.2.
+func Diff(old, new_ *Summary, threshold float64) *DiffResult {
+	if threshold <= 0 {
+		threshold = 0.2
+	}
+	d := &DiffResult{}
+	d.diffTables("hop", old.ByHop, new_.ByHop, threshold)
+	d.diffTables("name", old.ByName, new_.ByName, threshold)
+	sort.Strings(d.Appeared)
+	sort.Strings(d.Vanished)
+	return d
+}
+
+func (d *DiffResult) diffTables(kind string, old, new_ []LatencyStats, threshold float64) {
+	oldBy := make(map[string]LatencyStats, len(old))
+	for _, r := range old {
+		oldBy[r.Key] = r
+	}
+	seen := make(map[string]bool, len(new_))
+	for _, nr := range new_ {
+		seen[nr.Key] = true
+		or, ok := oldBy[nr.Key]
+		if !ok {
+			d.Appeared = append(d.Appeared, kind+":"+nr.Key)
+			continue
+		}
+		limit := or.P99 + int64(float64(or.P99)*threshold) + 100
+		if nr.P99 > limit {
+			d.Regressions = append(d.Regressions, Regression{
+				Kind:   kind,
+				Key:    nr.Key,
+				OldP99: or.P99,
+				NewP99: nr.P99,
+				Limit:  limit,
+			})
+		}
+	}
+	for _, or := range old {
+		if !seen[or.Key] {
+			d.Vanished = append(d.Vanished, kind+":"+or.Key)
+		}
+	}
+}
+
+// WriteText renders the diff verdict for humans; the exit code is the
+// caller's job.
+func (d *DiffResult) WriteText(w io.Writer) {
+	if len(d.Regressions) == 0 {
+		fmt.Fprintln(w, "no p99 regressions")
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(w, "REGRESSION %s %s: p99 %dus -> %dus (limit %dus)\n",
+			r.Kind, r.Key, r.OldP99, r.NewP99, r.Limit)
+	}
+	for _, k := range d.Appeared {
+		fmt.Fprintf(w, "note: %s appeared (no baseline)\n", k)
+	}
+	for _, k := range d.Vanished {
+		fmt.Fprintf(w, "note: %s vanished\n", k)
+	}
+}

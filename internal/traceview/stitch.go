@@ -1,0 +1,235 @@
+package traceview
+
+import (
+	"sort"
+)
+
+// Node is one span in a stitched tree, with its child spans and the
+// instant events recorded against it.
+type Node struct {
+	Rec      Rec
+	Children []*Node
+	Events   []Rec
+	// Orphan marks a span whose parent ID never arrived in any input
+	// file (the parent's process crashed before flushing, or its file
+	// was not passed in). Orphans are kept as extra roots so their
+	// subtree's latency still counts — but a trace containing any is
+	// not fully stitched.
+	Orphan bool
+}
+
+// Trace is one reassembled causal tree (or forest, when spans
+// orphaned).
+type Trace struct {
+	ID    uint64
+	Roots []*Node
+	// Spans and Events count every record stitched into the trace.
+	Spans  int
+	Events int
+	// Procs is the sorted set of distinct processes that contributed
+	// spans — the measure of how far the trace actually travelled.
+	Procs []string
+	// Orphans counts parent-less non-root spans in this trace.
+	Orphans int
+	// LooseEvents counts instants whose parent span never arrived; they
+	// are dropped from the tree but remembered here.
+	LooseEvents int
+	// Start and End bound the trace in the merged clock domain. With
+	// skewed process clocks the bounds are still what the files claim —
+	// Duration prefers the primary root's own duration, which is
+	// single-clock and therefore skew-immune.
+	Start, End int64
+}
+
+// Root returns the primary root: the non-orphan root when there is
+// exactly one, else the earliest root.
+func (t *Trace) Root() *Node {
+	var genuine []*Node
+	for _, r := range t.Roots {
+		if !r.Orphan {
+			genuine = append(genuine, r)
+		}
+	}
+	if len(genuine) == 1 {
+		return genuine[0]
+	}
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	return t.Roots[0]
+}
+
+// Duration is the primary root's span duration — measured on a single
+// process clock, so cross-process skew cannot produce negative or
+// inflated totals.
+func (t *Trace) Duration() int64 {
+	if r := t.Root(); r != nil {
+		return r.Rec.Dur
+	}
+	return 0
+}
+
+// FullyStitched reports whether every span found its parent and every
+// event found its span.
+func (t *Trace) FullyStitched() bool { return t.Orphans == 0 && t.LooseEvents == 0 }
+
+// Analysis is the result of stitching a merged record set.
+type Analysis struct {
+	Traces []*Trace // sorted by trace ID for deterministic output
+	Parse  ParseStats
+	Spans  int
+	Events int
+	// Orphans and LooseEvents sum the per-trace counts.
+	Orphans     int
+	LooseEvents int
+}
+
+// TraceByID returns the stitched trace with the given ID, if present.
+func (a *Analysis) TraceByID(id uint64) (*Trace, bool) {
+	for _, t := range a.Traces {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Stitch reassembles span trees from a merged record set. Within one
+// trace, children sort by start time then span ID; ties across skewed
+// clocks stay deterministic because IDs break them.
+func Stitch(recs []Rec, parse ParseStats) *Analysis {
+	a := &Analysis{Parse: parse}
+	byTrace := make(map[uint64][]Rec)
+	for _, r := range recs {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	ids := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := stitchOne(id, byTrace[id])
+		a.Traces = append(a.Traces, t)
+		a.Spans += t.Spans
+		a.Events += t.Events + t.LooseEvents
+		a.Orphans += t.Orphans
+		a.LooseEvents += t.LooseEvents
+	}
+	return a
+}
+
+func stitchOne(id uint64, recs []Rec) *Trace {
+	t := &Trace{ID: id, Start: int64(1)<<62 - 1}
+	nodes := make(map[uint64]*Node)
+	var spans, events []Rec
+	for _, r := range recs {
+		if r.Phase == "X" && r.Span != 0 {
+			spans = append(spans, r)
+		} else {
+			events = append(events, r)
+		}
+	}
+	// Duplicate span IDs cannot happen from one tracer (IDs are unique
+	// per tracer by construction); across forged or re-run files, last
+	// write wins and the duplicate is counted as malformed-in-spirit via
+	// the orphan check below never firing twice.
+	for _, r := range spans {
+		nodes[r.Span] = &Node{Rec: r}
+		if r.TS < t.Start {
+			t.Start = r.TS
+		}
+		if r.End() > t.End {
+			t.End = r.End()
+		}
+	}
+	procs := make(map[string]bool)
+	for _, r := range spans {
+		procs[r.Proc] = true
+		n := nodes[r.Span]
+		if r.Parent == 0 {
+			t.Roots = append(t.Roots, n)
+			continue
+		}
+		parent, ok := nodes[r.Parent]
+		if !ok {
+			n.Orphan = true
+			t.Orphans++
+			t.Roots = append(t.Roots, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	for _, r := range events {
+		parent, ok := nodes[r.Parent]
+		if !ok {
+			t.LooseEvents++
+			continue
+		}
+		parent.Events = append(parent.Events, r)
+		t.Events++
+	}
+	t.Spans = len(spans)
+	for p := range procs {
+		t.Procs = append(t.Procs, p)
+	}
+	sort.Strings(t.Procs)
+	sortTree(t.Roots)
+	for _, n := range nodes {
+		sortTree(n.Children)
+		sort.Slice(n.Events, func(i, j int) bool {
+			ei, ej := n.Events[i], n.Events[j]
+			if ei.TS != ej.TS {
+				return ei.TS < ej.TS
+			}
+			return ei.Name < ej.Name
+		})
+	}
+	if t.Spans == 0 {
+		t.Start, t.End = 0, 0
+	}
+	return t
+}
+
+func sortTree(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		ri, rj := ns[i].Rec, ns[j].Rec
+		if ri.TS != rj.TS {
+			return ri.TS < rj.TS
+		}
+		return ri.Span < rj.Span
+	})
+}
+
+// CriticalPath walks from the trace's primary root, at each level
+// descending into the child whose subtree ends last — the chain of
+// spans that actually bounded the end-to-end latency. Returns the spans
+// along the path, root first.
+func (t *Trace) CriticalPath() []*Node {
+	n := t.Root()
+	if n == nil {
+		return nil
+	}
+	path := []*Node{n}
+	for len(n.Children) > 0 {
+		best := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if subtreeEnd(c) > subtreeEnd(best) {
+				best = c
+			}
+		}
+		path = append(path, best)
+		n = best
+	}
+	return path
+}
+
+func subtreeEnd(n *Node) int64 {
+	end := n.Rec.End()
+	for _, c := range n.Children {
+		if e := subtreeEnd(c); e > end {
+			end = e
+		}
+	}
+	return end
+}

@@ -1,0 +1,354 @@
+package traceview
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/obs"
+)
+
+// testClock advances a fixed step per read, optionally offset — the
+// offset is how the clock-skew tests model two processes whose wall
+// clocks disagree.
+type testClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newClock(offset, step time.Duration) *testClock {
+	return &testClock{t: time.Unix(5000, 0).Add(offset), step: step}
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// render produces one process's JSONL via the real tracer, so the
+// parser is always tested against what obs actually writes.
+func render(t *testing.T, tr *obs.Tracer) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func parseAll(t *testing.T, inputs ...string) *Analysis {
+	t.Helper()
+	var recs []Rec
+	var total ParseStats
+	for _, in := range inputs {
+		rs, st, err := Parse(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rs...)
+		total.Lines += st.Lines
+		total.Headers += st.Headers
+		total.Malformed += st.Malformed
+		total.Untraced += st.Untraced
+	}
+	return Stitch(recs, total)
+}
+
+func TestStitchMultiProcess(t *testing.T) {
+	set := obs.NewTraceSet(newClock(0, time.Millisecond).now, 1)
+	client := set.Tracer("client")
+	server := set.Tracer("s0")
+	neighbor := set.Tracer("viewer-2")
+
+	ctx, root := client.StartSpan(context.Background(), "segment", obs.A("idx", 0))
+	_, req := client.StartSpan(ctx, "p2p_request")
+	serve := neighbor.StartSpanRemote(req.TraceContext().String(), "p2p_serve")
+	serve.End(obs.A("found", true))
+	req.End()
+	join := server.StartSpanRemote(root.TraceContext().String(), "signal_join_serve")
+	join.Event("signal_join")
+	join.End()
+	root.Event("cdn_fallback")
+	root.End()
+
+	a := parseAll(t, render(t, client), render(t, server), render(t, neighbor))
+	if len(a.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(a.Traces))
+	}
+	tr := a.Traces[0]
+	if !tr.FullyStitched() {
+		t.Fatalf("trace not fully stitched: %d orphans, %d loose events", tr.Orphans, tr.LooseEvents)
+	}
+	if got := strings.Join(tr.Procs, ","); got != "client,s0,viewer-2" {
+		t.Fatalf("procs = %s", got)
+	}
+	if tr.Spans != 4 || tr.Events != 2 {
+		t.Fatalf("spans=%d events=%d, want 4 and 2", tr.Spans, tr.Events)
+	}
+	root0 := tr.Root()
+	if root0 == nil || root0.Rec.Name != "segment" {
+		t.Fatalf("primary root = %+v", root0)
+	}
+	cp := tr.CriticalPath()
+	if len(cp) < 2 || cp[0].Rec.Name != "segment" {
+		names := make([]string, len(cp))
+		for i, n := range cp {
+			names[i] = n.Rec.Name
+		}
+		t.Fatalf("critical path = %v", names)
+	}
+}
+
+func TestStitchOrphanedParent(t *testing.T) {
+	set := obs.NewTraceSet(newClock(0, time.Millisecond).now, 2)
+	client := set.Tracer("client")
+	server := set.Tracer("s0")
+	_, root := client.StartSpan(context.Background(), "segment")
+	serve := server.StartSpanRemote(root.TraceContext().String(), "signal_join_serve")
+	serve.End()
+	root.End()
+
+	// Only the server's file arrives — the client process "crashed"
+	// before flushing. Its span must surface as an orphan root, still
+	// counted, never dropped.
+	a := parseAll(t, render(t, server))
+	if len(a.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(a.Traces))
+	}
+	tr := a.Traces[0]
+	if tr.Orphans != 1 || tr.FullyStitched() {
+		t.Fatalf("orphans = %d, fully stitched = %v", tr.Orphans, tr.FullyStitched())
+	}
+	if len(tr.Roots) != 1 || !tr.Roots[0].Orphan {
+		t.Fatalf("orphan span not kept as root: %+v", tr.Roots)
+	}
+	if tr.Spans != 1 {
+		t.Fatalf("spans = %d, want 1", tr.Spans)
+	}
+}
+
+func TestStitchClockSkewedProcesses(t *testing.T) {
+	// The server's clock runs 10 minutes behind the client's. Stitching
+	// is by IDs, so the tree must still assemble, and the trace duration
+	// must come from the root's own (single-clock) duration rather than
+	// the bogus cross-clock envelope.
+	clientClock := newClock(0, time.Millisecond)
+	serverClock := newClock(-10*time.Minute, time.Millisecond)
+	client := obs.NewTracerSeeded(clientClock.now, "client", 3)
+	server := obs.NewTracerSeeded(serverClock.now, "s0", 3)
+
+	_, root := client.StartSpan(context.Background(), "segment")
+	serve := server.StartSpanRemote(root.TraceContext().String(), "signal_join_serve")
+	serve.End()
+	root.End()
+
+	a := parseAll(t, render(t, client), render(t, server))
+	tr := a.Traces[0]
+	if !tr.FullyStitched() {
+		t.Fatalf("skewed clocks broke stitching: %d orphans", tr.Orphans)
+	}
+	if len(tr.Roots) != 1 || len(tr.Roots[0].Children) != 1 {
+		t.Fatalf("tree shape wrong under skew: %d roots", len(tr.Roots))
+	}
+	// Root took 3 clock reads at 1ms (start + serve's 2 + end) = 3000µs
+	// on its own clock; the skewed envelope would be ~10 minutes.
+	if d := tr.Duration(); d <= 0 || d > 10_000 {
+		t.Fatalf("duration = %dµs — poisoned by cross-process skew", d)
+	}
+}
+
+func TestParseTruncatedAndMalformed(t *testing.T) {
+	tr := obs.NewTracerSeeded(newClock(0, time.Millisecond).now, "p", 4)
+	_, root := tr.StartSpan(context.Background(), "segment")
+	root.End()
+	full := render(t, tr)
+	lines := strings.Split(strings.TrimRight(full, "\n"), "\n")
+	last := lines[len(lines)-1]
+	input := full +
+		"this is not json\n" +
+		`{"name":"x","ph":"?","ts":1}` + "\n" + // unknown phase
+		`{"name":"y","ph":"X","ts":1,"trace":"zzzz","span":"0000000000000001"}` + "\n" + // bad hex
+		last[:len(last)/2] // truncated tail (process killed mid-write)
+
+	recs, st, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 4 {
+		t.Fatalf("malformed = %d, want 4", st.Malformed)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recs = %d, want the one good span", len(recs))
+	}
+	a := Stitch(recs, st)
+	if len(a.Traces) != 1 || a.Traces[0].Spans != 1 {
+		t.Fatalf("good span lost amid garbage: %+v", a.Traces)
+	}
+}
+
+func TestParseWrongSchemaAndUntraced(t *testing.T) {
+	input := `{"ph":"M","name":"pdnsec_trace_schema","args":{"schema":"pdnsec-trace/99","proc":"p"}}` + "\n" +
+		`{"name":"stall","ph":"i","ts":5,"proc":"p","args":{}}` + "\n"
+	recs, st, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 1 {
+		t.Fatalf("wrong-schema header not counted malformed: %+v", st)
+	}
+	if st.Untraced != 1 || len(recs) != 0 {
+		t.Fatalf("untraced instant mishandled: %+v recs=%d", st, len(recs))
+	}
+}
+
+func TestSummarizeAndHopTypes(t *testing.T) {
+	for name, want := range map[string]string{
+		"signal_join_serve": HopSignal,
+		"peer_join":         HopSignal,
+		"p2p_request":       HopP2P,
+		"p2p_serve":         HopP2P,
+		"dtls_handshake":    HopDTLS,
+		"cdn_fetch":         HopCDN,
+		"cdn_segment_serve": HopCDN,
+		"segment":           HopPlayback,
+		"mystery":           HopOther,
+	} {
+		if got := HopType(name); got != want {
+			t.Errorf("HopType(%q) = %q, want %q", name, got, want)
+		}
+	}
+
+	set := obs.NewTraceSet(newClock(0, time.Millisecond).now, 5)
+	client := set.Tracer("client")
+	nb := set.Tracer("viewer-2")
+	for i := 0; i < 3; i++ {
+		ctx, root := client.StartSpan(context.Background(), "segment", obs.A("idx", i))
+		_, req := client.StartSpan(ctx, "p2p_request")
+		nb.StartSpanRemote(req.TraceContext().String(), "p2p_serve").End()
+		req.End()
+		root.End()
+	}
+	a := parseAll(t, render(t, client), render(t, nb))
+	s := Summarize(a, 2, 2)
+	if s.Traces != 3 || s.SegmentTraces != 3 || s.MultiProcTraces != 3 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if s.SegmentMaxProcs != 2 {
+		t.Fatalf("SegmentMaxProcs = %d, want 2", s.SegmentMaxProcs)
+	}
+	if len(s.Slowest) != 2 {
+		t.Fatalf("slowest = %d, want topK=2", len(s.Slowest))
+	}
+	byHop := make(map[string]LatencyStats)
+	for _, r := range s.ByHop {
+		byHop[r.Key] = r
+	}
+	if byHop[HopP2P].Count != 6 { // 3 requests + 3 serves
+		t.Fatalf("p2p hop count = %d, want 6", byHop[HopP2P].Count)
+	}
+	if byHop[HopPlayback].P99 < byHop[HopP2P].P50 {
+		t.Fatal("segment p99 should dominate its nested p2p hops")
+	}
+
+	var sb strings.Builder
+	if err := WriteText(&sb, a, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"segment", "p2p_serve", "critical path:", "latency by hop type"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffRegression(t *testing.T) {
+	mk := func(p99 int64) *Summary {
+		return &Summary{
+			ByHop:  []LatencyStats{{Key: HopP2P, Count: 10, P99: p99}},
+			ByName: []LatencyStats{{Key: "p2p_request", Count: 10, P99: p99}},
+		}
+	}
+	// 1000 → 1150 is inside 20% + 100µs; 1000 → 1400 is not.
+	if d := Diff(mk(1000), mk(1150), 0.2); len(d.Regressions) != 0 {
+		t.Fatalf("within-budget growth flagged: %+v", d.Regressions)
+	}
+	d := Diff(mk(1000), mk(1400), 0.2)
+	if len(d.Regressions) != 2 { // hop and name both regress
+		t.Fatalf("regressions = %+v, want 2", d.Regressions)
+	}
+	if d.Regressions[0].Limit != 1300 {
+		t.Fatalf("limit = %d, want 1300", d.Regressions[0].Limit)
+	}
+	// Sub-floor jitter on a fast hop never trips the gate.
+	if d := Diff(mk(10), mk(100), 0.2); len(d.Regressions) != 0 {
+		t.Fatalf("sub-floor jitter flagged: %+v", d.Regressions)
+	}
+	// Appeared/vanished keys are informational only.
+	d = Diff(mk(1000), &Summary{ByHop: []LatencyStats{{Key: HopCDN, P99: 5}}}, 0.2)
+	if len(d.Regressions) != 0 || len(d.Appeared) != 1 || len(d.Vanished) != 2 {
+		t.Fatalf("appeared/vanished handling: %+v", d)
+	}
+}
+
+func TestWriteChromeStitched(t *testing.T) {
+	set := obs.NewTraceSet(newClock(0, time.Millisecond).now, 6)
+	client := set.Tracer("client")
+	server := set.Tracer("s0")
+	_, root := client.StartSpan(context.Background(), "segment")
+	server.StartSpanRemote(root.TraceContext().String(), "signal_join_serve").End()
+	root.Event("cdn_fallback")
+	root.End()
+	a := parseAll(t, render(t, client), render(t, server))
+
+	var sb strings.Builder
+	if err := WriteChrome(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"process_name"`, `"client"`, `"s0"`, `"trace":`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadFilesMissing(t *testing.T) {
+	if _, _, err := LoadFiles([]string{"/nonexistent/trace.jsonl"}); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestStitchDeterministicOrder(t *testing.T) {
+	build := func() string {
+		set := obs.NewTraceSet(newClock(0, time.Millisecond).now, 7)
+		tr := set.Tracer("p")
+		for i := 0; i < 4; i++ {
+			ctx, root := tr.StartSpan(context.Background(), "segment", obs.A("idx", i))
+			_, c := tr.StartSpan(ctx, "cdn_fetch")
+			c.End()
+			root.End()
+		}
+		return render(t, tr)
+	}
+	snap := func(a *Analysis) string {
+		var sb strings.Builder
+		for _, tr := range a.Traces {
+			fmt.Fprintf(&sb, "%016x:", tr.ID)
+			for _, r := range tr.Roots {
+				fmt.Fprintf(&sb, "%s/%d ", r.Rec.Name, len(r.Children))
+			}
+		}
+		return sb.String()
+	}
+	a, b := parseAll(t, build()), parseAll(t, build())
+	if snap(a) != snap(b) {
+		t.Fatalf("stitching order not deterministic:\n%s\n--\n%s", snap(a), snap(b))
+	}
+}
