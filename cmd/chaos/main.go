@@ -113,6 +113,107 @@ var specs = map[string]spec{
 			}
 		},
 	},
+	"sybil_flood": {
+		about: "one host joins under 40 identities against the hardened profile; its match-grant share stays capped",
+		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {
+			// Hardened geo-matches by country, so the honest swarm needs
+			// country overlap to produce any honest match grants at all —
+			// without that baseline the share denominator is degenerate and
+			// the mill's ramp-up grants read as 100%.
+			if viewers < 10 {
+				viewers = 10
+			}
+			return chaos.SwarmConfig{
+				Viewers:  viewers,
+				Segments: segments,
+				Seed:     seed,
+				Profile:  "hardened",
+			}
+		},
+		sc: func() chaos.Scenario { return chaos.SybilFlood(10*time.Millisecond, 40) },
+		inv: func(*chaos.Result) chaos.Invariants {
+			return chaos.Invariants{
+				PlaybackCompletes: true,
+				MaxStalls:         0,
+				NoPollutedCache:   true,
+				NoViewerErrors:    true,
+				MaxSybilSlotShare: 0.5,
+			}
+		},
+	},
+	"eclipse_matcher": {
+		about:      "colluders flood the candidate pool across a federated plane; honest viewers keep honest neighbors (needs -servers >= 3)",
+		minServers: 3,
+		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {
+			// Slow pace keeps honest playback alive long enough for the
+			// mid-run colluder band to reach the matcher.
+			return chaos.SwarmConfig{
+				Viewers:  viewers,
+				Segments: segments,
+				Seed:     seed,
+				Pace:     20 * time.Millisecond,
+				VideoID:  "chaos-fed",
+			}
+		},
+		sc: func() chaos.Scenario { return chaos.EclipseMatcher(15*time.Millisecond, 6) },
+		inv: func(*chaos.Result) chaos.Invariants {
+			return chaos.Invariants{
+				PlaybackCompletes:  true,
+				MaxStalls:          0,
+				NoPollutedCache:    true,
+				NoViewerErrors:     true,
+				MinHonestNeighbors: 1,
+			}
+		},
+	},
+	"free_rider_wave": {
+		about: "a leech-farm wave drains the swarm and honest members churn; upload fairness keeps a floor",
+		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {
+			return chaos.SwarmConfig{Viewers: viewers, Segments: segments, Seed: seed}
+		},
+		sc: func() chaos.Scenario {
+			return chaos.FreeRiderWave(10*time.Millisecond, 8, 60*time.Millisecond, 0.25)
+		},
+		inv: func(*chaos.Result) chaos.Invariants {
+			// The floor here is a robustness bound (the index cannot
+			// collapse to one uploader); the meaningful per-profile
+			// bounds live in the adversarial regression test.
+			return chaos.Invariants{
+				PlaybackCompletes: true,
+				MaxStalls:         -1,
+				NoPollutedCache:   true,
+				NoViewerErrors:    true,
+				MinJainFairness:   0.05,
+			}
+		},
+	},
+	"flash_crowd_live": {
+		about: "join-storm waves hit the plane while viewers chase a sliding live-HLS window; live-edge lag p99 stays bounded",
+		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {
+			return chaos.SwarmConfig{
+				Viewers:  viewers,
+				Segments: segments,
+				Seed:     seed,
+				Pace:     5 * time.Millisecond,
+				Live:     true,
+				VideoID:  "chaos-live",
+			}
+		},
+		sc: func() chaos.Scenario {
+			return chaos.FlashCrowdLive(10*time.Millisecond, 30*time.Millisecond, 3, 12)
+		},
+		inv: func(*chaos.Result) chaos.Invariants {
+			// Live playback tolerates skipped-window stalls; the property
+			// under attack is staying near the edge.
+			return chaos.Invariants{
+				PlaybackCompletes: true,
+				MaxStalls:         -1,
+				NoPollutedCache:   true,
+				NoViewerErrors:    true,
+				MaxLiveLagP99:     40,
+			}
+		},
+	},
 }
 
 func main() {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/population"
 	"github.com/stealthy-peers/pdnsec/internal/swarmload"
 )
 
@@ -51,9 +52,19 @@ type fedBenchFile struct {
 	Swarmload10  *swarmload.Report `json:"swarmload_10k,omitempty"`
 }
 
+// advBenchFile is the BENCH_adversarial.json layout a -adversaries run
+// writes: the report carries the adversarial band's fairness index and
+// Sybil slot share alongside the usual swarm-scale numbers.
+type advBenchFile struct {
+	Schema      string            `json:"schema"`
+	Mix         string            `json:"mix"`
+	Adversarial *swarmload.Report `json:"adversarial"`
+}
+
 const (
 	schemaName    = "pdnsec-bench-swarm/1"
 	fedSchemaName = "pdnsec-bench-federation/1"
+	advSchemaName = "pdnsec-bench-adversarial/1"
 	// fed100kFloor is the virtual-peer count at which a federated run
 	// counts as the 100k baseline rather than the smoke-sized one.
 	fed100kFloor = 100000
@@ -79,6 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		p99max      = fs.Duration("p99max", 750*time.Millisecond, "match-latency p99 budget")
 		fallbackmax = fs.Float64("fallbackmax", 0.75, "CDN-fallback ratio cap")
 		timeout     = fs.Duration("timeout", 10*time.Minute, "whole-run deadline")
+		adversaries = fs.String("adversaries", "", `population mix joining the viewer swarm (e.g. "free_rider:6,sybil:24"); with -out the adversarial BENCH layout is written`)
 		out         = fs.String("out", "", "write benchmark-baseline results to this file")
 		merge       = fs.String("merge", "", "prior baseline JSON to fold into -out (join_match file, or a BENCH_federation.json when -servers > 1)")
 		traceOut    = fs.String("trace", "", "write merged pdnsec-trace JSONL for every deployed process to this file (analyze with pdntrace)")
@@ -93,6 +105,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *servers < 1 {
 		fmt.Fprintf(stderr, "swarmload: -servers must be >= 1 (got -servers=%d)\n", *servers)
+		fs.Usage()
+		return 2
+	}
+	mix, err := population.ParseMix(*adversaries)
+	if err != nil {
+		fmt.Fprintf(stderr, "swarmload: -adversaries: %v\n", err)
 		fs.Usage()
 		return 2
 	}
@@ -122,6 +140,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Segments:         *segments,
 		MatchP99Max:      *p99max,
 		MaxFallbackRatio: *fallbackmax,
+		Adversaries:      mix,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},
@@ -141,9 +160,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var data []byte
-	if *servers > 1 {
+	switch {
+	case len(mix) > 0:
+		data, err = marshal(advBenchFile{Schema: advSchemaName, Mix: mix.String(), Adversarial: rep})
+	case *servers > 1:
 		data, err = marshalFed(rep, *merge)
-	} else {
+	default:
 		data, err = marshalSwarm(rep, *merge)
 	}
 	if err != nil {
@@ -162,8 +184,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		for _, v := range rep.Violations {
 			fmt.Fprintln(stderr, "swarmload: VIOLATION "+v)
 		}
-		fmt.Fprintf(stderr, "swarmload: rerun: go run ./cmd/swarmload -swarms %d -peers %d -seed %d -shards %d -servers %d\n",
+		rerun := fmt.Sprintf("go run ./cmd/swarmload -swarms %d -peers %d -seed %d -shards %d -servers %d",
 			*swarms, *peers, *seed, *shards, *servers)
+		if len(mix) > 0 {
+			rerun += fmt.Sprintf(" -adversaries %q -fallbackmax %v", mix, *fallbackmax)
+		}
+		fmt.Fprintln(stderr, "swarmload: rerun: "+rerun)
 		return 1
 	}
 	fmt.Fprintln(stdout, "swarmload: all invariants held")

@@ -33,6 +33,69 @@ func TestRunRejectsBadCounts(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadAdversaryMix(t *testing.T) {
+	for _, tc := range []struct {
+		mix  string
+		diag string
+	}{
+		{"gremlin:4", "unknown behavior"},
+		{"sybil:0", "positive count"},
+		{"sybil", "behavior:count"},
+	} {
+		var out, errOut strings.Builder
+		args := []string{"-adversaries", tc.mix}
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Errorf("run(-adversaries %q) = %d, want usage error 2", tc.mix, code)
+		}
+		if !strings.Contains(errOut.String(), "-adversaries") || !strings.Contains(errOut.String(), tc.diag) {
+			t.Errorf("run(-adversaries %q) stderr missing diagnosis %q:\n%s", tc.mix, tc.diag, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "Usage") {
+			t.Errorf("run(-adversaries %q) should print usage, got:\n%s", tc.mix, errOut.String())
+		}
+	}
+}
+
+// TestRunAdversarialWritesBaseline runs a tiny adversarial load and
+// checks the BENCH_adversarial.json layout end to end: the adversarial
+// schema wins over the single-server one whenever a mix is set, the mix
+// string round-trips, and the report carries the band's accounting.
+func TestRunAdversarialWritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "adv.json")
+
+	var out, errOut strings.Builder
+	args := []string{"-swarms", "1", "-peers", "16", "-seed", "1", "-shards", "2",
+		"-full", "2", "-segments", "3", "-churn", "-1", "-rounds", "1",
+		"-adversaries", "free_rider:1,sybil:3", "-fallbackmax", "1", "-out", outFile}
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file advBenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != advSchemaName {
+		t.Errorf("schema = %q, want %q", file.Schema, advSchemaName)
+	}
+	if file.Mix != "free_rider:1,sybil:3" {
+		t.Errorf("mix = %q, want the parsed flag round-tripped", file.Mix)
+	}
+	if file.Adversarial == nil {
+		t.Fatalf("adversarial section missing: %s", raw)
+	}
+	if file.Adversarial.AdversaryCounts["sybil"] != 3 || file.Adversarial.AdversaryCounts["free_rider"] != 1 {
+		t.Errorf("adversary counts = %v, want free_rider:1 sybil:3", file.Adversarial.AdversaryCounts)
+	}
+	if file.Adversarial.SybilPeakIdentities != 3 {
+		t.Errorf("sybil peak identities = %d, want the 3-identity mill", file.Adversarial.SybilPeakIdentities)
+	}
+}
+
 func TestRunRejectsUnknownFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); code != 2 {

@@ -106,6 +106,19 @@ func SmallVideo(id string, segments, segBytes int) *media.Video {
 	}
 }
 
+// SmallLiveVideo builds a live test asset with a sliding playlist
+// window. segDur is in seconds; chaos scenarios use tiny durations so
+// the live edge advances at simulation speed, and the declared
+// bandwidth is kept consistent with the segment size as in SmallVideo.
+func SmallLiveVideo(id string, segBytes int, segDur float64) *media.Video {
+	return &media.Video{
+		ID:              id,
+		Live:            true,
+		Renditions:      []media.Rendition{{Name: "360p", Bandwidth: int(float64(segBytes) * 8 / segDur), SegmentBytes: segBytes}},
+		SegmentDuration: segDur,
+	}
+}
+
 // NewTestbed deploys the provider, CDN, and video. ctx bounds the
 // deployment's background services (the provider's STUN responder).
 func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {

@@ -157,6 +157,17 @@ func (s *Server) liveEdge(v *media.Video) int {
 	return int(elapsed / v.SegmentDuration)
 }
 
+// LiveEdge reports the newest available segment index for a registered
+// live video — the reference point for live-edge lag measurements.
+// Unknown or VOD assets report 0.
+func (s *Server) LiveEdge(videoID string) int {
+	v, ok := s.Video(videoID)
+	if !ok || !v.Live {
+		return 0
+	}
+	return s.liveEdge(v)
+}
+
 // Handler returns the http.Handler implementing the CDN URL layout:
 //
 //	/v/<videoID>/master.m3u8

@@ -18,6 +18,8 @@ package chaos
 import (
 	"fmt"
 	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/population"
 )
 
 // Canonical roster names for the testbed's infrastructure machines.
@@ -49,6 +51,12 @@ const (
 	FaultCorrupt FaultKind = "corrupt"
 	// FaultClearCorrupt removes a corruption rule.
 	FaultClearCorrupt FaultKind = "clear_corrupt"
+	// FaultSpawn injects a band of population members mid-run — the
+	// behavioral counterpart of the infrastructure faults. The engine
+	// hands the band to the harness's spawn driver; the log records only
+	// the schedule's parameters (behavior, count), never runtime
+	// reactions, so spawn-bearing scenarios replay byte-identically too.
+	FaultSpawn FaultKind = "spawn"
 )
 
 // Step is one scheduled fault. At is an offset on the scenario clock
@@ -65,6 +73,8 @@ type Step struct {
 	Truncate bool          // corrupt: truncate instead of flipping bytes
 	Latency  time.Duration // slow: access latency to set
 	RateBps  int64         // slow: bandwidth cap in bytes/sec (0 = unlimited)
+	Behavior string        // spawn: population behavior to inject
+	Count    int           // spawn: band size
 }
 
 // Scenario is a named, ordered fault schedule.
@@ -115,6 +125,12 @@ func CorruptFrom(at time.Duration, name string, p float64, truncate bool) Step {
 // ClearCorruptFrom schedules removing a CorruptFrom rule.
 func ClearCorruptFrom(at time.Duration, name string) Step {
 	return Step{At: at, Fault: FaultClearCorrupt, Nodes: []string{name}}
+}
+
+// Spawn schedules injecting count population members of the given
+// behavior at the offset (requires a spawn driver on the engine).
+func Spawn(at time.Duration, behavior population.Behavior, count int) Step {
+	return Step{At: at, Fault: FaultSpawn, Behavior: string(behavior), Count: count}
 }
 
 // PeerChurn is the "viewers close the tab" scenario: a fraction of the
@@ -179,6 +195,56 @@ func PollutedWire(at, dur time.Duration, node string) Scenario {
 	}
 }
 
+// SybilFlood is the paper's resource-squatting risk at population
+// scale: one host joins the swarm under `identities` peer identities,
+// aiming to absorb the matcher's upload-slot grants. The invariant
+// under it is the Sybil slot-share cap — and with the Hardened
+// profile's per-host identity budget, quarantine of the whole mill.
+func SybilFlood(at time.Duration, identities int) Scenario {
+	return Scenario{
+		Name:  "sybil_flood",
+		Steps: []Step{Spawn(at, population.BehaviorSybil, identities)},
+	}
+}
+
+// EclipseMatcher floods the swarm with colluders that accept every
+// connection and serve nothing, trying to saturate honest peers'
+// neighbor pools. The invariant is matcher integrity: every honest
+// peer keeps at least K non-colluder neighbors.
+func EclipseMatcher(at time.Duration, colluders int) Scenario {
+	return Scenario{
+		Name:  "eclipse_matcher",
+		Steps: []Step{Spawn(at, population.BehaviorEclipse, colluders)},
+	}
+}
+
+// FreeRiderWave injects a wave of leechers — full viewers that
+// download from peers but refuse every upload (§IV-B free-riding at
+// population scale) — then churns a fraction of the honest swarm while
+// the wave is still draining it. The churn step also makes the fault
+// log seed-dependent, which is what the divergent-seed determinism
+// check leans on. The invariant is the upload-fairness floor.
+func FreeRiderWave(at time.Duration, leechers int, churnAt time.Duration, churnFrac float64) Scenario {
+	steps := []Step{Spawn(at, population.BehaviorFreeRider, leechers)}
+	if churnFrac > 0 {
+		steps = append(steps, KillFraction(churnAt, churnFrac))
+	}
+	return Scenario{Name: "free_rider_wave", Steps: steps}
+}
+
+// FlashCrowdLive models a flash crowd against a live stream: `waves`
+// bursts of `perWave` honest joiners hit the signaling plane at
+// `interval` spacing while the original viewers chase a sliding
+// live-HLS window. The invariant is the live-edge lag p99 bound —
+// the join storm must not knock established viewers off the edge.
+func FlashCrowdLive(start, interval time.Duration, waves, perWave int) Scenario {
+	steps := make([]Step, 0, waves)
+	for i := 0; i < waves; i++ {
+		steps = append(steps, Spawn(start+time.Duration(i)*interval, population.BehaviorHonest, perWave))
+	}
+	return Scenario{Name: "flash_crowd_live", Steps: steps}
+}
+
 // Validate rejects malformed steps before a run starts (probabilities
 // out of range, missing targets, negative offsets).
 func (sc Scenario) Validate() error {
@@ -208,6 +274,13 @@ func (sc Scenario) Validate() error {
 			}
 			if !(st.Prob >= 0 && st.Prob <= 1) {
 				return fmt.Errorf("chaos: step %d: corrupt probability %v outside [0,1]", i, st.Prob)
+			}
+		case FaultSpawn:
+			if !population.Behavior(st.Behavior).Valid() {
+				return fmt.Errorf("chaos: step %d: unknown behavior %q", i, st.Behavior)
+			}
+			if st.Count < 1 {
+				return fmt.Errorf("chaos: step %d: spawn needs a positive count", i)
 			}
 		default:
 			return fmt.Errorf("chaos: step %d: unknown fault %q", i, st.Fault)

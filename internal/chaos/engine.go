@@ -13,11 +13,19 @@ import (
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
+	"github.com/stealthy-peers/pdnsec/internal/population"
 )
 
+// SpawnDriver materializes a population band when a FaultSpawn step
+// fires. The harness installs one (SetSpawnDriver) that knows how to
+// build the band's peers; the driver should start them and return
+// without waiting for them to finish.
+type SpawnDriver func(behavior population.Behavior, count int, at time.Duration) error
+
 // Node is one machine the engine can impair. Infrastructure nodes
-// (CDN, signal server) register without a Kill hook, which exempts
-// them from KillFraction; explicit KillNodes still crashes them.
+// (CDN, signal server) register with Infra set (or without a Kill
+// hook), which exempts them from KillFraction's seeded selection;
+// explicit KillNodes still crashes them.
 type Node struct {
 	// Name is the roster key referenced by scenario steps.
 	Name string
@@ -29,6 +37,10 @@ type Node struct {
 	// context). The engine crashes the Host first so blocked I/O fails
 	// fast, then calls Kill.
 	Kill func()
+	// Infra exempts the node from KillFraction even though it has a
+	// Kill hook — peer-churn steps must never take down the signaling
+	// plane or CDN by seed luck; only explicit KillNodes does that.
+	Infra bool
 }
 
 // Event is one injected fault in the log. The log records the seeded
@@ -53,6 +65,7 @@ type Engine struct {
 	nodes  map[string]*Node
 	killed map[string]bool
 	events []Event
+	spawn  SpawnDriver
 }
 
 // NewEngine builds an engine whose random decisions (KillFraction
@@ -84,6 +97,13 @@ func (e *Engine) Register(n Node) {
 	}
 	node := n
 	e.nodes[n.Name] = &node
+}
+
+// SetSpawnDriver installs the harness hook FaultSpawn steps call.
+func (e *Engine) SetSpawnDriver(fn SpawnDriver) {
+	e.mu.Lock()
+	e.spawn = fn
+	e.mu.Unlock()
 }
 
 // Killed returns the names of nodes crashed so far, sorted.
@@ -185,6 +205,8 @@ func (e *Engine) apply(st Step) error {
 		return e.linkLoss(st)
 	case FaultCorrupt, FaultClearCorrupt:
 		return e.corrupt(st)
+	case FaultSpawn:
+		return e.doSpawn(st)
 	}
 	return fmt.Errorf("chaos: unknown fault %q", st.Fault)
 }
@@ -202,12 +224,27 @@ func (e *Engine) record(st Step, targets []string, detail string) {
 	e.mu.Unlock()
 }
 
+// doSpawn hands a population band to the harness driver. The event is
+// recorded before the driver runs and carries only the schedule's
+// parameters, keeping the log a pure function of (scenario, roster,
+// seed) even though the spawned peers' lives are runtime-dependent.
+func (e *Engine) doSpawn(st Step) error {
+	e.mu.Lock()
+	fn := e.spawn
+	e.mu.Unlock()
+	if fn == nil {
+		return fmt.Errorf("chaos: spawn step needs a driver (Engine.SetSpawnDriver)")
+	}
+	e.record(st, nil, fmt.Sprintf("behavior=%s count=%d", st.Behavior, st.Count))
+	return fn(population.Behavior(st.Behavior), st.Count, st.At)
+}
+
 // killFraction crashes a seeded selection of the killable roster.
 func (e *Engine) killFraction(st Step) error {
 	e.mu.Lock()
 	candidates := make([]string, 0, len(e.nodes))
 	for name, n := range e.nodes {
-		if n.Kill != nil && !e.killed[name] {
+		if n.Kill != nil && !n.Infra && !e.killed[name] {
 			candidates = append(candidates, name)
 		}
 	}

@@ -3,6 +3,8 @@ package chaos
 import (
 	"fmt"
 	"strings"
+
+	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
 // Invariants are the properties a scenario must not break. Each
@@ -30,7 +32,29 @@ type Invariants struct {
 	// corruption scenario destroys. Cache integrity still applies to
 	// them: even a sick node must never cache polluted bytes.
 	Exempt []string
+	// MinJainFairness is the floor for Jain's index over participants'
+	// P2P upload bytes (0 = unchecked). Free-rider waves drag the index
+	// toward 1/n; a defended swarm keeps it near 1.
+	MinJainFairness float64
+	// MinHonestNeighbors demands every surviving honest viewer had at
+	// least this many non-colluder neighbors over its whole session
+	// (0 = unchecked) — the matcher-integrity bound an eclipse attack
+	// tries to break.
+	MinHonestNeighbors int
+	// MaxLiveLagP99 bounds the 99th-percentile live-edge lag in
+	// segments (0 = unchecked). Only meaningful for Live runs.
+	MaxLiveLagP99 float64
+	// MaxSybilSlotShare caps the share of match grants the host with
+	// the largest identity peak may take (0 = unchecked) — the
+	// upload-slot squatting bound a Sybil mill attacks. Applied only
+	// when the run granted at least sybilShareMinGrants matches.
+	MaxSybilSlotShare float64
 }
+
+// sybilShareMinGrants is the matching-economy floor under which the
+// Sybil slot-share cap does not apply — shares over a handful of
+// grants are bootstrap noise, not squatting.
+const sybilShareMinGrants = 10
 
 // Check evaluates the invariants against a run, returning one message
 // per violation (empty = all held).
@@ -57,12 +81,32 @@ func (inv Invariants) Check(res *Result) []string {
 	for _, name := range inv.Exempt {
 		exempt[name] = true
 	}
+	colluder := make(map[string]bool, len(res.Colluders))
+	for _, id := range res.Colluders {
+		colluder[id] = true
+	}
 	for _, v := range res.Survivors() {
-		if inv.PlaybackCompletes && !exempt[v.Name] && v.Stats.SegmentsPlayed < res.Segments {
-			fail("%s played %d/%d segments%s", v.Name, v.Stats.SegmentsPlayed, res.Segments, stallTrace(v))
-		}
-		if inv.NoViewerErrors && !exempt[v.Name] && v.Err != nil {
-			fail("%s finished with error: %v%s", v.Name, v.Err, stallTrace(v))
+		// Adversarial viewers are exempt from the cooperation checks —
+		// refusing to finish or failing is their job — but never from
+		// cache integrity: even a colluder must not relay pollution.
+		if v.Honest() {
+			if inv.PlaybackCompletes && !exempt[v.Name] && v.Stats.SegmentsPlayed < res.Segments {
+				fail("%s played %d/%d segments%s", v.Name, v.Stats.SegmentsPlayed, res.Segments, stallTrace(v))
+			}
+			if inv.NoViewerErrors && !exempt[v.Name] && v.Err != nil {
+				fail("%s finished with error: %v%s", v.Name, v.Err, stallTrace(v))
+			}
+			if inv.MinHonestNeighbors > 0 && !exempt[v.Name] && v.Peer != nil {
+				honest := 0
+				for _, id := range v.Peer.NeighborIDs() {
+					if !colluder[id] {
+						honest++
+					}
+				}
+				if honest < inv.MinHonestNeighbors {
+					fail("%s kept %d non-colluder neighbors, need >= %d (eclipse)", v.Name, honest, inv.MinHonestNeighbors)
+				}
+			}
 		}
 		if inv.NoPollutedCache && v.Peer != nil {
 			for _, idx := range v.Peer.CachedIndices() {
@@ -87,6 +131,26 @@ func (inv Invariants) Check(res *Result) []string {
 				}
 			}
 			fail("pdn_stalls_total=%d exceeds bound %d (%s)", stalls, inv.MaxStalls, strings.Join(ids, ", "))
+		}
+	}
+	if inv.MinJainFairness > 0 {
+		if j := res.JainFairness(); j < inv.MinJainFairness {
+			fail("jain fairness %.3f below floor %.3f (free-riding)", j, inv.MinJainFairness)
+		}
+	}
+	if inv.MaxLiveLagP99 > 0 {
+		if lag := res.LiveLagP99(); lag > inv.MaxLiveLagP99 {
+			fail("live-edge lag p99 %.1f segments exceeds bound %.1f over %d samples", lag, inv.MaxLiveLagP99, len(res.LiveLag))
+		}
+	}
+	if inv.MaxSybilSlotShare > 0 {
+		// A share is only meaningful over a real matching economy: a
+		// quarantined mill's first in-budget identities trading a couple
+		// of bootstrap grants before honest matching starts would read
+		// as 100%. Below the floor there is nothing to squat.
+		total := signal.TotalGrants(res.HostStats)
+		if share, peak := res.SybilSlotShare(); share > inv.MaxSybilSlotShare && total >= sybilShareMinGrants {
+			fail("host with identity peak %d took %.0f%% of %d match grants, cap %.0f%% (sybil)", peak, share*100, total, inv.MaxSybilSlotShare*100)
 		}
 	}
 	return violations

@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos
+
+// raceEnabled reports whether the race detector is compiled in. Tests
+// scale wall-clock-sensitive bounds (live-edge lag) by its slowdown;
+// the invariant logic itself is covered by the fire-tests.
+const raceEnabled = true

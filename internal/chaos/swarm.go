@@ -3,17 +3,26 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/stealthy-peers/pdnsec/internal/analyzer"
 	"github.com/stealthy-peers/pdnsec/internal/defense"
 	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
+	"github.com/stealthy-peers/pdnsec/internal/population"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
+
+// liveSegDur is the live asset's segment duration in seconds. Tiny, so
+// the live edge advances at harness speed and a run sees the playlist
+// window slide many times.
+const liveSegDur = 0.05
 
 // SwarmConfig sizes the deployment a scenario runs against.
 type SwarmConfig struct {
@@ -48,6 +57,15 @@ type SwarmConfig struct {
 	// scenarios pick IDs whose swarm hashes to a specific plane member
 	// — the ring is deterministic, so the choice is stable.
 	VideoID string
+	// Profile names the provider profile to deploy ("" = peer5). The
+	// adversarial regression suite reruns one scenario across profiles
+	// to compare their counter-knobs (Hardened's per-host identity
+	// budget against the deployed services' per-identity matchers).
+	Profile string
+	// Live serves a sliding-window live asset instead of a VOD: viewers
+	// tune in near the live edge (LiveEdgeSegments) and sample their
+	// live-edge lag at every played segment for the lag-p99 invariant.
+	Live bool
 	// Traces, when set, gives every deployed process (signaling servers,
 	// CDN, viewers) a process-stamped tracer. The JSONL it collects is
 	// what lets a violation's trace ID be looked up in pdntrace.
@@ -58,9 +76,19 @@ type SwarmConfig struct {
 type ViewerResult struct {
 	Name   string
 	Killed bool // crashed by the scenario; exempt from completion checks
-	Stats  pdnclient.Stats
-	Err    error
-	Peer   *pdnclient.Peer
+	// Behavior classifies the viewer; empty means honest (the core
+	// swarm). Adversarial viewers are exempt from the completion and
+	// error invariants — refusing to cooperate is their job — but never
+	// from cache integrity.
+	Behavior population.Behavior
+	Stats    pdnclient.Stats
+	Err      error
+	Peer     *pdnclient.Peer
+}
+
+// Honest reports whether the viewer is a protocol-following member.
+func (v *ViewerResult) Honest() bool {
+	return v.Behavior == "" || v.Behavior == population.BehaviorHonest
 }
 
 // Result is everything a scenario run produced, for invariant checks
@@ -76,6 +104,17 @@ type Result struct {
 	Rendition string
 	Segments  int
 	Viewers   []*ViewerResult
+	// Colluders lists the peer IDs of eclipse-behavior viewers, for the
+	// matcher-integrity invariant (honest peers must keep non-colluder
+	// neighbors).
+	Colluders []string
+	// LiveLag holds every live-edge lag sample (in segments) honest
+	// viewers took while playing a live asset.
+	LiveLag []float64
+	// HostStats is the signaling plane's anonymized per-host matcher
+	// footprint at run end — identity peaks and match-grant counts, no
+	// addresses — for the Sybil slot-share invariant.
+	HostStats []signal.HostStat
 }
 
 // Counter reads a counter from the swarm's shared registry (0 if the
@@ -96,8 +135,64 @@ func (r *Result) Survivors() []*ViewerResult {
 	return out
 }
 
+// JainFairness computes Jain's index over the P2P upload bytes of the
+// run's participants — viewers that exchanged at least one P2P byte in
+// either direction. Non-participants are excluded: a quarantined leech
+// farm that never got a match is a defense success, not unfairness.
+// Free-riders that did download count with zero upload, which is
+// exactly the asymmetry the index punishes.
+func (r *Result) JainFairness() float64 {
+	var xs []float64
+	for _, v := range r.Viewers {
+		if v.Stats.P2PUpBytes+v.Stats.P2PDownBytes > 0 {
+			xs = append(xs, float64(v.Stats.P2PUpBytes))
+		}
+	}
+	return population.Jain(xs)
+}
+
+// SybilSlotShare reports the share of all match grants that went to
+// the host with the largest identity peak, plus that peak. With no
+// multi-identity host present the share is 0.
+func (r *Result) SybilSlotShare() (share float64, peak int) {
+	return signal.MaxHostShare(r.HostStats)
+}
+
+// LiveLagP99 is the 99th-percentile live-edge lag in segments (0 when
+// the run collected no samples).
+func (r *Result) LiveLagP99() float64 {
+	return percentile(r.LiveLag, 0.99)
+}
+
+// percentile returns the nearest-rank q-quantile of xs (q in (0,1]).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
 // viewerCountries spreads the swarm across the default geo plan.
 var viewerCountries = []string{"US", "DE", "FR", "GB", "JP", "BR", "IN", "CA"}
+
+// resolveProfile maps a SwarmConfig profile name to the provider model.
+func resolveProfile(name string) (provider.Profile, error) {
+	if name == "" {
+		return provider.Peer5(), nil
+	}
+	for _, p := range provider.AllProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return provider.Profile{}, fmt.Errorf("chaos: unknown provider profile %q", name)
+}
 
 // RunScenario deploys a fresh testbed, starts the swarm, unfolds the
 // scenario against it, and returns the outcome once every viewer run
@@ -120,16 +215,27 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 	if cfg.VideoID == "" {
 		cfg.VideoID = "chaos"
 	}
+	prof, err := resolveProfile(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
 	rctx, cancel := context.WithTimeout(ctx, 90*time.Second)
 	defer cancel()
 
 	video := analyzer.SmallVideo(cfg.VideoID, cfg.Segments, cfg.SegBytes)
+	if cfg.Live {
+		video = analyzer.SmallLiveVideo(cfg.VideoID, cfg.SegBytes, liveSegDur)
+	}
 	reg := obs.NewRegistry()
 	opts := provider.Options{Seed: cfg.Seed, Shards: cfg.Shards, Servers: cfg.Servers}
 	if cfg.IM {
 		pol := signal.DefaultPolicy()
 		pol.RequireIMChecking = true
 		opts.PolicyOverride = &pol
+	}
+	// The IM arbiter is deployed whenever something makes peers check —
+	// the explicit IM flag or a profile shipping RequireIMChecking.
+	if cfg.IM || prof.Policy.RequireIMChecking {
 		checker, err := defense.NewIMChecker(defense.IMConfig{
 			Reporters: 2,
 			FetchCDN: func(key media.SegmentKey) ([]byte, error) {
@@ -142,7 +248,7 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 		opts.IM = checker
 	}
 	tb, err := analyzer.NewTestbed(rctx, analyzer.TestbedConfig{
-		Profile: provider.Peer5(),
+		Profile: prof,
 		Video:   video,
 		Obs:     reg,
 		Traces:  cfg.Traces,
@@ -162,9 +268,22 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 	failPlane := func(i int) func() {
 		return func() { _ = tb.Dep.Plane.Fail(i) }
 	}
-	eng.Register(Node{Name: NodeSignal, Addr: tb.SignalHost.Addr(), Host: tb.SignalHost, Kill: failPlane(0)})
+	eng.Register(Node{Name: NodeSignal, Addr: tb.SignalHost.Addr(), Host: tb.SignalHost, Kill: failPlane(0), Infra: true})
 	for i, h := range tb.SignalHosts[1:] {
-		eng.Register(Node{Name: fmt.Sprintf("%s-%d", NodeSignal, i+1), Addr: h.Addr(), Host: h, Kill: failPlane(i + 1)})
+		eng.Register(Node{Name: fmt.Sprintf("%s-%d", NodeSignal, i+1), Addr: h.Addr(), Host: h, Kill: failPlane(i + 1), Infra: true})
+	}
+
+	// Live-edge lag sampling, shared by core viewers and spawned honest
+	// members. Lag is measured against the CDN's live edge at play time.
+	var lagMu sync.Mutex
+	var liveLag []float64
+	lagHist := reg.Histogram("chaos_live_lag_segments", "live-edge lag in segments, sampled at every segment an honest viewer plays")
+	sampleLag := func(key media.SegmentKey, _ []byte, _ string) {
+		lag := float64(tb.CDN.LiveEdge(key.Video) - key.Index)
+		lagMu.Lock()
+		liveLag = append(liveLag, lag)
+		lagMu.Unlock()
+		lagHist.Observe(int64(lag))
 	}
 
 	viewers := make([]*ViewerResult, cfg.Viewers)
@@ -182,6 +301,10 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 		vcfg.Pace = cfg.Pace
 		vcfg.GracefulDegrade = true
 		vcfg.VerifyHashManifest = cfg.HashManifest
+		if cfg.Live {
+			vcfg.LiveEdgeSegments = 3
+			vcfg.OnSegment = sampleLag
+		}
 		peer, err := pdnclient.New(vcfg)
 		if err != nil {
 			cancel()
@@ -190,7 +313,7 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 		}
 		vctx, vcancel := context.WithCancel(rctx)
 		eng.Register(Node{Name: name, Addr: host.Addr(), Host: host, Kill: vcancel})
-		vr := &ViewerResult{Name: name, Peer: peer}
+		vr := &ViewerResult{Name: name, Behavior: population.BehaviorHonest, Peer: peer}
 		viewers[i] = vr
 		wg.Add(1)
 		go func() {
@@ -200,12 +323,34 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 		}()
 	}
 
+	// The spawner materializes FaultSpawn bands. Its peers live under a
+	// child context so teardown can end lingering colluders and Sybil
+	// identities after the core swarm finishes.
+	spawnCtx, spawnCancel := context.WithCancel(rctx)
+	defer spawnCancel()
+	sp := &spawner{tb: tb, cfg: cfg, ctx: spawnCtx, onSegment: sampleLag}
+	eng.SetSpawnDriver(sp.drive)
+
 	if err := eng.Run(rctx, sc); err != nil && rctx.Err() == nil {
 		cancel()
 		wg.Wait()
+		spawnCancel()
+		sp.wgHonest.Wait()
+		sp.wg.Wait()
 		return nil, fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
 	}
 	wg.Wait()
+	// Spawned honest members (flash-crowd joiners) get to finish their
+	// own playback; only then are lingering colluders and Sybil
+	// identities torn down. A fast honest swarm can finish while the
+	// mill's later identities are still mid-join, so give lingerers a
+	// bounded window to reach the signaling plane first — the host
+	// ledger's identity peak must reflect the whole mill, not a
+	// teardown race.
+	sp.wgHonest.Wait()
+	sp.waitForLingerJoins(5 * time.Second)
+	spawnCancel()
+	sp.wg.Wait()
 
 	killed := make(map[string]bool)
 	for _, name := range eng.Killed() {
@@ -214,7 +359,28 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 	for _, v := range viewers {
 		v.Killed = killed[v.Name]
 	}
-	return &Result{
+	viewers = append(viewers, sp.results()...)
+
+	var colluders []string
+	for _, v := range viewers {
+		if v.Behavior == population.BehaviorEclipse && v.Peer != nil {
+			if id := v.Peer.ID(); id != "" {
+				colluders = append(colluders, id)
+			}
+		}
+	}
+	sort.Strings(colluders)
+
+	var hostStats []signal.HostStat
+	for i := 0; ; i++ {
+		srv := tb.Dep.Plane.Server(i)
+		if srv == nil {
+			break
+		}
+		hostStats = append(hostStats, srv.HostStats()...)
+	}
+
+	res := &Result{
 		Scenario:  sc.Name,
 		Seed:      cfg.Seed,
 		Events:    eng.Events(),
@@ -224,5 +390,175 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 		Rendition: video.Renditions[0].Name,
 		Segments:  cfg.Segments,
 		Viewers:   viewers,
-	}, nil
+		Colluders: colluders,
+		LiveLag:   liveLag,
+		HostStats: hostStats,
+	}
+	reg.GaugeFunc("chaos_jain_fairness", "Jain upload-fairness index over the run's P2P participants", res.JainFairness)
+	return res, nil
+}
+
+// spawner builds the peers FaultSpawn bands call for. All spawned
+// members are full pdnclient peers running under the harness's spawn
+// context; their outcomes land in extra (merged into Result.Viewers).
+type spawner struct {
+	tb  *analyzer.Testbed
+	cfg SwarmConfig
+	ctx context.Context
+	// onSegment is the harness's live-lag sampler, shared with spawned
+	// honest viewers on live runs.
+	onSegment func(key media.SegmentKey, data []byte, source string)
+	// wgHonest tracks spawned honest viewers (waited to completion);
+	// wg tracks everyone else (ended by cancelling the spawn context).
+	wgHonest sync.WaitGroup
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	extra   []*ViewerResult
+	spawned map[population.Behavior]int
+	// shared hosts: the Sybil mill and the leech farm each run all
+	// their identities from one machine — that single-host concentration
+	// is what the per-host ledger is built to see.
+	shared map[population.Behavior]*netsim.Host
+}
+
+// sharedHost lazily allocates the one machine a single-host behavior
+// (Sybil mill, leech farm) runs all its identities from.
+func (sp *spawner) sharedHost(b population.Behavior) (*netsim.Host, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.shared == nil {
+		sp.shared = make(map[population.Behavior]*netsim.Host)
+	}
+	if h, ok := sp.shared[b]; ok {
+		return h, nil
+	}
+	h, err := sp.tb.NewViewerHost("US")
+	if err != nil {
+		return nil, err
+	}
+	sp.shared[b] = h
+	return h, nil
+}
+
+// nextIndex reserves a per-behavior sequence number.
+func (sp *spawner) nextIndex(b population.Behavior) int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.spawned == nil {
+		sp.spawned = make(map[population.Behavior]int)
+	}
+	n := sp.spawned[b]
+	sp.spawned[b] = n + 1
+	return n
+}
+
+// results returns the spawned full viewers' outcomes.
+func (sp *spawner) results() []*ViewerResult {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return append([]*ViewerResult(nil), sp.extra...)
+}
+
+// waitForLingerJoins blocks until every lingering spawned identity
+// (Sybil mill, eclipse colluder) has registered with the signaling
+// plane, or the deadline passes. Peer.ID() turns non-empty exactly
+// when the join completes; a peer whose Run already failed never will,
+// which is what the deadline is for.
+func (sp *spawner) waitForLingerJoins(deadline time.Duration) {
+	expire := time.NewTimer(deadline)
+	defer expire.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		pending := 0
+		sp.mu.Lock()
+		for _, vr := range sp.extra {
+			switch vr.Behavior {
+			case population.BehaviorSybil, population.BehaviorEclipse:
+				if vr.Peer != nil && vr.Peer.ID() == "" {
+					pending++
+				}
+			}
+		}
+		sp.mu.Unlock()
+		if pending == 0 {
+			return
+		}
+		select {
+		case <-expire.C:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// drive is the engine's SpawnDriver: it materializes one band and
+// returns once its members are started (not finished).
+func (sp *spawner) drive(b population.Behavior, count int, _ time.Duration) error {
+	if !b.Valid() {
+		return fmt.Errorf("chaos: spawner cannot drive behavior %q", b)
+	}
+	return sp.spawnViewers(b, count)
+}
+
+// spawnViewers starts count pdnclient peers of the given behavior.
+// Honest members (the flash crowd) behave like the core swarm — own
+// hosts, full protocol, live-edge tune-in on live runs. Free-riders
+// play the whole stream from ONE shared host (a leech farm billing the
+// customer, §IV-B) and refuse every upload. Sybil identities share one
+// host too, but each plays a single segment and lingers: the mill's
+// job is to be advertised and squat neighbor slots while serving
+// nothing. Eclipse colluders do the same from their own hosts, which
+// is what lets them slip past per-host accounting.
+func (sp *spawner) spawnViewers(b population.Behavior, count int) error {
+	for i := 0; i < count; i++ {
+		n := sp.nextIndex(b)
+		name := fmt.Sprintf("%s-%03d", b, n)
+		var host *netsim.Host
+		var err error
+		if b == population.BehaviorFreeRider || b == population.BehaviorSybil {
+			host, err = sp.sharedHost(b)
+		} else {
+			host, err = sp.tb.NewViewerHost(viewerCountries[n%len(viewerCountries)])
+		}
+		if err != nil {
+			return err
+		}
+		vcfg := sp.tb.ViewerConfig(host, sp.cfg.Seed+1000+int64(n))
+		vcfg.Pace = sp.cfg.Pace
+		vcfg.GracefulDegrade = true
+		vcfg.MaxSegments = sp.cfg.Segments
+		switch b {
+		case population.BehaviorHonest:
+			if sp.cfg.Live {
+				vcfg.LiveEdgeSegments = 3
+				vcfg.OnSegment = sp.onSegment
+			}
+		case population.BehaviorEclipse, population.BehaviorSybil:
+			vcfg.UploadPolicy = func(media.SegmentKey) bool { return false }
+			vcfg.MaxSegments = 1
+			vcfg.Linger = 5 * time.Minute
+		default: // free_rider
+			vcfg.UploadPolicy = func(media.SegmentKey) bool { return false }
+		}
+		peer, err := pdnclient.New(vcfg)
+		if err != nil {
+			return err
+		}
+		vr := &ViewerResult{Name: name, Behavior: b, Peer: peer}
+		sp.mu.Lock()
+		sp.extra = append(sp.extra, vr)
+		sp.mu.Unlock()
+		wg := &sp.wg
+		if b == population.BehaviorHonest {
+			wg = &sp.wgHonest
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vr.Stats, vr.Err = peer.Run(sp.ctx)
+		}()
+	}
+	return nil
 }

@@ -1,6 +1,9 @@
 package hls
 
 import (
+	"bytes"
+	"fmt"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -164,6 +167,76 @@ func TestWindowLiveSlides(t *testing.T) {
 	}
 	if p.Segments[0].URI != SegmentURI(100) {
 		t.Fatalf("first URI %q", p.Segments[0].URI)
+	}
+}
+
+// Property: Window's live semantics survive the wire. For any asset
+// shape and any sliding-window schedule, every published window must
+// encode and parse back intact: ENDLIST present iff the asset is VOD,
+// media sequence monotone non-decreasing as the window slides, segment
+// URIs naming exactly the window's indices, and VOD windows never
+// referencing past the asset end. This is the contract the live
+// flash-crowd chaos scenario leans on.
+func TestQuickWindowLiveSemantics(t *testing.T) {
+	check := func(seed int64, liveAsset bool, lenSeed, winSeed, stepSeed uint8) error {
+		rng := rand.New(rand.NewSource(seed))
+		segs := 1 + int(lenSeed%30)
+		var v *media.Video
+		if liveAsset {
+			v = media.NewLive("ch", segs)
+		} else {
+			v = media.NewVOD("vod", segs)
+		}
+		// Non-integer durations exercise the EXTINF decimal formatting.
+		v.SegmentDuration = float64(1+rng.Intn(10_000)) / 1000
+		winLen := 1 + int(winSeed%8)
+		from, lastSeq := 0, -1
+		for step := 0; step < 1+int(stepSeed%10); step++ {
+			p := Window(v, from, winLen)
+			data := p.Encode()
+			if bytes.Contains(data, []byte("#EXT-X-ENDLIST")) == v.Live {
+				return fmt.Errorf("ENDLIST presence must match live=%v:\n%s", v.Live, data)
+			}
+			got, err := ParseMediaPlaylist(data)
+			if err != nil {
+				return fmt.Errorf("window [%d,+%d) does not parse back: %v", from, winLen, err)
+			}
+			if got.Live != v.Live || got.MediaSequence != p.MediaSequence {
+				return fmt.Errorf("round-trip drift: live %v->%v seq %d->%d",
+					p.Live, got.Live, p.MediaSequence, got.MediaSequence)
+			}
+			if got.MediaSequence < lastSeq {
+				return fmt.Errorf("media sequence went backwards: %d after %d", got.MediaSequence, lastSeq)
+			}
+			lastSeq = got.MediaSequence
+			if len(got.Segments) != len(p.Segments) {
+				return fmt.Errorf("segment count drift: %d->%d", len(p.Segments), len(got.Segments))
+			}
+			for i, s := range got.Segments {
+				idx, ok := ParseSegmentURI(s.URI)
+				if !ok || idx != got.MediaSequence+i {
+					return fmt.Errorf("segment %d URI %q does not name index %d", i, s.URI, got.MediaSequence+i)
+				}
+				if s.Duration != v.SegmentDuration {
+					return fmt.Errorf("segment duration drift: %v->%v", v.SegmentDuration, s.Duration)
+				}
+			}
+			if !v.Live && got.MediaSequence+len(got.Segments) > v.Segments {
+				return fmt.Errorf("VOD window [%d,+%d) references past asset end %d", from, winLen, v.Segments)
+			}
+			from += rng.Intn(3)
+		}
+		return nil
+	}
+	f := func(seed int64, liveAsset bool, lenSeed, winSeed, stepSeed uint8) bool {
+		if err := check(seed, liveAsset, lenSeed, winSeed, stepSeed); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(20260808))}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -151,9 +151,17 @@ func (st *ptState) analyze(node *FuncNode) {
 			}
 		case *ast.RangeStmt:
 			if fact := st.eval(node, info, n.X); fact != nil {
-				st.markLValue(info, n.Key, fact)
-				st.markLValue(info, n.Value, fact)
+				// Numeric range variables (slice indices, ledger counts)
+				// are identity-free even when the container is tainted.
+				if !identityFree(typeOf(info, n.Key)) {
+					st.markLValue(info, n.Key, fact)
+				}
+				if !identityFree(typeOf(info, n.Value)) {
+					st.markLValue(info, n.Value, fact)
+				}
 			}
+		case *ast.IncDecStmt:
+			st.keyTaint(node, info, n.X)
 		case *ast.SendStmt:
 			if fact := st.eval(node, info, n.Value); fact != nil {
 				st.markLValue(info, n.Chan, fact)
@@ -167,8 +175,24 @@ func (st *ptState) analyze(node *FuncNode) {
 	})
 }
 
+// keyTaint handles the key side of an index write: m[tainted] = v (or
+// m[tainted]++) poisons the container itself, because an addr-keyed
+// ledger leaks through iteration even when its values are clean counts.
+func (st *ptState) keyTaint(node *FuncNode, info *types.Info, l ast.Expr) {
+	ix, ok := ast.Unparen(l).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if fact := st.eval(node, info, ix.Index); fact != nil {
+		st.markLValue(info, ix.X, fact)
+	}
+}
+
 // assign handles n:n assignments and the 1-call:n-lhs tuple form.
 func (st *ptState) assign(node *FuncNode, info *types.Info, lhs, rhs []ast.Expr) {
+	for _, l := range lhs {
+		st.keyTaint(node, info, l)
+	}
 	if len(rhs) == 1 && len(lhs) > 1 {
 		if fact := st.eval(node, info, rhs[0]); fact != nil {
 			for _, l := range lhs {
@@ -501,6 +525,16 @@ func identityFree(t types.Type) bool {
 func typeOf(info *types.Info, e ast.Expr) types.Type {
 	if tv, ok := info.Types[e]; ok {
 		return tv.Type
+	}
+	// Idents introduced by a := range clause have no Types entry, only
+	// a definition object.
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
 	}
 	return nil
 }

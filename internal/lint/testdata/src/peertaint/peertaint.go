@@ -149,6 +149,61 @@ func fieldGranular(conn net.Conn) {
 	log.Println("session", s.addr) // want `peer-identifying value from RemoteAddr\(\) .* reaches log output`
 }
 
+// ---- per-host ledgers: addr-keyed maps leak via keys, not counts ----
+
+// identityCounts models the matcher's host ledger: a map keyed by the
+// client address. The key write poisons the container itself.
+func identityCounts(conns []net.Conn) map[string]int {
+	counts := make(map[string]int)
+	for _, c := range conns {
+		counts[clientAddr(c)]++
+	}
+	return counts
+}
+
+func ledgerDumpKeys(conns []net.Conn) {
+	for addr, n := range identityCounts(conns) {
+		log.Printf("host %s holds %d identities", addr, n) // want `peer-identifying value from RemoteAddr\(\) .* reaches log output`
+	}
+}
+
+func ledgerAggregates(conns []net.Conn) {
+	peak := 0
+	for _, n := range identityCounts(conns) {
+		if n > peak {
+			peak = n
+		}
+	}
+	log.Println("peak identities", peak) // int-only aggregate: clean
+}
+
+func ledgerRedacted(conns []net.Conn, tr *obs.Tracer) {
+	for addr, n := range identityCounts(conns) {
+		tr.Event("host", obs.A("host", privacy.Redact(addr)), obs.A("identities", fmt.Sprint(n)))
+	}
+}
+
+// hostFootprint mirrors signal.HostStat: the anonymized per-host
+// aggregate is int-only by design, so publishing it stays clean.
+type hostFootprint struct {
+	Identities int
+	Peak       int
+}
+
+func footprints(conns []net.Conn) []hostFootprint {
+	var out []hostFootprint
+	for _, n := range identityCounts(conns) {
+		out = append(out, hostFootprint{Identities: n, Peak: n})
+	}
+	return out
+}
+
+func footprintDump(conns []net.Conn) {
+	for _, f := range footprints(conns) {
+		log.Printf("host identities=%d peak=%d", f.Identities, f.Peak) // anonymized aggregates: clean
+	}
+}
+
 // ---- identity-free derivations are clean ----
 
 func derived(conn net.Conn) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -174,6 +175,9 @@ func (nb *neighbor) serve(key media.SegmentKey, trace string) {
 			uploadAllowed = false // §V-C upload budget exhausted
 		}
 		p.mu.Unlock()
+	}
+	if up := p.cfg.UploadPolicy; up != nil && !up(key) {
+		uploadAllowed = false // behavioral refusal (free-rider/colluder)
 	}
 	if uploadAllowed && key.Video == p.cfg.Video && key.Rendition == p.cfg.Rendition {
 		if data, ok := p.cache.get(key.Index); ok {
@@ -368,12 +372,33 @@ func (p *Peer) dtlsHandshake(ctx context.Context, raw net.Conn, theirFP string, 
 		role = "client"
 	}
 	_, span := p.cfg.Tracer.StartSpan(ctx, "dtls_handshake", obs.A("role", role))
+	// The handshake's record reads block with no deadline of their own,
+	// and a corrupted wire can eat the bytes they wait for (the
+	// polluted-wire chaos scenario does exactly this) — honor the
+	// caller's connectTimeout context by burning the conn's deadline
+	// when it ends, or the stuck read outlives Run and wedges
+	// teardown's WaitGroup.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			raw.SetDeadline(time.Unix(1, 0))
+		case <-watchDone:
+		}
+	}()
 	var dconn *dtls.Conn
 	var err error
 	if client {
 		dconn, err = dtls.Client(raw, p.dtlsConfig(theirFP))
 	} else {
 		dconn, err = dtls.Server(raw, p.dtlsConfig(theirFP))
+	}
+	close(watchDone)
+	if err == nil && ctx.Err() != nil {
+		// The watchdog can fire between the final record and here; don't
+		// hand back a conn whose deadline is already burned.
+		dconn.Close()
+		dconn, err = nil, ctx.Err()
 	}
 	span.End(obs.A("ok", err == nil))
 	return dconn, err
@@ -387,7 +412,16 @@ func (p *Peer) handleRelay(rel signal.Relay) {
 		if err := json.Unmarshal(rel.Payload, &offer); err != nil {
 			return
 		}
+		// The dispatcher can deliver a queued offer after teardown has
+		// begun; taking the WaitGroup slot under the draining check keeps
+		// this Add ordered before teardown's final Wait.
+		p.mu.Lock()
+		if p.draining {
+			p.mu.Unlock()
+			return
+		}
 		p.wg.Add(1)
+		p.mu.Unlock()
 		go func() {
 			defer p.wg.Done()
 			p.answerOffer(rel.From, offer, rel.Trace)
@@ -574,6 +608,7 @@ func (p *Peer) addNeighbor(id string, conn *dtls.Conn) {
 		return
 	}
 	p.neighbors[id] = nb
+	p.allNeighbors[id] = true
 	n := len(p.neighbors)
 	p.mu.Unlock()
 	if p.cfg.Meter != nil {
@@ -602,4 +637,19 @@ func (p *Peer) NeighborCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.neighbors)
+}
+
+// NeighborIDs lists every peer ID this peer connected to over its whole
+// session, sorted. Because teardown closes connections before callers
+// can look, the eclipse invariant inspects this ever-connected set
+// rather than the live neighbor map.
+func (p *Peer) NeighborIDs() []string {
+	p.mu.Lock()
+	out := make([]string, 0, len(p.allNeighbors))
+	for id := range p.allNeighbors {
+		out = append(out, id)
+	}
+	p.mu.Unlock()
+	sort.Strings(out)
+	return out
 }

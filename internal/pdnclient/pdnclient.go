@@ -109,6 +109,17 @@ type Config struct {
 	// OnSegment, when set, observes every played segment — experiments
 	// use it to detect whether pollution reached this viewer.
 	OnSegment func(key media.SegmentKey, data []byte, source string)
+	// UploadPolicy, when set, is consulted before serving each neighbor
+	// request; returning false refuses the upload. Adversarial
+	// populations use it to model free-riders and eclipse colluders that
+	// take the protocol's downloads without ever serving a byte. Nil
+	// allows every upload the provider policy allows.
+	UploadPolicy func(key media.SegmentKey) bool
+	// LiveEdgeSegments, for live streams, makes the peer tune in near the
+	// live edge: all but the last N segments of the first playlist it
+	// sees are treated as already played. Zero plays the full window —
+	// the catch-up behaviour VOD viewers exhibit.
+	LiveEdgeSegments int
 	// Linger keeps the peer online (serving uploads and answering
 	// offers) after playback completes, modelling a viewer who leaves
 	// the page open. Run returns early if ctx is cancelled.
@@ -212,13 +223,24 @@ type Peer struct {
 	// slowStartExited latches the first P2P-eligible segment so the
 	// slow-start exit is counted once per session.
 	slowStartExited bool
+	// liveSynced latches the live-edge tune-in so only the first live
+	// playlist marks its backlog as played.
+	liveSynced bool
+	// allNeighbors remembers every peer ID this peer ever connected to;
+	// unlike neighbors it survives teardown, so post-run invariants can
+	// inspect who a viewer actually talked to.
+	allNeighbors map[string]bool
 	// lastStallTrace is the trace ID of the most recent segment fetch
 	// that failed outright — chaos invariant violations cite it so a red
 	// run names the exact trace to inspect alongside the replay seed.
 	lastStallTrace string
 
 	closed chan struct{}
-	wg     sync.WaitGroup
+	// draining (guarded by mu) is set when teardown begins: dispatcher
+	// callbacks must not take new WaitGroup slots once the final Wait
+	// may have started, so handleRelay checks it before wg.Add.
+	draining bool
+	wg       sync.WaitGroup
 }
 
 // New constructs a peer (no I/O yet).
@@ -243,11 +265,12 @@ func New(cfg Config) (*Peer, error) {
 			Transport: &http.Transport{DialContext: cfg.Host.Dialer()},
 			Timeout:   10 * time.Second,
 		},
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		neighbors: make(map[string]*neighbor),
-		offering:  make(map[string]bool),
-		played:    make(map[int]bool),
-		closed:    make(chan struct{}),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		neighbors:    make(map[string]*neighbor),
+		offering:     make(map[string]bool),
+		played:       make(map[int]bool),
+		allNeighbors: make(map[string]bool),
+		closed:       make(chan struct{}),
 	}
 	seeds := cfg.SignalAddrs
 	if len(seeds) == 0 && cfg.SignalAddr.IsValid() {
@@ -594,6 +617,7 @@ func (p *Peer) playbackLoop(ctx context.Context) error {
 			return err
 		}
 		p.learnExpectedSize(ctx, pl)
+		p.syncLiveEdge(pl)
 		progressed := false
 		for i, seg := range pl.Segments {
 			idx, ok := hls.ParseSegmentURI(seg.URI)
@@ -648,6 +672,32 @@ func (p *Peer) playbackLoop(ctx context.Context) error {
 				return ctx.Err()
 			}
 		}
+	}
+}
+
+// syncLiveEdge implements LiveEdgeSegments: on the first live playlist,
+// everything except the trailing N segments is marked played, so the
+// viewer starts near the live edge instead of replaying the window.
+func (p *Peer) syncLiveEdge(pl *hls.MediaPlaylist) {
+	n := p.cfg.LiveEdgeSegments
+	if n <= 0 || !pl.Live {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.liveSynced {
+		return
+	}
+	p.liveSynced = true
+	for i, seg := range pl.Segments {
+		if i >= len(pl.Segments)-n {
+			break
+		}
+		idx, ok := hls.ParseSegmentURI(seg.URI)
+		if !ok {
+			idx = pl.MediaSequence + i
+		}
+		p.played[idx] = true
 	}
 }
 
@@ -915,6 +965,7 @@ func (p *Peer) teardown() {
 		close(p.closed)
 	}
 	p.mu.Lock()
+	p.draining = true
 	sig := p.sig
 	nbs := make([]*neighbor, 0, len(p.neighbors))
 	for _, nb := range p.neighbors {

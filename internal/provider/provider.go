@@ -198,6 +198,10 @@ func Hardened() Profile {
 	pol.RequireIMChecking = true
 	pol.GeoMatchCountry = true
 	pol.MaxUploadBytes = 512 << 20
+	// Identity budget per client address: quarantines Sybil identity
+	// mills and single-host leech farms (§IV resource squatting), which
+	// the per-identity matcher the deployed services ship cannot see.
+	pol.MaxPeersPerHost = 2
 	return Profile{
 		Name:          "hardened",
 		RequireAuth:   true,

@@ -1,0 +1,165 @@
+package signal
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// HostStat is the anonymized matcher footprint of one client address.
+// The matcher historically saw only per-identity state, which is exactly
+// what a Sybil identity mill exploits: forty sessions from one box look
+// like forty viewers. The ledger makes the per-host aggregate visible to
+// policy (Policy.MaxPeersPerHost) and to operators — without ever
+// exposing the address itself, which is peer-identifying (§IV).
+type HostStat struct {
+	// Identities is the number of currently connected sessions from the
+	// host.
+	Identities int `json:"identities"`
+	// PeakIdentities is the largest concurrent identity count observed.
+	PeakIdentities int `json:"peak_identities"`
+	// MatchGrants counts how many times one of the host's identities was
+	// handed out as a match candidate — its share of the swarm's upload
+	// slots.
+	MatchGrants int64 `json:"match_grants"`
+}
+
+// hostLedger aggregates session state per client address. Its mutex is
+// a leaf: it is taken under shard.mu (candidate checks inside matching)
+// and on its own (register/unregister, snapshots), and never wraps any
+// other lock.
+type hostLedger struct {
+	mu    sync.Mutex
+	hosts map[netip.Addr]*hostStat
+}
+
+type hostStat struct {
+	identities int
+	peak       int
+	grants     int64
+}
+
+func newHostLedger() *hostLedger {
+	return &hostLedger{hosts: make(map[netip.Addr]*hostStat)}
+}
+
+// add records one more connected identity for addr.
+func (l *hostLedger) add(addr netip.Addr) {
+	if !addr.IsValid() {
+		return
+	}
+	l.mu.Lock()
+	st := l.hosts[addr]
+	if st == nil {
+		st = &hostStat{}
+		l.hosts[addr] = st
+	}
+	st.identities++
+	if st.identities > st.peak {
+		st.peak = st.identities
+	}
+	l.mu.Unlock()
+}
+
+// remove records an identity's departure. The entry itself is retained:
+// peaks and grant totals must survive the mill disconnecting.
+func (l *hostLedger) remove(addr netip.Addr) {
+	if !addr.IsValid() {
+		return
+	}
+	l.mu.Lock()
+	if st := l.hosts[addr]; st != nil && st.identities > 0 {
+		st.identities--
+	}
+	l.mu.Unlock()
+}
+
+// identities reports the host's current identity count.
+func (l *hostLedger) identities(addr netip.Addr) int {
+	if !addr.IsValid() {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if st := l.hosts[addr]; st != nil {
+		return st.identities
+	}
+	return 0
+}
+
+// grantAll folds a match response's per-host candidate counts into the
+// ledger (nil map is a no-op).
+func (l *hostLedger) grantAll(grants map[netip.Addr]int64) {
+	if len(grants) == 0 {
+		return
+	}
+	l.mu.Lock()
+	for addr, n := range grants {
+		st := l.hosts[addr]
+		if st == nil {
+			st = &hostStat{}
+			l.hosts[addr] = st
+		}
+		st.grants += n
+	}
+	l.mu.Unlock()
+}
+
+// snapshot returns the per-host stats, heaviest hosts first (peak
+// identities, then grants, then current identities). Addresses are
+// deliberately absent from the result.
+func (l *hostLedger) snapshot() []HostStat {
+	l.mu.Lock()
+	out := make([]HostStat, 0, len(l.hosts))
+	for _, st := range l.hosts {
+		out = append(out, HostStat{Identities: st.identities, PeakIdentities: st.peak, MatchGrants: st.grants})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PeakIdentities != out[j].PeakIdentities {
+			return out[i].PeakIdentities > out[j].PeakIdentities
+		}
+		if out[i].MatchGrants != out[j].MatchGrants {
+			return out[i].MatchGrants > out[j].MatchGrants
+		}
+		return out[i].Identities > out[j].Identities
+	})
+	return out
+}
+
+// HostStats returns the server's per-host matcher footprints, heaviest
+// first. Entries are anonymized aggregates — no addresses.
+func (s *Server) HostStats() []HostStat {
+	return s.hosts.snapshot()
+}
+
+// MaxHostShare summarizes a HostStats slice the way the Sybil invariant
+// needs it: it picks the host with the largest identity peak (ties by
+// grants) and returns that host's share of all match grants plus its
+// peak. A population with no multi-identity host shares nothing (0, 1).
+func MaxHostShare(stats []HostStat) (share float64, peak int) {
+	peak = 1
+	var total, top int64
+	topPeak := 0
+	for _, st := range stats {
+		total += st.MatchGrants
+		if st.PeakIdentities > topPeak || (st.PeakIdentities == topPeak && st.MatchGrants > top) {
+			topPeak = st.PeakIdentities
+			top = st.MatchGrants
+		}
+	}
+	if topPeak <= 1 || total == 0 {
+		return 0, max(topPeak, 1)
+	}
+	return float64(top) / float64(total), topPeak
+}
+
+// TotalGrants sums a HostStats slice's match grants — the size of the
+// matching economy a slot-share is measured against.
+func TotalGrants(stats []HostStat) int64 {
+	var total int64
+	for _, st := range stats {
+		total += st.MatchGrants
+	}
+	return total
+}

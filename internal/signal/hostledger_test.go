@@ -1,0 +1,169 @@
+package signal
+
+import (
+	"testing"
+	"time"
+)
+
+// millEnv joins n identities from one mill host plus two honest
+// single-identity hosts into the "bbb" swarm and returns the clients.
+func millEnv(t *testing.T, e *env, n int) (mill []*Client, millIDs []string, honest []*Client) {
+	t.Helper()
+	key := e.keys.Issue("customer.com", nil)
+	millHost := e.newPeerHost(t, "66.24.0.9")
+	for i := 0; i < n; i++ {
+		c := e.dial(t, millHost)
+		w, err := c.Join(testCtx, basicJoin(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mill = append(mill, c)
+		millIDs = append(millIDs, w.PeerID)
+	}
+	for _, ip := range []string{"66.24.0.1", "66.24.0.2"} {
+		c := e.dial(t, e.newPeerHost(t, ip))
+		if _, err := c.Join(testCtx, basicJoin(key)); err != nil {
+			t.Fatal(err)
+		}
+		honest = append(honest, c)
+	}
+	return mill, millIDs, honest
+}
+
+// TestHostLedgerPeaksSurviveDisconnect pins the accounting the Sybil
+// invariant depends on: the ledger's identity peak and grant totals for
+// a host must survive the mill disconnecting, so a post-teardown
+// HostStats read still sees the squat.
+func TestHostLedgerPeaksSurviveDisconnect(t *testing.T) {
+	e := newEnv(t, nil)
+	mill, _, honest := millEnv(t, e, 3)
+	// Generate some match grants so the mill host has a nonzero total.
+	for _, c := range honest {
+		if _, err := c.GetPeers(testCtx, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := e.server.HostStats()
+	if len(stats) == 0 || stats[0].PeakIdentities != 3 || stats[0].Identities != 3 {
+		t.Fatalf("mill host not heaviest with 3/3 identities: %+v", stats)
+	}
+	grants := stats[0].MatchGrants
+	if grants == 0 {
+		t.Fatal("honest match wave granted the mill host nothing; grant accounting is dead")
+	}
+
+	for _, c := range mill[:2] {
+		c.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		stats = e.server.HostStats()
+		if len(stats) > 0 && stats[0].Identities == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mill disconnects never reached the ledger: %+v", stats)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats[0].PeakIdentities != 3 {
+		t.Errorf("identity peak = %d after disconnect, want the historical 3", stats[0].PeakIdentities)
+	}
+	if stats[0].MatchGrants != grants {
+		t.Errorf("match grants = %d after disconnect, want the historical %d", stats[0].MatchGrants, grants)
+	}
+}
+
+// TestHostBudgetQuarantine pins the two-directional quarantine: a host
+// over Policy.MaxPeersPerHost neither receives match candidates nor is
+// advertised as one, while hosts at or under budget are untouched.
+func TestHostBudgetQuarantine(t *testing.T) {
+	e := newEnv(t, func(cfg *Config) {
+		p := DefaultPolicy()
+		p.MaxPeersPerHost = 2
+		cfg.Policy = p
+	})
+	mill, millIDs, honest := millEnv(t, e, 3)
+
+	peers, err := mill[0].GetPeers(testCtx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 0 {
+		t.Errorf("over-budget host received %d match candidates, want quarantine", len(peers))
+	}
+	for _, c := range honest {
+		peers, err := c.GetPeers(testCtx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peers) == 0 {
+			t.Fatal("honest peer matched nobody; the swarm should still pair the two honest hosts")
+		}
+		for _, p := range peers {
+			for i, id := range millIDs {
+				if p.ID == id {
+					t.Errorf("quarantined mill identity %d advertised to an honest peer", i)
+				}
+			}
+		}
+	}
+}
+
+// TestHostBudgetAllowsAtBudget pins the boundary: exactly MaxPeersPerHost
+// identities from one host is allowed, not quarantined.
+func TestHostBudgetAllowsAtBudget(t *testing.T) {
+	e := newEnv(t, func(cfg *Config) {
+		p := DefaultPolicy()
+		p.MaxPeersPerHost = 2
+		cfg.Policy = p
+	})
+	mill, _, _ := millEnv(t, e, 2)
+	peers, err := mill[0].GetPeers(testCtx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) == 0 {
+		t.Error("at-budget host matched nobody; the budget must be a cap, not a ban")
+	}
+}
+
+// TestMaxHostShare covers the summary's edge cases: empty populations,
+// single-identity-only populations, grantless ledgers, and the
+// tie-on-peak rule picking the host with more grants.
+func TestMaxHostShare(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stats []HostStat
+		share float64
+		peak  int
+		total int64
+	}{
+		{"empty", nil, 0, 1, 0},
+		{"all singletons", []HostStat{
+			{PeakIdentities: 1, MatchGrants: 40},
+			{PeakIdentities: 1, MatchGrants: 60},
+		}, 0, 1, 100},
+		{"no grants yet", []HostStat{
+			{PeakIdentities: 5},
+			{PeakIdentities: 1},
+		}, 0, 5, 0},
+		{"mill with majority share", []HostStat{
+			{PeakIdentities: 3, MatchGrants: 60},
+			{PeakIdentities: 1, MatchGrants: 40},
+		}, 0.6, 3, 100},
+		{"peak tie picks heavier granted host", []HostStat{
+			{PeakIdentities: 2, MatchGrants: 10},
+			{PeakIdentities: 2, MatchGrants: 30},
+			{PeakIdentities: 1, MatchGrants: 60},
+		}, 0.3, 2, 100},
+	} {
+		share, peak := MaxHostShare(tc.stats)
+		if share != tc.share || peak != tc.peak {
+			t.Errorf("%s: MaxHostShare = (%.3f, %d), want (%.3f, %d)", tc.name, share, peak, tc.share, tc.peak)
+		}
+		if total := TotalGrants(tc.stats); total != tc.total {
+			t.Errorf("%s: TotalGrants = %d, want %d", tc.name, total, tc.total)
+		}
+	}
+}

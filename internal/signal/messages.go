@@ -121,6 +121,13 @@ type Policy struct {
 	// RequireIMChecking makes peers verify signed integrity metadata for
 	// every P2P segment — the paper's §V-B defense.
 	RequireIMChecking bool `json:"require_im_checking"`
+	// MaxPeersPerHost is the identity budget one client address gets in
+	// the matcher. A host exceeding it is quarantined: its identities are
+	// never advertised as candidates and its own match requests return
+	// empty — the counter-knob for Sybil identity mills and single-host
+	// leech farms, which are invisible to a per-identity matcher. Zero
+	// disables the check, which is what every deployed service ships.
+	MaxPeersPerHost int `json:"max_peers_per_host,omitempty"`
 }
 
 // DefaultPolicy matches the commercial deployments the paper measured.

@@ -128,6 +128,9 @@ type Server struct {
 	nextID atomic.Int64
 	shards []*shard
 	dir    peerDir
+	// hosts aggregates connected identities and match grants per client
+	// address — the per-host visibility Policy.MaxPeersPerHost needs.
+	hosts *hostLedger
 
 	deliverCh chan deliverJob
 
@@ -197,6 +200,7 @@ type serverMetrics struct {
 	statsReports    *obs.Counter
 	forwarded       *obs.Counter
 	redirects       *obs.Counter
+	hostCapped      *obs.Counter
 	batchSize       *obs.Histogram
 }
 
@@ -218,6 +222,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		shards:    make([]*shard, cfg.Shards),
+		hosts:     newHostLedger(),
 		deliverCh: make(chan deliverJob, cfg.Shards),
 		done:      make(chan struct{}),
 	}
@@ -241,6 +246,7 @@ func NewServer(cfg Config) *Server {
 		statsReports:    reg.Counter("signal_stats_reports_total", "peer usage reports accounted"),
 		forwarded:       reg.Counter("signal_forwarded_relays_total", "signaling frames spliced across the inter-server forwarding link"),
 		redirects:       reg.Counter("signal_redirects_total", "joins redirected to the swarm's owning server"),
+		hostCapped:      reg.Counter("signal_match_host_capped_total", "match candidates or requests refused because their host exceeded the per-host identity budget"),
 		batchSize:       reg.Histogram("signal_match_batch_size", "outbound messages drained per delivery tick"),
 	}
 	reg.GaugeFunc("signal_swarm_peers", "currently connected peers across all swarms", func() float64 {
@@ -467,6 +473,7 @@ func (s *Server) register(codec *wire.Codec, conn net.Conn, join JoinRequest, cu
 	sw.members = append(sw.members, sess)
 	sh.mu.Unlock()
 	s.dir.put(sess)
+	s.hosts.add(sess.addr)
 	return sess
 }
 
@@ -474,6 +481,7 @@ func (s *Server) register(codec *wire.Codec, conn net.Conn, join JoinRequest, cu
 // every still-connected peer it was advertised to.
 func (s *Server) unregister(sess *session) {
 	s.dir.del(sess.id)
+	s.hosts.remove(sess.addr)
 	sh := sess.shard
 	sh.mu.Lock()
 	if sw := sess.swarm; sw != nil {
@@ -615,15 +623,25 @@ func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 	if max <= 0 {
 		max = s.cfg.Policy.MaxNeighbors
 	}
+	budget := s.cfg.Policy.MaxPeersPerHost
+	if budget > 0 && s.hosts.identities(sess.addr) > budget {
+		// Quarantine: a host over its identity budget neither receives
+		// matches nor is advertised to anyone (see the candidate check
+		// below). An identity mill or leech farm is thereby cut off in
+		// both directions instead of merely rate-limited.
+		s.metrics.hostCapped.Inc()
+		return nil
+	}
 	sh := sess.shard
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sw := sess.swarm
 	if sw == nil {
+		sh.mu.Unlock()
 		return nil
 	}
 	n := len(sw.members)
 	out := make([]PeerInfo, 0, max)
+	var grants map[netip.Addr]int64
 	for i := 0; i < n && len(out) < max; i++ {
 		j := i + sw.rng.Intn(n-i)
 		sw.members[i], sw.members[j] = sw.members[j], sw.members[i]
@@ -639,6 +657,10 @@ func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 		if s.cfg.IM != nil && s.cfg.IM.Blacklisted(cand.id) {
 			continue
 		}
+		if budget > 0 && s.hosts.identities(cand.addr) > budget {
+			s.metrics.hostCapped.Inc()
+			continue
+		}
 		out = append(out, PeerInfo{
 			ID:          cand.id,
 			Fingerprint: cand.fingerprint,
@@ -647,7 +669,15 @@ func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 		})
 		cand.advertisedTo[sess.id] = sess
 		sess.advertised[cand.id] = cand
+		if cand.addr.IsValid() {
+			if grants == nil {
+				grants = make(map[netip.Addr]int64)
+			}
+			grants[cand.addr]++
+		}
 	}
+	sh.mu.Unlock()
+	s.hosts.grantAll(grants)
 	return out
 }
 

@@ -32,8 +32,11 @@ import (
 
 	"github.com/stealthy-peers/pdnsec/internal/analyzer"
 	"github.com/stealthy-peers/pdnsec/internal/federation"
+	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/netsim"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
+	"github.com/stealthy-peers/pdnsec/internal/population"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
@@ -77,6 +80,22 @@ type Config struct {
 	// MaxFallbackRatio bounds pdn_cdn_fallbacks_total against all
 	// P2P-eligible segment plays (default 0.75).
 	MaxFallbackRatio float64
+	// Adversaries mixes behavioral members into the full viewers' swarm
+	// during the steady phase (population mix syntax, e.g.
+	// "free_rider:6,sybil:24"). Free-riders and Sybil identities each
+	// run their whole band from one shared host; eclipse colluders and
+	// extra honest members get their own hosts. Empty means none — and
+	// the adversarial invariants below are only scored when a mix is set.
+	// Note that adversaries degrade the band's P2P efficiency by design;
+	// adversarial runs usually pair this with a relaxed MaxFallbackRatio.
+	Adversaries population.Mix
+	// MinJainFairness floors Jain's index over the full-viewer band's
+	// P2P upload bytes (default 0.05; scored only with Adversaries set).
+	MinJainFairness float64
+	// MaxSybilShare caps the share of match grants taken by the host
+	// with the largest identity peak (default 0.5; scored only with
+	// Adversaries set).
+	MaxSybilShare float64
 	// Obs receives every component's metrics; nil creates a private
 	// registry (the report reads the signaling counters from it).
 	Obs *obs.Registry
@@ -134,6 +153,12 @@ func (cfg *Config) setDefaults() {
 	if cfg.MaxFallbackRatio <= 0 {
 		cfg.MaxFallbackRatio = 0.75
 	}
+	if cfg.MinJainFairness <= 0 {
+		cfg.MinJainFairness = 0.05
+	}
+	if cfg.MaxSybilShare <= 0 {
+		cfg.MaxSybilShare = 0.5
+	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
@@ -173,6 +198,16 @@ type Report struct {
 	ViewersDone      int     `json:"viewers_done"`
 	ViewerSegments   int     `json:"viewer_segments_played"`
 	CDNFallbackRatio float64 `json:"cdn_fallback_ratio"`
+
+	// Adversarial-band outcome (populated only when Config.Adversaries
+	// is set). JainFairness is Jain's index over the full-viewer band's
+	// P2P upload bytes (participants only; the seeder is infrastructure
+	// and excluded). SybilSlotShare is the share of all match grants the
+	// host with the largest identity peak took.
+	AdversaryCounts     map[string]int `json:"adversary_counts,omitempty"`
+	JainFairness        float64        `json:"jain_fairness,omitempty"`
+	SybilSlotShare      float64        `json:"sybil_slot_share,omitempty"`
+	SybilPeakIdentities int            `json:"sybil_peak_identities,omitempty"`
 
 	Violations []string `json:"violations,omitempty"`
 }
@@ -354,6 +389,73 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}(i)
 	}
 
+	// Adversarial band: behavioral members join the full viewers' swarm.
+	// Sybil identities and eclipse colluders play one segment and linger
+	// (advertised, squatting neighbor slots, serving nothing) until the
+	// honest band finishes; free-riders play the whole VOD refusing every
+	// upload; extra honest members just watch. Their stats feed the
+	// fairness index, the plane's host ledger feeds the slot-share cap.
+	advTotal := cfg.Adversaries.Total()
+	aouts := make([]pdnclient.Stats, advTotal)
+	var awg sync.WaitGroup
+	advCtx, advCancel := context.WithCancel(ctx)
+	defer advCancel()
+	stopAdversaries := func() {
+		advCancel()
+		awg.Wait()
+	}
+	if advTotal > 0 {
+		rep.AdversaryCounts = make(map[string]int, len(cfg.Adversaries))
+		for _, e := range cfg.Adversaries {
+			rep.AdversaryCounts[string(e.Behavior)] += e.Count
+		}
+		cfg.Logf("swarmload: spawning adversarial band %s into the viewer swarm", cfg.Adversaries)
+		shared := make(map[population.Behavior]*netsim.Host)
+		for n, b := range cfg.Adversaries.Roster(cfg.Seed) {
+			var host *netsim.Host
+			var err error
+			if b == population.BehaviorFreeRider || b == population.BehaviorSybil {
+				if host = shared[b]; host == nil {
+					host, err = tb.NewViewerHost("US")
+					shared[b] = host
+				}
+			} else {
+				host, err = tb.NewViewerHost(viewerCountries[n%len(viewerCountries)])
+			}
+			if err == nil {
+				vcfg := tb.ViewerConfig(host, cfg.Seed+5000+int64(n))
+				vcfg.MaxSegments = cfg.Segments
+				vcfg.Pace = 2 * time.Millisecond
+				vcfg.GracefulDegrade = true
+				switch b {
+				case population.BehaviorSybil, population.BehaviorEclipse:
+					vcfg.UploadPolicy = func(media.SegmentKey) bool { return false }
+					vcfg.MaxSegments = 1
+					vcfg.Linger = 5 * time.Minute
+				case population.BehaviorFreeRider:
+					vcfg.UploadPolicy = func(media.SegmentKey) bool { return false }
+				}
+				var peer *pdnclient.Peer
+				if peer, err = pdnclient.New(vcfg); err == nil {
+					awg.Add(1)
+					go func(n int) {
+						defer awg.Done()
+						aouts[n], _ = peer.Run(advCtx)
+					}(n)
+				}
+			}
+			if err != nil {
+				vwg.Wait()
+				stopAdversaries()
+				if stopSeeder != nil {
+					stopSeeder()
+				}
+				closePeers(peers)
+				return nil, fmt.Errorf("swarmload: adversary %d (%s): %w", n, b, err)
+			}
+		}
+	}
+
 	// Match-latency wave: every survivor asks for neighbors; the response
 	// also becomes its relay fan-out list.
 	survivors := make([]*vpeer, 0, want)
@@ -382,6 +484,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	})
 	if err != nil {
 		vwg.Wait()
+		stopAdversaries()
 		if stopSeeder != nil {
 			stopSeeder()
 		}
@@ -415,6 +518,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		})
 		if err != nil {
 			vwg.Wait()
+			stopAdversaries()
 			if stopSeeder != nil {
 				stopSeeder()
 			}
@@ -445,6 +549,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.RelaysReceived = got
 	if quiesceErr != nil && ctx.Err() != nil {
 		vwg.Wait()
+		stopAdversaries()
 		if stopSeeder != nil {
 			stopSeeder()
 		}
@@ -454,8 +559,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	// Wait out the viewers, then read the settled server-side accounting
 	// (accepted relays must equal delivered + dropped once nothing is in
-	// flight).
+	// flight). The honest band finishing is what ends the adversaries'
+	// linger.
 	vwg.Wait()
+	stopAdversaries()
 	if stopSeeder != nil {
 		stopSeeder()
 	}
@@ -508,6 +615,47 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if rep.CDNFallbackRatio > cfg.MaxFallbackRatio {
 		rep.Violations = append(rep.Violations,
 			fmt.Sprintf("CDN fallback ratio %.2f exceeds %.2f", rep.CDNFallbackRatio, cfg.MaxFallbackRatio))
+	}
+	if advTotal > 0 {
+		var xs []float64
+		add := func(s pdnclient.Stats) {
+			if s.P2PUpBytes+s.P2PDownBytes > 0 {
+				xs = append(xs, float64(s.P2PUpBytes))
+			}
+		}
+		for _, vo := range vouts {
+			add(vo.stats)
+		}
+		for _, s := range aouts {
+			add(s)
+		}
+		rep.JainFairness = population.Jain(xs)
+		// The host ledger retains peaks and grant counts for departed
+		// identities, so reading it after teardown still sees the mill.
+		var stats []signal.HostStat
+		for i := 0; ; i++ {
+			srv := tb.Dep.Plane.Server(i)
+			if srv == nil {
+				break
+			}
+			stats = append(stats, srv.HostStats()...)
+		}
+		rep.SybilSlotShare, rep.SybilPeakIdentities = signal.MaxHostShare(stats)
+		cfg.Obs.GaugeFunc("swarmload_jain_fairness",
+			"Jain upload-fairness index over the full-viewer band's P2P participants",
+			func() float64 { return rep.JainFairness })
+		cfg.Obs.GaugeFunc("swarmload_sybil_slot_share",
+			"share of match grants taken by the host with the largest identity peak",
+			func() float64 { return rep.SybilSlotShare })
+		if rep.JainFairness < cfg.MinJainFairness {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("jain fairness %.3f below floor %.3f (free-riding)", rep.JainFairness, cfg.MinJainFairness))
+		}
+		if rep.SybilSlotShare > cfg.MaxSybilShare {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("host with identity peak %d took %.0f%% of match grants, cap %.0f%% (sybil)",
+					rep.SybilPeakIdentities, rep.SybilSlotShare*100, cfg.MaxSybilShare*100))
+		}
 	}
 	return rep, nil
 }

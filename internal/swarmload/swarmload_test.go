@@ -6,6 +6,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"github.com/stealthy-peers/pdnsec/internal/population"
 )
 
 // TestSwarmloadSmoke runs a small seeded load and requires every
@@ -216,6 +218,122 @@ func TestFederationRegression(t *testing.T) {
 	}
 }
 
+// TestSwarmloadAdversarialSmoke runs a small load with an adversarial
+// band mixed into the viewer swarm and requires the fairness and
+// Sybil-share invariants to hold alongside the usual swarm-scale ones.
+// The fallback cap is relaxed because deny-uploading adversaries
+// degrade P2P efficiency by design.
+func TestSwarmloadAdversarialSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	mix, err := population.ParseMix("free_rider:2,sybil:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(ctx, Config{
+		Swarms:           1,
+		PeersPerSwarm:    40,
+		Seed:             1,
+		Shards:           4,
+		FullViewers:      3,
+		Segments:         4,
+		Adversaries:      mix,
+		MaxFallbackRatio: 1,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.AdversaryCounts["free_rider"] != 2 || rep.AdversaryCounts["sybil"] != 8 {
+		t.Errorf("adversary counts = %v, want free_rider:2 sybil:8", rep.AdversaryCounts)
+	}
+	if rep.SybilPeakIdentities != 8 {
+		t.Errorf("sybil peak identities = %d, want the 8-identity mill", rep.SybilPeakIdentities)
+	}
+	if rep.JainFairness <= 0 || rep.JainFairness > 1 {
+		t.Errorf("jain fairness = %.3f, want in (0, 1]", rep.JainFairness)
+	}
+	if rep.SybilSlotShare < 0 || rep.SybilSlotShare > 1 {
+		t.Errorf("sybil slot share = %.3f, want in [0, 1]", rep.SybilSlotShare)
+	}
+	if rep.ViewersDone != 3 {
+		t.Errorf("viewers done = %d, want 3", rep.ViewersDone)
+	}
+}
+
+// TestAdversarialRegression is the adversarial third of the
+// benchmark-regression gate (PDNSEC_BENCH=1, as the CI adversarial job
+// sets). It replays the committed BENCH_adversarial.json configuration,
+// requires a clean invariant sheet, and fails when the fairness index
+// or Sybil slot share drifts well past the committed baseline.
+func TestAdversarialRegression(t *testing.T) {
+	if os.Getenv("PDNSEC_BENCH") == "" {
+		t.Skip("benchmark regression gate; set PDNSEC_BENCH=1 to run")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	mix, err := population.ParseMix("free_rider:6,sybil:24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(ctx, Config{
+		Swarms:           1,
+		PeersPerSwarm:    60,
+		Seed:             3,
+		FullViewers:      4,
+		Segments:         5,
+		Adversaries:      mix,
+		MaxFallbackRatio: 1,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("adversarial: jain %.3f, sybil share %.3f (peak %d identities), fallback %.2f",
+		rep.JainFairness, rep.SybilSlotShare, rep.SybilPeakIdentities, rep.CDNFallbackRatio)
+
+	if base := loadAdvBaseline(t); base != nil {
+		// Fairness is noisy at this scale, so the gate is generous: the
+		// fresh index must stay above half the committed one, and the
+		// Sybil share below twice the committed one (never tighter than
+		// the scoring cap itself, 0.5).
+		if floor := base.JainFairness * 0.5; rep.JainFairness < floor {
+			t.Errorf("jain fairness %.3f fell below half the committed baseline %.3f",
+				rep.JainFairness, base.JainFairness)
+		}
+		limit := base.SybilSlotShare * 2
+		if limit < 0.5 {
+			limit = 0.5
+		}
+		if rep.SybilSlotShare > limit {
+			t.Errorf("sybil slot share %.3f exceeds 2x the committed baseline %.3f",
+				rep.SybilSlotShare, base.SybilSlotShare)
+		}
+		// The mill size is structural, not a timing artifact: the top
+		// host must still expose exactly the committed identity peak.
+		if rep.SybilPeakIdentities != base.SybilPeakIdentities {
+			t.Errorf("sybil peak identities = %d, committed baseline has %d",
+				rep.SybilPeakIdentities, base.SybilPeakIdentities)
+		}
+	}
+
+	if out := os.Getenv("PDNSEC_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // benchFile mirrors the committed BENCH_swarm.json layout.
 type benchFile struct {
 	Swarmload *Report `json:"swarmload"`
@@ -228,6 +346,31 @@ type fedBenchFile struct {
 	Schema        string  `json:"schema"`
 	Swarmload100k *Report `json:"swarmload_100k"`
 	Swarmload10k  *Report `json:"swarmload_10k"`
+}
+
+// advBenchFile mirrors the committed BENCH_adversarial.json layout.
+type advBenchFile struct {
+	Schema      string  `json:"schema"`
+	Mix         string  `json:"mix"`
+	Adversarial *Report `json:"adversarial"`
+}
+
+// loadAdvBaseline reads the committed BENCH_adversarial.json report
+// (nil when absent, e.g. before the first baseline lands).
+func loadAdvBaseline(t *testing.T) *Report {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_adversarial.json")
+	if err != nil {
+		return nil
+	}
+	var f advBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("committed BENCH_adversarial.json is invalid: %v", err)
+	}
+	if f.Schema != "pdnsec-bench-adversarial/1" {
+		t.Fatalf("committed BENCH_adversarial.json has schema %q, want pdnsec-bench-adversarial/1", f.Schema)
+	}
+	return f.Adversarial
 }
 
 // loadFedBaseline reads the committed BENCH_federation.json's 10k
