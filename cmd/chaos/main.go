@@ -187,6 +187,28 @@ var specs = map[string]spec{
 			}
 		},
 	},
+	"key_compromise": {
+		about: "impersonators join under a leaked static key against the secure profile; possession proofs fail, the key is quarantined, nothing leaks",
+		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {
+			return chaos.SwarmConfig{
+				Viewers:  viewers,
+				Segments: segments,
+				Seed:     seed,
+				Pace:     5 * time.Millisecond,
+				Profile:  "secure",
+			}
+		},
+		sc: func() chaos.Scenario { return chaos.KeyCompromise(10*time.Millisecond, 6) },
+		inv: func(*chaos.Result) chaos.Invariants {
+			return chaos.Invariants{
+				PlaybackCompletes:    true,
+				MaxStalls:            -1,
+				NoPollutedCache:      true,
+				NoViewerErrors:       true,
+				MinSecureQuarantines: 1,
+			}
+		},
+	},
 	"flash_crowd_live": {
 		about: "join-storm waves hit the plane while viewers chase a sliding live-HLS window; live-edge lag p99 stays bounded",
 		cfg: func(seed int64, viewers, segments int) chaos.SwarmConfig {

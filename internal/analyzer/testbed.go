@@ -24,6 +24,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/pdnclient"
 	"github.com/stealthy-peers/pdnsec/internal/provider"
+	"github.com/stealthy-peers/pdnsec/internal/secure"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -143,6 +144,16 @@ func NewTestbed(ctx ctxT, cfg TestbedConfig) (*Testbed, error) {
 	}
 	if cfg.Options.Traces == nil {
 		cfg.Options.Traces = cfg.Traces
+	}
+	if cfg.Profile.Policy.SecureTransport && cfg.Options.IM == nil {
+		// A secure-profile deployment signs per-segment manifests from the
+		// ground-truth video; Deploy stamps the verification key into the
+		// policy so viewers check every byte against it.
+		ms, err := secure.NewManifestService(cfg.Video)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Options.IM = ms
 	}
 
 	n := netsim.New(netsim.Config{})
@@ -272,6 +283,9 @@ func (tb *Testbed) ViewerConfig(host *netsim.Host, seed int64) pdnclient.Config 
 		Seed:        seed,
 		Obs:         tb.Obs,
 		Tracer:      tb.Tracer,
+		// An honest viewer of a secure-profile deployment ships the pinned
+		// SDK build: it refuses welcomes a MITM stripped the transport from.
+		RequireSecureTransport: tb.Dep.Profile.Policy.SecureTransport,
 	}
 	if tb.Traces != nil {
 		cfg.Tracer = tb.Traces.Tracer(fmt.Sprintf("viewer-%d", seed))

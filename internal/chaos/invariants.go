@@ -49,6 +49,11 @@ type Invariants struct {
 	// upload-slot squatting bound a Sybil mill attacks. Applied only
 	// when the run granted at least sybilShareMinGrants matches.
 	MaxSybilSlotShare float64
+	// MinSecureQuarantines demands the signaling plane quarantined at
+	// least this many static keys (0 = unchecked) — the key-compromise
+	// scenario's containment bound: honest peers observing failed
+	// possession proofs must get the leaked key cut from matching.
+	MinSecureQuarantines int64
 }
 
 // sybilShareMinGrants is the matching-economy floor under which the
@@ -141,6 +146,11 @@ func (inv Invariants) Check(res *Result) []string {
 	if inv.MaxLiveLagP99 > 0 {
 		if lag := res.LiveLagP99(); lag > inv.MaxLiveLagP99 {
 			fail("live-edge lag p99 %.1f segments exceeds bound %.1f over %d samples", lag, inv.MaxLiveLagP99, len(res.LiveLag))
+		}
+	}
+	if inv.MinSecureQuarantines > 0 {
+		if q := res.Counter("signal_secure_quarantines_total"); q < inv.MinSecureQuarantines {
+			fail("signaling plane quarantined %d static keys, need >= %d (key compromise uncontained)", q, inv.MinSecureQuarantines)
 		}
 	}
 	if inv.MaxSybilSlotShare > 0 {

@@ -235,7 +235,10 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 	}
 	// The IM arbiter is deployed whenever something makes peers check —
 	// the explicit IM flag or a profile shipping RequireIMChecking.
-	if cfg.IM || prof.Policy.RequireIMChecking {
+	// Secure-transport profiles are excluded: the testbed wires them a
+	// signed secure.ManifestService instead, so every segment carries an
+	// ed25519 manifest signature rather than a quorum-established hash.
+	if (cfg.IM || prof.Policy.RequireIMChecking) && !prof.Policy.SecureTransport {
 		checker, err := defense.NewIMChecker(defense.IMConfig{
 			Reporters: 2,
 			FetchCDN: func(key media.SegmentKey) ([]byte, error) {
@@ -329,6 +332,11 @@ func RunScenario(ctx context.Context, cfg SwarmConfig, sc Scenario) (*Result, er
 	spawnCtx, spawnCancel := context.WithCancel(rctx)
 	defer spawnCancel()
 	sp := &spawner{tb: tb, cfg: cfg, ctx: spawnCtx, onSegment: sampleLag}
+	// Key-compromise bands impersonate the first core viewer: its static
+	// key is the one the scenario treats as leaked.
+	if len(viewers) > 0 && viewers[0].Peer != nil {
+		sp.leakedKey = viewers[0].Peer.StaticKeyHex
+	}
 	eng.SetSpawnDriver(sp.drive)
 
 	if err := eng.Run(rctx, sc); err != nil && rctx.Err() == nil {
@@ -408,6 +416,9 @@ type spawner struct {
 	// onSegment is the harness's live-lag sampler, shared with spawned
 	// honest viewers on live runs.
 	onSegment func(key media.SegmentKey, data []byte, source string)
+	// leakedKey returns the static key a key-compromise band registers
+	// as its own (the first core viewer's — the "victim" of the leak).
+	leakedKey func() string
 	// wgHonest tracks spawned honest viewers (waited to completion);
 	// wg tracks everyone else (ended by cancelling the spawn context).
 	wgHonest sync.WaitGroup
@@ -475,7 +486,7 @@ func (sp *spawner) waitForLingerJoins(deadline time.Duration) {
 		sp.mu.Lock()
 		for _, vr := range sp.extra {
 			switch vr.Behavior {
-			case population.BehaviorSybil, population.BehaviorEclipse:
+			case population.BehaviorSybil, population.BehaviorEclipse, population.BehaviorImpersonator:
 				if vr.Peer != nil && vr.Peer.ID() == "" {
 					pending++
 				}
@@ -510,7 +521,10 @@ func (sp *spawner) drive(b population.Behavior, count int, _ time.Duration) erro
 // host too, but each plays a single segment and lingers: the mill's
 // job is to be advertised and squat neighbor slots while serving
 // nothing. Eclipse colluders do the same from their own hosts, which
-// is what lets them slip past per-host accounting.
+// is what lets them slip past per-host accounting. Impersonators also
+// take their own hosts — spread across countries so geo-matching
+// profiles advertise them to honest peers — and register the leaked
+// key instead of their own.
 func (sp *spawner) spawnViewers(b population.Behavior, count int) error {
 	for i := 0; i < count; i++ {
 		n := sp.nextIndex(b)
@@ -536,6 +550,16 @@ func (sp *spawner) spawnViewers(b population.Behavior, count int) error {
 				vcfg.OnSegment = sp.onSegment
 			}
 		case population.BehaviorEclipse, population.BehaviorSybil:
+			vcfg.UploadPolicy = func(media.SegmentKey) bool { return false }
+			vcfg.MaxSegments = 1
+			vcfg.Linger = 5 * time.Minute
+		case population.BehaviorImpersonator:
+			// The impersonator holds the victim's *public* key only; its
+			// handshakes sign with its own private key, so every possession
+			// proof fails — which is exactly what honest peers report.
+			if sp.leakedKey != nil {
+				vcfg.SecureImpersonate = sp.leakedKey()
+			}
 			vcfg.UploadPolicy = func(media.SegmentKey) bool { return false }
 			vcfg.MaxSegments = 1
 			vcfg.Linger = 5 * time.Minute

@@ -1,0 +1,97 @@
+package mitm
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stealthy-peers/pdnsec/internal/wire"
+)
+
+// TamperConn wraps a net.Conn with a byte-mutation hook on reads — the
+// on-path attacker against the secure transport's wire image. The hook
+// sees ciphertext (handshake frames, AEAD records); flipping any byte
+// must make the receiving side hard-fail, never accept or crash. Arm
+// gates the hook so a test can let the handshake complete clean and
+// attack only the record stream (or vice versa).
+type TamperConn struct {
+	net.Conn
+	mutate func(b []byte)
+	armed  atomic.Bool
+
+	mu       sync.Mutex
+	tampered int64
+}
+
+// NewTamperConn wraps conn; mutate is applied in place to every read
+// chunk while armed. A nil mutate flips the first byte of each chunk.
+func NewTamperConn(conn net.Conn, mutate func(b []byte)) *TamperConn {
+	if mutate == nil {
+		mutate = func(b []byte) {
+			if len(b) > 0 {
+				b[0] ^= 0xff
+			}
+		}
+	}
+	return &TamperConn{Conn: conn, mutate: mutate}
+}
+
+// Arm switches tampering on or off.
+func (t *TamperConn) Arm(on bool) { t.armed.Store(on) }
+
+// Tampered reports how many read chunks were mutated.
+func (t *TamperConn) Tampered() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tampered
+}
+
+//lint:ignore pdnlint/ctxflow net.Conn interface method; blocking and cancellation belong to the wrapped conn's deadlines and Close
+func (t *TamperConn) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 && t.armed.Load() {
+		t.mutate(p[:n])
+		t.mu.Lock()
+		t.tampered++
+		t.mu.Unlock()
+	}
+	return n, err
+}
+
+// StripSecure returns a RewriteFunc modelling the downgrade MITM: it
+// rewrites server welcomes to erase the secure-transport policy — no
+// voucher, no transport or manifest keys, secure_transport off — the
+// way an on-path attacker would try to talk a client back down to the
+// deployed plaintext protocol. A pinned client
+// (pdnclient.Config.RequireSecureTransport) must hard-fail the join;
+// only an unpinned client proceeds, which is exactly the before/after
+// the downgrade tests pin.
+func StripSecure() RewriteFunc {
+	return func(fromClient bool, env wire.Envelope) wire.Envelope {
+		if fromClient || env.Type != signalWelcomeType {
+			return env
+		}
+		var welcome map[string]any
+		if err := json.Unmarshal(env.Data, &welcome); err != nil {
+			return env
+		}
+		delete(welcome, "voucher")
+		if pol, ok := welcome["policy"].(map[string]any); ok {
+			delete(pol, "secure_transport")
+			delete(pol, "transport_pub_key")
+			delete(pol, "manifest_pub_key")
+			welcome["policy"] = pol
+		}
+		raw, err := json.Marshal(welcome)
+		if err != nil {
+			return env
+		}
+		env.Data = raw
+		return env
+	}
+}
+
+// signalWelcomeType mirrors signal.MsgWelcome without importing the
+// package, as with signalJoinType.
+const signalWelcomeType = "welcome"

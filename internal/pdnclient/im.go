@@ -2,8 +2,11 @@ package pdnclient
 
 import (
 	"context"
+	"crypto/ed25519"
+	"encoding/hex"
 
 	"github.com/stealthy-peers/pdnsec/internal/media"
+	"github.com/stealthy-peers/pdnsec/internal/secure"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -24,10 +27,26 @@ func (p *Peer) reportIM(key media.SegmentKey, data []byte) {
 	sig.ReportIM(signal.IMReport{Key: key, Hash: media.IMHash(key, data)})
 }
 
-// verifySIM checks a P2P-delivered segment against the server-signed
-// integrity metadata. Unverifiable segments (no SIM established yet)
-// are rejected, forcing CDN fallback — which in turn produces the IM
-// report that establishes the SIM.
+// manifestKey parses the policy's hex ed25519 manifest verification
+// key, or nil when the provider signs no manifests.
+func (p *Peer) manifestKey() ed25519.PublicKey {
+	hexKey := p.Policy().ManifestPubKey
+	if hexKey == "" {
+		return nil
+	}
+	raw, err := hex.DecodeString(hexKey)
+	if err != nil || len(raw) != ed25519.PublicKeySize {
+		return nil
+	}
+	return ed25519.PublicKey(raw)
+}
+
+// verifySIM checks a segment against the server-signed integrity
+// metadata. Unverifiable segments (no SIM established yet) are
+// rejected, forcing CDN fallback — which in turn produces the IM
+// report that establishes the SIM. When the policy carries a manifest
+// verification key, the SIM's ed25519 signature must also check out —
+// a compromised or impersonated server cannot then forge hashes.
 func (p *Peer) verifySIM(ctx context.Context, key media.SegmentKey, data []byte) bool {
 	p.mu.Lock()
 	sig := p.sig
@@ -37,6 +56,9 @@ func (p *Peer) verifySIM(ctx context.Context, key media.SegmentKey, data []byte)
 	}
 	resp, err := sig.GetSIM(ctx, signal.GetSIM{Key: key})
 	if err != nil || !resp.Found {
+		return false
+	}
+	if pub := p.manifestKey(); pub != nil && !secure.VerifyManifest(pub, key, resp.Hash, resp.Sig) {
 		return false
 	}
 	if p.cfg.Meter != nil {

@@ -3,6 +3,7 @@ package pdnclient
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"sort"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/ice"
 	"github.com/stealthy-peers/pdnsec/internal/media"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/secure"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -67,10 +69,19 @@ func decodeMsg(frame []byte) (p2pMsg, []byte, error) {
 	return h, frame[sep+1:], nil
 }
 
+// p2pConn is the message transport a neighbor runs over: anonymous
+// DTLS for the deployed profiles, the authenticated secure channel
+// when the policy demands it. Both satisfy it.
+type p2pConn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
 // neighbor is one established P2P connection.
 type neighbor struct {
 	id   string
-	conn *dtls.Conn
+	conn p2pConn
 	peer *Peer
 
 	reqMu    chan struct{} // capacity-1 semaphore: one outstanding want
@@ -84,7 +95,7 @@ type p2pFrame struct {
 	payload []byte
 }
 
-func newNeighbor(id string, conn *dtls.Conn, p *Peer) *neighbor {
+func newNeighbor(id string, conn p2pConn, p *Peer) *neighbor {
 	nb := &neighbor{
 		id:      id,
 		conn:    conn,
@@ -309,7 +320,7 @@ func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
 	defer cancel()
 
 	if p.cfg.TURNAddr.IsValid() {
-		p.connectViaTURN(cctx, info.ID, info.Fingerprint, true)
+		p.connectViaTURN(cctx, info.ID, info.Fingerprint, info.StaticKey, true)
 		return
 	}
 
@@ -333,6 +344,7 @@ func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
 	if err := sig.RelayCtx(cctx, info.ID, signal.RelayOffer, signal.ConnectOffer{
 		Fingerprint: p.identity.Fingerprint(),
 		Candidates:  cands,
+		StaticKey:   p.StaticKeyHex(),
 	}); err != nil {
 		return
 	}
@@ -355,12 +367,91 @@ func (p *Peer) connectTo(ctx context.Context, info signal.PeerInfo) {
 	if err != nil {
 		return
 	}
-	dconn, err := p.dtlsHandshake(cctx, raw, answer.Fingerprint, true)
+	// Pin the server-delivered static key when the match carried one;
+	// otherwise pin the answer's claim (the voucher check still binds it
+	// to the swarm).
+	theirKey := info.StaticKey
+	if theirKey == "" {
+		theirKey = answer.StaticKey
+	}
+	dconn, err := p.transportHandshake(cctx, raw, answer.Fingerprint, theirKey, true)
 	if err != nil {
 		raw.Close()
 		return
 	}
 	p.addNeighbor(info.ID, dconn)
+}
+
+// transportHandshake establishes the P2P message transport over a raw
+// connection: the authenticated secure channel when the policy demands
+// it (reject-unsigned: a plain-DTLS peer simply fails the handshake),
+// anonymous DTLS otherwise.
+func (p *Peer) transportHandshake(ctx context.Context, raw net.Conn, theirFP, theirKey string, client bool) (p2pConn, error) {
+	if p.Policy().SecureTransport {
+		return p.secureHandshake(ctx, raw, theirKey, client)
+	}
+	return p.dtlsHandshake(ctx, raw, theirFP, client)
+}
+
+// secureHandshake runs the authenticated channel handshake
+// (internal/secure) with the same deadline watchdog as dtlsHandshake.
+// A possession-proof or voucher failure names the claimed static key;
+// the peer forwards it to the matcher, whose distinct-reporter count
+// quarantines leaked keys.
+func (p *Peer) secureHandshake(ctx context.Context, raw net.Conn, theirKey string, client bool) (*secure.Conn, error) {
+	role := "server"
+	if client {
+		role = "client"
+	}
+	pol := p.Policy()
+	p.mu.Lock()
+	myID := p.peerID
+	voucher := p.voucher
+	sig := p.sig
+	p.mu.Unlock()
+	cfg := secure.ChannelConfig{
+		Identity:        p.secID,
+		PeerID:          myID,
+		SwarmID:         p.cfg.Video + "/" + p.cfg.Rendition,
+		Voucher:         voucher,
+		AuthorityKey:    pol.TransportPubKey,
+		ExpectedPeerKey: theirKey,
+		ClaimKey:        p.cfg.SecureImpersonate,
+	}
+	if m := p.cfg.Meter; m != nil {
+		cfg.OnEncrypt = m.OnEncrypt
+		cfg.OnDecrypt = m.OnDecrypt
+	}
+	_, span := p.cfg.Tracer.StartSpan(ctx, "secure_handshake", obs.A("role", role))
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			raw.SetDeadline(time.Unix(1, 0))
+		case <-watchDone:
+		}
+	}()
+	var conn *secure.Conn
+	var err error
+	if client {
+		conn, err = secure.Client(raw, cfg)
+	} else {
+		conn, err = secure.Server(raw, cfg)
+	}
+	close(watchDone)
+	if err == nil && ctx.Err() != nil {
+		conn.Close()
+		conn, err = nil, ctx.Err()
+	}
+	span.End(obs.A("ok", err == nil))
+	if err != nil {
+		p.metrics.secureFails.Inc()
+		var bke *secure.BadKeyError
+		if errors.As(err, &bke) && sig != nil {
+			sig.ReportBadKey(bke.ClaimedKey)
+		}
+	}
+	return conn, err
 }
 
 // dtlsHandshake runs the DTLS client or server handshake under a
@@ -486,8 +577,9 @@ func (p *Peer) expectAnswer(from string) chan signal.ConnectOffer {
 
 // connectViaTURN establishes the P2P transport through the TURN relay:
 // both peers dial the relay with a room derived from their IDs, then
-// run DTLS over the bridged stream. No addresses are exchanged.
-func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initiator bool) {
+// run the transport handshake over the bridged stream. No addresses
+// are exchanged.
+func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP, theirKey string, initiator bool) {
 	p.mu.Lock()
 	sig := p.sig
 	myID := p.peerID
@@ -499,6 +591,7 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 		answerCh := p.expectAnswer(peerID)
 		if err := sig.RelayCtx(ctx, peerID, signal.RelayOffer, signal.ConnectOffer{
 			Fingerprint: p.identity.Fingerprint(),
+			StaticKey:   p.StaticKeyHex(),
 		}); err != nil {
 			return
 		}
@@ -508,6 +601,9 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 				return // target vanished before answering
 			}
 			theirFP = answer.Fingerprint
+			if theirKey == "" {
+				theirKey = answer.StaticKey
+			}
 		case <-ctx.Done():
 			return
 		}
@@ -520,7 +616,7 @@ func (p *Peer) connectViaTURN(ctx context.Context, peerID, theirFP string, initi
 	if err != nil {
 		return
 	}
-	dconn, err := p.dtlsHandshake(ctx, raw, theirFP, initiator)
+	dconn, err := p.transportHandshake(ctx, raw, theirFP, theirKey, initiator)
 	if err != nil {
 		raw.Close()
 		return
@@ -550,10 +646,11 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer, trace string)
 	if p.cfg.TURNAddr.IsValid() {
 		if err := sig.RelayCtx(cctx, from, signal.RelayAnswer, signal.ConnectOffer{
 			Fingerprint: p.identity.Fingerprint(),
+			StaticKey:   p.StaticKeyHex(),
 		}); err != nil {
 			return
 		}
-		p.connectViaTURN(cctx, from, offer.Fingerprint, false)
+		p.connectViaTURN(cctx, from, offer.Fingerprint, offer.StaticKey, false)
 		return
 	}
 
@@ -569,6 +666,7 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer, trace string)
 	if err := sig.RelayCtx(cctx, from, signal.RelayAnswer, signal.ConnectOffer{
 		Fingerprint: p.identity.Fingerprint(),
 		Candidates:  cands,
+		StaticKey:   p.StaticKeyHex(),
 	}); err != nil {
 		return
 	}
@@ -580,7 +678,7 @@ func (p *Peer) answerOffer(from string, offer signal.ConnectOffer, trace string)
 	if err != nil {
 		return
 	}
-	dconn, err := p.dtlsHandshake(cctx, raw, offer.Fingerprint, false)
+	dconn, err := p.transportHandshake(cctx, raw, offer.Fingerprint, offer.StaticKey, false)
 	if err != nil {
 		raw.Close()
 		return
@@ -599,7 +697,7 @@ func (p *Peer) dtlsConfig(expectedFP string) dtls.Config {
 }
 
 // addNeighbor registers an established connection and starts its loop.
-func (p *Peer) addNeighbor(id string, conn *dtls.Conn) {
+func (p *Peer) addNeighbor(id string, conn p2pConn) {
 	nb := newNeighbor(id, conn, p)
 	p.mu.Lock()
 	if _, exists := p.neighbors[id]; exists {

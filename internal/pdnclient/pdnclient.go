@@ -41,6 +41,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
 	"github.com/stealthy-peers/pdnsec/internal/privacy"
+	"github.com/stealthy-peers/pdnsec/internal/secure"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -140,6 +141,24 @@ type Config struct {
 	// requests only from its cache without CDN fallback for others
 	// (default behaviour; reserved for future strategies).
 	ServeKnownOnly bool
+	// RequireSecureTransport makes the peer refuse to run against a
+	// provider whose policy does not offer the authenticated secure
+	// transport — the pin that defeats a MITM stripping SecureTransport
+	// from the welcome to downgrade the swarm to anonymous DTLS.
+	// Deployed SDKs ship without it, which is why the downgrade works
+	// against them.
+	RequireSecureTransport bool
+	// InsecureNoVerify disables all client-side integrity verification
+	// (IM checking and signed-manifest checks) and the CDN-side IM
+	// reports. Adversarial populations use it to model a modified SDK
+	// that knowingly caches and re-serves polluted bytes without
+	// incriminating itself at the arbitration panel.
+	InsecureNoVerify bool
+	// SecureImpersonate, when set, registers this hex static public key
+	// at join and claims it in handshakes instead of the peer's own key
+	// — the key-compromise attacker, who scraped a victim's (public)
+	// static key and replays its registration without the private half.
+	SecureImpersonate string
 	// GracefulDegrade makes a failed PDN join non-fatal: the peer
 	// silently becomes a plain CDN viewer. This is how real SDKs behave
 	// when viewers block the PDN server's domain (the paper cites
@@ -184,12 +203,15 @@ type peerMetrics struct {
 	neighborsEvicted *obs.Counter
 	sigReconnects    *obs.Counter
 	sigReconnectFail *obs.Counter
+	secureFails      *obs.Counter
+	manifestRejects  *obs.Counter
 }
 
 // Peer is a running PDN SDK instance.
 type Peer struct {
 	cfg      Config
 	identity *dtls.Identity
+	secID    *secure.Identity
 	http     *http.Client
 	rng      *rand.Rand
 	metrics  peerMetrics
@@ -201,6 +223,10 @@ type Peer struct {
 	sig    *signal.Client
 	peerID string
 	policy signal.Policy
+	// voucher is the matcher's signature over (peerID, swarmID,
+	// staticKey) from the welcome; the peer presents it in every secure
+	// handshake it runs.
+	voucher string
 
 	mu            sync.Mutex
 	runCtx        context.Context // the active Run's context; answers derive from it
@@ -258,9 +284,14 @@ func New(cfg Config) (*Peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	secID, err := secure.NewIdentity()
+	if err != nil {
+		return nil, err
+	}
 	p := &Peer{
 		cfg:      cfg,
 		identity: id,
+		secID:    secID,
 		http: &http.Client{
 			Transport: &http.Transport{DialContext: cfg.Host.Dialer()},
 			Timeout:   10 * time.Second,
@@ -293,6 +324,8 @@ func New(cfg Config) (*Peer, error) {
 		neighborsEvicted: reg.Counter("pdn_neighbors_evicted_total", "neighbors dropped as dead or unresponsive"),
 		sigReconnects:    reg.Counter("pdn_signal_reconnects_total", "signaling sessions re-established after a drop"),
 		sigReconnectFail: reg.Counter("pdn_signal_reconnect_failures_total", "failed signaling reconnect attempts"),
+		secureFails:      reg.Counter("pdn_secure_handshake_fails_total", "secure-transport handshakes rejected (bad signature, voucher, or key pin)"),
+		manifestRejects:  reg.Counter("pdn_manifest_rejects_total", "segments rejected by signed-manifest verification"),
 	}
 	p.cache = newSegmentCache(cfg.CacheSegments, func(total int64) {
 		if cfg.Meter != nil {
@@ -327,6 +360,16 @@ func (p *Peer) Stats() Stats {
 
 // Fingerprint returns the peer's DTLS certificate fingerprint.
 func (p *Peer) Fingerprint() string { return p.identity.Fingerprint() }
+
+// StaticKeyHex returns the hex static public key this peer registers
+// for the secure transport (the impersonated key when
+// SecureImpersonate is set — what the peer *claims*, not what it owns).
+func (p *Peer) StaticKeyHex() string {
+	if p.cfg.SecureImpersonate != "" {
+		return p.cfg.SecureImpersonate
+	}
+	return p.secID.PublicKeyHex()
+}
 
 // LastStallTrace returns the trace ID (16 hex digits) of the most
 // recent segment fetch that failed outright, or "" when none has — or
@@ -444,6 +487,7 @@ func (p *Peer) join(ctx context.Context) error {
 		Video:       p.cfg.Video,
 		Rendition:   p.cfg.Rendition,
 		Fingerprint: p.identity.Fingerprint(),
+		StaticKey:   p.StaticKeyHex(),
 		Candidates:  cands,
 		Cellular:    p.cfg.Cellular,
 	}, func(c *signal.Client) {
@@ -455,6 +499,14 @@ func (p *Peer) join(ctx context.Context) error {
 		return err
 	}
 	sig, w := res.Client, res.Welcome
+	if p.cfg.RequireSecureTransport && (!w.Policy.SecureTransport || w.Policy.TransportPubKey == "") {
+		// The provider (or a man in the middle rewriting the welcome)
+		// offered an unauthenticated swarm: a secure-profile SDK refuses
+		// the downgrade rather than degrading to anonymous DTLS.
+		sig.Close()
+		jspan.End(obs.A("ok", false))
+		return errors.New("pdnclient: provider offered no secure transport (downgrade rejected)")
+	}
 	// The admitting server's address is infrastructure, not peer
 	// identity, but traces cross trust boundaries (CI artifacts, shared
 	// dashboards) — so it is redacted like everything else address-shaped.
@@ -476,6 +528,7 @@ func (p *Peer) join(ctx context.Context) error {
 	p.sig = sig
 	p.peerID = w.PeerID
 	p.policy = w.Policy
+	p.voucher = w.Voucher
 	p.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -838,7 +891,15 @@ func (p *Peer) fetchSegment(ctx context.Context, key media.SegmentKey) ([]byte, 
 	if err != nil {
 		return nil, "", err
 	}
-	if !p.cfg.DisableP2P && pol.RequireIMChecking {
+	if pol.ManifestPubKey != "" && !p.cfg.InsecureNoVerify && !p.verifySIM(ctx, key, data) {
+		// The CDN path is verified too when the provider signs manifests:
+		// a hijacked or spoofed CDN origin must not get bytes into the
+		// cache or the playback buffer either.
+		p.metrics.manifestRejects.Inc()
+		sp.Event("manifest_reject", obs.A("video", key.Video), obs.A("idx", key.Index))
+		return nil, "", fmt.Errorf("pdnclient: CDN segment %v failed signed-manifest verification", key)
+	}
+	if !p.cfg.DisableP2P && pol.RequireIMChecking && !p.cfg.InsecureNoVerify {
 		p.reportIM(key, data)
 	}
 	return data, SourceCDN, nil
@@ -861,7 +922,7 @@ func (p *Peer) fetchFromPeers(ctx context.Context, key media.SegmentKey) ([]byte
 			nb.close()
 			continue
 		}
-		if pol.RequireIMChecking && !p.verifySIM(ctx, key, data) {
+		if pol.RequireIMChecking && !p.cfg.InsecureNoVerify && !p.verifySIM(ctx, key, data) {
 			p.mu.Lock()
 			p.stats.IMRejected++
 			p.mu.Unlock()

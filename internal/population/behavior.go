@@ -28,12 +28,16 @@ const (
 	// connection, and serves nothing, aiming to saturate honest peers'
 	// candidate pools.
 	BehaviorEclipse Behavior = "eclipse"
+	// BehaviorImpersonator joins under a leaked static identity key it
+	// does not own — the key-compromise attacker the secure transport's
+	// possession proof and bad-key quarantine are built to contain.
+	BehaviorImpersonator Behavior = "impersonator"
 )
 
 // Valid reports whether b names a known behavior.
 func (b Behavior) Valid() bool {
 	switch b {
-	case BehaviorHonest, BehaviorFreeRider, BehaviorSybil, BehaviorEclipse:
+	case BehaviorHonest, BehaviorFreeRider, BehaviorSybil, BehaviorEclipse, BehaviorImpersonator:
 		return true
 	}
 	return false

@@ -30,6 +30,7 @@ import (
 	"github.com/stealthy-peers/pdnsec/internal/ice"
 	"github.com/stealthy-peers/pdnsec/internal/netsim"
 	"github.com/stealthy-peers/pdnsec/internal/obs"
+	"github.com/stealthy-peers/pdnsec/internal/secure"
 	"github.com/stealthy-peers/pdnsec/internal/signal"
 )
 
@@ -215,6 +216,24 @@ func Hardened() Profile {
 	}
 }
 
+// Secure models the counterfactual deployment the paper's §VI gap
+// analysis implies but no provider ships: everything in Hardened plus
+// an authenticated peer transport (internal/secure) — matcher-vouched
+// static keys, a Noise-IK-style handshake, AEAD records, and signed
+// per-segment manifests verified before any byte is cached or played.
+// Deploy stamps the policy with the transport authority's key; pair it
+// with Options.IM set to a secure.ManifestService so peers get signed
+// manifests for the CDN path too.
+func Secure() Profile {
+	p := Hardened()
+	p.Name = "secure"
+	p.Policy.SecureTransport = true
+	p.Signatures = Signatures{
+		URLPatterns: []string{"secure-pdn-sim.test/sdk.js"},
+	}
+	return p
+}
+
 // PublicProfiles returns the three public providers in the paper's
 // table order.
 func PublicProfiles() []Profile {
@@ -223,7 +242,7 @@ func PublicProfiles() []Profile {
 
 // AllProfiles returns every modelled provider.
 func AllProfiles() []Profile {
-	return append(PublicProfiles(), MangoPrivate(), TencentPrivate(), StrictPrivate(), ECDN(), Hardened())
+	return append(PublicProfiles(), MangoPrivate(), TencentPrivate(), StrictPrivate(), ECDN(), Hardened(), Secure())
 }
 
 // Deployment is a provider profile running on a simulated network.
@@ -240,6 +259,9 @@ type Deployment struct {
 	// Server is the first plane member, kept for the single-server
 	// callers that predate federation.
 	Server *signal.Server
+	// Transport is the static-key vouching authority for
+	// SecureTransport profiles (nil otherwise).
+	Transport *secure.TransportAuthority
 
 	// SignalAddr and STUNAddr are the service endpoints peers use.
 	// SignalAddr is the first server; SignalAddrs lists every federated
@@ -314,6 +336,23 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 	if opts.PolicyOverride != nil {
 		policy = *opts.PolicyOverride
 	}
+	var transport *secure.TransportAuthority
+	var secureSvc signal.SecureService
+	if policy.SecureTransport {
+		ta, err := secure.NewTransportAuthority()
+		if err != nil {
+			return nil, fmt.Errorf("provider %s: transport authority: %w", p.Name, err)
+		}
+		transport = ta
+		secureSvc = ta
+		policy.TransportPubKey = ta.PublicKeyHex()
+	}
+	// An IM service that exposes a manifest verification key (i.e. a
+	// secure.ManifestService) gets it stamped into the policy, turning on
+	// client-side signature verification for every segment source.
+	if mp, ok := opts.IM.(interface{ ManifestPublicKeyHex() string }); ok && policy.ManifestPubKey == "" {
+		policy.ManifestPubKey = mp.ManifestPublicKeyHex()
+	}
 	servers := opts.Servers
 	if servers <= 0 {
 		servers = 1
@@ -331,6 +370,7 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 			Policy:      policy,
 			GeoDB:       opts.GeoDB,
 			IM:          opts.IM,
+			Secure:      secureSvc,
 			Seed:        opts.Seed,
 			Shards:      opts.Shards,
 			Obs:         opts.Obs,
@@ -355,6 +395,7 @@ func Deploy(ctx context.Context, p Profile, host *netsim.Host, opts Options) (*D
 	d.Keys = keys
 	d.Tokens = tokens
 	d.JWT = jwtAuthority
+	d.Transport = transport
 	d.Plane = plane
 	d.Server = plane.Server(0)
 	d.SignalAddr = netip.AddrPortFrom(host.VisibleAddr(), 443)

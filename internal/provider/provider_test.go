@@ -50,8 +50,8 @@ func TestProfileInventory(t *testing.T) {
 		}
 		names[p.Name] = true
 	}
-	if len(names) != 8 {
-		t.Fatalf("expected 8 profiles, got %d", len(names))
+	if len(names) != 9 {
+		t.Fatalf("expected 9 profiles, got %d", len(names))
 	}
 }
 

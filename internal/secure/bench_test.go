@@ -1,0 +1,112 @@
+package secure
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestRunBenchSchema is the ungated sanity check: RunBench produces a
+// structurally valid report at any size, so the gated regression test
+// and the CI schema check never disagree about the layout.
+func TestRunBenchSchema(t *testing.T) {
+	rep, err := RunBench(8, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	if rep.Handshakes != 8 || rep.Segments != 8 || rep.SegmentBytes != 4096 {
+		t.Errorf("report sizes %d/%d/%d do not echo the request", rep.Handshakes, rep.Segments, rep.SegmentBytes)
+	}
+	if rep.HandshakeP50Us <= 0 || rep.HandshakeP99Us < rep.HandshakeP50Us {
+		t.Errorf("handshake percentiles p50=%.1f p99=%.1f are not ordered positives", rep.HandshakeP50Us, rep.HandshakeP99Us)
+	}
+	if rep.SegmentAEADUs <= 0 {
+		t.Errorf("segment AEAD cost %.2fus, want > 0", rep.SegmentAEADUs)
+	}
+	if rep.RecordOverheadBytes != RecordOverhead {
+		t.Errorf("record overhead %d, want %d", rep.RecordOverheadBytes, RecordOverhead)
+	}
+	wantPct := 100 * float64(RecordOverhead) / 4096
+	if rep.SegmentOverheadPct != wantPct {
+		t.Errorf("segment overhead %.4f%%, want %.4f%%", rep.SegmentOverheadPct, wantPct)
+	}
+	if _, err := RunBench(0, 1, 1); err == nil {
+		t.Error("RunBench accepted zero handshakes")
+	}
+}
+
+// TestDefenseBenchRegression is the benchmark-regression gate for the
+// secure transport, mirroring the signal plane's TestJoinMatchRegression:
+// not tier-1 (set PDNSEC_BENCH=1, as the CI secure job does), measured
+// against the committed BENCH_defense.json, and written fresh with
+// PDNSEC_BENCH_OUT for the CI artifact.
+func TestDefenseBenchRegression(t *testing.T) {
+	if os.Getenv("PDNSEC_BENCH") == "" {
+		t.Skip("benchmark regression gate; set PDNSEC_BENCH=1 to run")
+	}
+	cur, err := RunBench(64, 64, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("handshake p50=%.0fus p99=%.0fus; segment AEAD %.1fus over %d KiB; wire overhead %.3f%%",
+		cur.HandshakeP50Us, cur.HandshakeP99Us, cur.SegmentAEADUs, cur.SegmentBytes>>10, cur.SegmentOverheadPct)
+
+	// Absolute ceilings, far above any healthy run (a handshake is four
+	// ed25519 operations and one X25519 exchange per side): they catch a
+	// pathological regression — an accidental extra round trip, a lock on
+	// the record path — not machine-speed noise.
+	if cur.HandshakeP99Us > 100_000 {
+		t.Errorf("handshake p99 %.0fus exceeds 100ms; the handshake gained pathological cost", cur.HandshakeP99Us)
+	}
+	if cur.SegmentAEADUs > 50_000 {
+		t.Errorf("per-segment AEAD %.0fus exceeds 50ms", cur.SegmentAEADUs)
+	}
+
+	if base := loadDefenseBaseline(t); base != nil {
+		// The structural numbers are deterministic: a drift means the wire
+		// format changed and the committed baseline was not regenerated.
+		if cur.RecordOverheadBytes != base.RecordOverheadBytes {
+			t.Errorf("record overhead %dB, committed baseline says %dB: wire format changed, regenerate BENCH_defense.json",
+				cur.RecordOverheadBytes, base.RecordOverheadBytes)
+		}
+		// Latency gates are generous (10x): they bound regressions without
+		// tying CI to the baseline machine's clock.
+		if base.HandshakeP99Us > 0 && cur.HandshakeP99Us > 10*base.HandshakeP99Us {
+			t.Errorf("handshake p99 %.0fus is >10x the committed %.0fus", cur.HandshakeP99Us, base.HandshakeP99Us)
+		}
+		if base.SegmentAEADUs > 0 && cur.SegmentAEADUs > 10*base.SegmentAEADUs {
+			t.Errorf("segment AEAD %.0fus is >10x the committed %.0fus", cur.SegmentAEADUs, base.SegmentAEADUs)
+		}
+	}
+
+	if out := os.Getenv("PDNSEC_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// loadDefenseBaseline reads the committed BENCH_defense.json (nil when
+// absent, e.g. before the first baseline lands).
+func loadDefenseBaseline(t *testing.T) *BenchReport {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_defense.json")
+	if err != nil {
+		return nil
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("committed BENCH_defense.json is invalid: %v", err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Fatalf("committed BENCH_defense.json schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	return &rep
+}

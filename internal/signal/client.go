@@ -357,6 +357,13 @@ func (c *Client) ReportIM(rep IMReport) error {
 	return c.codec.Send(MsgIMReport, rep)
 }
 
+// ReportBadKey reports a static key whose possession proof failed in a
+// secure-transport handshake (one-way, like ReportIM); enough distinct
+// reporters make the server quarantine the key.
+func (c *Client) ReportBadKey(staticKeyHex string) error {
+	return c.codec.Send(MsgBadKey, BadKeyReport{StaticKey: staticKeyHex})
+}
+
 // GetSIM fetches the signed integrity metadata for a segment.
 func (c *Client) GetSIM(ctx context.Context, key GetSIM) (SIM, error) {
 	env, err := c.roundTrip(ctx, MsgGetSIM, key)

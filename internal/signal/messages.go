@@ -33,6 +33,10 @@ const (
 	MsgGetSIM   = "get_sim"
 	MsgSIM      = "sim"
 	MsgBye      = "bye"
+	// MsgBadKey reports a failed static-key possession proof observed
+	// during a secure-transport handshake; enough distinct reporters
+	// quarantine the key (leaked/replayed-key defense).
+	MsgBadKey = "bad_key"
 	// MsgPeerGone is a server push: the listed peers left their swarm.
 	// It is sent only to peers the departed peer was advertised to, and
 	// the server coalesces simultaneous departures into one frame.
@@ -70,6 +74,12 @@ type JoinRequest struct {
 	// Fingerprint is the peer's DTLS certificate fingerprint, shared so
 	// other peers can authenticate the transport.
 	Fingerprint string `json:"fingerprint"`
+	// StaticKey is the peer's hex ed25519 static public key for the
+	// authenticated secure transport. Registering it inside the
+	// (authenticated) join is what lets the matcher vouch for it: the
+	// voucher in the welcome binds this key to the session the join's
+	// credential admitted.
+	StaticKey string `json:"static_key,omitempty"`
 	// Candidates are the peer's ICE candidates, gathered before joining.
 	Candidates []ice.Candidate `json:"candidates"`
 	// Cellular marks the peer as being on a metered cellular connection;
@@ -128,6 +138,19 @@ type Policy struct {
 	// leech farms, which are invisible to a per-identity matcher. Zero
 	// disables the check, which is what every deployed service ships.
 	MaxPeersPerHost int `json:"max_peers_per_host,omitempty"`
+	// SecureTransport requires the authenticated peer transport
+	// (internal/secure): vouched static keys, a Noise-IK-style
+	// handshake, and rejection of unsigned channels. No deployed
+	// service ships it — it is the provider.Secure() counterfactual.
+	SecureTransport bool `json:"secure_transport,omitempty"`
+	// TransportPubKey is the matcher's hex ed25519 verification key for
+	// static-key vouchers, delivered alongside SecureTransport.
+	TransportPubKey string `json:"transport_pub_key,omitempty"`
+	// ManifestPubKey, when set, makes peers verify the provider's
+	// ed25519 signature on integrity metadata — and verify every
+	// segment, CDN- or peer-delivered, against the signed manifest
+	// before any byte enters the cache or playback buffer.
+	ManifestPubKey string `json:"manifest_pub_key,omitempty"`
 }
 
 // DefaultPolicy matches the commercial deployments the paper measured.
@@ -146,6 +169,11 @@ type Welcome struct {
 	PeerID  string `json:"peer_id"`
 	SwarmID string `json:"swarm_id"`
 	Policy  Policy `json:"policy"`
+	// Voucher is the matcher's hex signature over (PeerID, SwarmID,
+	// StaticKey) when the deployment runs the secure transport: the
+	// credential the peer presents in its handshakes, transferring the
+	// join authentication onto the channel.
+	Voucher string `json:"voucher,omitempty"`
 }
 
 // Redirect points a joining peer at the federated server owning its
@@ -182,6 +210,11 @@ type PeerInfo struct {
 	Fingerprint string          `json:"fingerprint"`
 	Candidates  []ice.Candidate `json:"candidates"`
 	Country     string          `json:"country,omitempty"`
+	// StaticKey is the neighbor's registered hex static public key.
+	// Delivering it in the match response is the "IK" of the secure
+	// handshake: the initiator pins the responder's key before the
+	// first message flows.
+	StaticKey string `json:"static_key,omitempty"`
 }
 
 // PeersResp lists matched neighbors.
@@ -227,6 +260,10 @@ const (
 type ConnectOffer struct {
 	Fingerprint string          `json:"fingerprint"`
 	Candidates  []ice.Candidate `json:"candidates"`
+	// StaticKey advertises the sender's secure-transport static key so
+	// the answering side can pin it; the handshake voucher check is
+	// what makes the claim trustworthy.
+	StaticKey string `json:"static_key,omitempty"`
 }
 
 // PeerGone lists peers that left the swarm, pushed to the peers they
@@ -245,6 +282,13 @@ type IMReport struct {
 // GetSIM requests the signed integrity metadata for a segment.
 type GetSIM struct {
 	Key media.SegmentKey `json:"key"`
+}
+
+// BadKeyReport names a static key whose possession proof failed in a
+// handshake with the reporting peer. The server counts distinct
+// reporters per key and quarantines keys past a threshold.
+type BadKeyReport struct {
+	StaticKey string `json:"static_key"`
 }
 
 // SIM is signed integrity metadata: the server-authenticated hash a

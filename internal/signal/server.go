@@ -42,6 +42,22 @@ type TokenValidator interface {
 	Validate(token, videoID string) error
 }
 
+// SecureService is the matcher-side half of the authenticated peer
+// transport (secure.TransportAuthority satisfies it): it vouches for
+// static keys registered in authenticated joins and quarantines keys
+// whose possession proofs fail at enough distinct peers. A nil
+// SecureService disables vouching — the deployed-provider behaviour.
+type SecureService interface {
+	// Vouch signs a voucher binding (peerID, swarmID, staticKeyHex).
+	Vouch(peerID, swarmID, staticKeyHex string) (string, error)
+	// ReportBadKey records a failed possession proof witnessed by
+	// reporterID; it returns true on the report that quarantines the key.
+	ReportBadKey(reporterID, staticKeyHex string) bool
+	// Quarantined reports whether a static key is quarantined; the
+	// matcher excludes such keys from matching in both directions.
+	Quarantined(staticKeyHex string) bool
+}
+
 // Route describes where a swarm lives in a federated signaling plane.
 type Route struct {
 	// Server is the owning server's name (e.g. "s2").
@@ -85,6 +101,9 @@ type Config struct {
 	GeoDB *geoip.DB
 	// IM enables peer-assisted integrity checking.
 	IM IMService
+	// Secure enables static-key vouching and bad-key quarantine for the
+	// authenticated transport (provider.Secure() wires it).
+	Secure SecureService
 	// Seed drives peer-matching randomness. Matching draws from a
 	// per-swarm generator seeded from (Seed, swarm ID), so a swarm's
 	// pairing sequence does not depend on the shard count.
@@ -151,6 +170,7 @@ type session struct {
 	customer    string
 	swarmID     string
 	fingerprint string
+	staticKey   string
 	candidates  []ice.Candidate
 	country     string
 	addr        netip.Addr
@@ -201,6 +221,8 @@ type serverMetrics struct {
 	forwarded       *obs.Counter
 	redirects       *obs.Counter
 	hostCapped      *obs.Counter
+	secureReports   *obs.Counter
+	secureQuarant   *obs.Counter
 	batchSize       *obs.Histogram
 }
 
@@ -247,6 +269,8 @@ func NewServer(cfg Config) *Server {
 		forwarded:       reg.Counter("signal_forwarded_relays_total", "signaling frames spliced across the inter-server forwarding link"),
 		redirects:       reg.Counter("signal_redirects_total", "joins redirected to the swarm's owning server"),
 		hostCapped:      reg.Counter("signal_match_host_capped_total", "match candidates or requests refused because their host exceeded the per-host identity budget"),
+		secureReports:   reg.Counter("signal_secure_reports_total", "bad-static-key reports received from peers"),
+		secureQuarant:   reg.Counter("signal_secure_quarantines_total", "static keys quarantined after distinct bad-signature reports"),
 		batchSize:       reg.Histogram("signal_match_batch_size", "outbound messages drained per delivery tick"),
 	}
 	reg.GaugeFunc("signal_swarm_peers", "currently connected peers across all swarms", func() float64 {
@@ -386,7 +410,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	if s.cfg.Keys != nil && customer != "" {
 		s.cfg.Keys.RecordJoin(customer)
 	}
-	err = sess.send(MsgWelcome, Welcome{PeerID: sess.id, SwarmID: sess.swarmID, Policy: s.cfg.Policy})
+	welcome := Welcome{PeerID: sess.id, SwarmID: sess.swarmID, Policy: s.cfg.Policy}
+	if s.cfg.Secure != nil && sess.staticKey != "" {
+		// Vouch for the registered static key: the join's credential just
+		// authenticated this session, so the matcher signs (peer, swarm,
+		// key) and the peer presents that voucher in its handshakes.
+		if v, verr := s.cfg.Secure.Vouch(sess.id, sess.swarmID, sess.staticKey); verr == nil {
+			welcome.Voucher = v
+		}
+	}
+	err = sess.send(MsgWelcome, welcome)
 	jspan.End(obs.A("ok", err == nil), obs.A("peer", sess.id))
 	if err != nil {
 		return
@@ -447,6 +480,7 @@ func (s *Server) register(codec *wire.Codec, conn net.Conn, join JoinRequest, cu
 		customer:     customer,
 		swarmID:      join.Video + "/" + join.Rendition,
 		fingerprint:  join.Fingerprint,
+		staticKey:    join.StaticKey,
 		candidates:   append([]ice.Candidate(nil), join.Candidates...),
 		country:      country,
 		addr:         addr,
@@ -602,6 +636,18 @@ func (s *Server) dispatch(sess *session, env wire.Envelope) bool {
 			}
 		}
 		sess.send(MsgSIM, resp)
+	case MsgBadKey:
+		var rep BadKeyReport
+		if err := env.Decode(&rep); err != nil {
+			return false
+		}
+		s.metrics.secureReports.Inc()
+		if s.cfg.Secure != nil && rep.StaticKey != "" {
+			if s.cfg.Secure.ReportBadKey(sess.id, rep.StaticKey) {
+				s.metrics.secureQuarant.Inc()
+				s.cfg.Tracer.Event("signal_secure_quarantine", obs.A("peer", sess.id))
+			}
+		}
 	case MsgBye:
 		return true
 	default:
@@ -630,6 +676,11 @@ func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 		// below). An identity mill or leech farm is thereby cut off in
 		// both directions instead of merely rate-limited.
 		s.metrics.hostCapped.Inc()
+		return nil
+	}
+	if s.cfg.Secure != nil && sess.staticKey != "" && s.cfg.Secure.Quarantined(sess.staticKey) {
+		// A quarantined key gets no matches: like the host budget, the
+		// cutoff is bidirectional (see the candidate check below).
 		return nil
 	}
 	sh := sess.shard
@@ -661,11 +712,15 @@ func (s *Server) matchPeers(sess *session, max int) []PeerInfo {
 			s.metrics.hostCapped.Inc()
 			continue
 		}
+		if s.cfg.Secure != nil && cand.staticKey != "" && s.cfg.Secure.Quarantined(cand.staticKey) {
+			continue
+		}
 		out = append(out, PeerInfo{
 			ID:          cand.id,
 			Fingerprint: cand.fingerprint,
 			Candidates:  append([]ice.Candidate(nil), cand.candidates...),
 			Country:     cand.country,
+			StaticKey:   cand.staticKey,
 		})
 		cand.advertisedTo[sess.id] = sess
 		sess.advertised[cand.id] = cand

@@ -52,6 +52,8 @@ var (
 	TencentPrivate = provider.TencentPrivate
 	StrictPrivate  = provider.StrictPrivate
 	ECDN           = provider.ECDN
+	Hardened       = provider.Hardened
+	Secure         = provider.Secure
 	PublicProfiles = provider.PublicProfiles
 	AllProfiles    = provider.AllProfiles
 )

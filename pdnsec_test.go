@@ -13,8 +13,8 @@ func TestFacadeProfiles(t *testing.T) {
 	if len(pdnsec.PublicProfiles()) != 3 {
 		t.Fatal("expected three public profiles")
 	}
-	if len(pdnsec.AllProfiles()) != 8 {
-		t.Fatal("expected eight profiles")
+	if len(pdnsec.AllProfiles()) != 9 {
+		t.Fatal("expected nine profiles")
 	}
 	if pdnsec.Peer5().Name != "peer5" || pdnsec.ECDN().Name != "ecdn" {
 		t.Fatal("profile constructors broken")
